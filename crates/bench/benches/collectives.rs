@@ -1,0 +1,65 @@
+//! Simulated cost of the §5-extension collectives (allgather, broadcast)
+//! across their algorithm variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use a2a_core::collectives::{
+    AllgatherSchedule, BcastSchedule, BinomialBcast, BruckAllgather, HierarchicalBcast,
+    LocalityAwareAllgather, RingAllgather,
+};
+use a2a_core::A2AContext;
+use a2a_netsim::{models, simulate, SimOptions};
+use a2a_topo::{presets, ProcGrid};
+
+fn bench_collectives(c: &mut Criterion) {
+    let grid = ProcGrid::new(presets::scaled_many_core(4, 1)); // 32 ranks
+    let model = models::dane();
+    let mut g = c.benchmark_group("collectives_sim");
+    g.sample_size(10);
+
+    let allgathers: Vec<(&str, Box<dyn a2a_core::collectives::AllgatherAlgorithm>)> = vec![
+        ("ring", Box::new(RingAllgather)),
+        ("bruck", Box::new(BruckAllgather)),
+        ("locality4", Box::new(LocalityAwareAllgather::new(4))),
+    ];
+    for (name, algo) in &allgathers {
+        for s in [64u64, 4096] {
+            g.bench_with_input(BenchmarkId::new(format!("allgather_{name}"), s), &s, |b, &s| {
+                let sched = AllgatherSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
+                b.iter(|| {
+                    black_box(
+                        simulate(&sched, &grid, &model, &SimOptions::default())
+                            .unwrap()
+                            .total_us,
+                    )
+                });
+            });
+        }
+    }
+
+    let bcasts: Vec<(&str, Box<dyn a2a_core::collectives::BcastAlgorithm>)> = vec![
+        ("binomial", Box::new(BinomialBcast)),
+        ("hierarchical", Box::new(HierarchicalBcast)),
+    ];
+    for (name, algo) in &bcasts {
+        g.bench_with_input(
+            BenchmarkId::new(format!("bcast_{name}"), 65536u64),
+            &65536u64,
+            |b, &len| {
+                let sched = BcastSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), len), 0);
+                b.iter(|| {
+                    black_box(
+                        simulate(&sched, &grid, &model, &SimOptions::default())
+                            .unwrap()
+                            .total_us,
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Raw simulator throughput: operations per second through the
+//! discrete-event engine, on a direct exchange (the op-densest schedule).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use a2a_core::{A2AContext, AlgoSchedule, NonblockingAlltoall, PairwiseAlltoall};
+use a2a_netsim::{models, simulate, SimOptions};
+use a2a_sched::ScheduleSource;
+use a2a_topo::{presets, ProcGrid};
+
+fn bench_engine(c: &mut Criterion) {
+    let grid = ProcGrid::new(presets::scaled_many_core(8, 2)); // 128 ranks
+    let model = models::dane();
+    let mut g = c.benchmark_group("des_engine");
+    g.sample_size(10);
+
+    let pairwise = PairwiseAlltoall;
+    let sched = AlgoSchedule::new(&pairwise, A2AContext::new(grid.clone(), 256));
+    let ops: usize = (0..grid.world_size() as u32)
+        .map(|r| sched.build_rank(r).ops.len())
+        .sum();
+    g.throughput(Throughput::Elements(ops as u64));
+    g.bench_function("pairwise_128ranks", |b| {
+        b.iter(|| {
+            black_box(simulate(&sched, &grid, &model, &SimOptions::default()).unwrap())
+        });
+    });
+
+    let nb = NonblockingAlltoall;
+    let sched_nb = AlgoSchedule::new(&nb, A2AContext::new(grid.clone(), 256));
+    g.bench_function("nonblocking_128ranks", |b| {
+        b.iter(|| {
+            black_box(simulate(&sched_nb, &grid, &model, &SimOptions::default()).unwrap())
+        });
+    });
+
+    g.bench_function("pairwise_128ranks_jittered", |b| {
+        let opts = SimOptions {
+            jitter: 0.05,
+            seed: 3,
+        };
+        b.iter(|| black_box(simulate(&sched, &grid, &model, &opts).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

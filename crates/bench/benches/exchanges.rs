@@ -1,0 +1,42 @@
+//! Simulated cost of the flat exchange patterns (paper §2 baselines):
+//! pairwise, non-blocking, batched, Bruck — schedule build + DES execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use a2a_core::{
+    A2AContext, AlgoSchedule, AlltoallAlgorithm, BatchedAlltoall, BruckAlltoall,
+    NonblockingAlltoall, PairwiseAlltoall,
+};
+use a2a_netsim::{models, simulate, SimOptions};
+use a2a_topo::{presets, ProcGrid};
+
+fn bench_exchanges(c: &mut Criterion) {
+    let grid = ProcGrid::new(presets::scaled_many_core(4, 1)); // 4 nodes x 8 ppn
+    let model = models::dane();
+    let algos: Vec<(&str, Box<dyn AlltoallAlgorithm>)> = vec![
+        ("pairwise", Box::new(PairwiseAlltoall)),
+        ("nonblocking", Box::new(NonblockingAlltoall)),
+        ("batched8", Box::new(BatchedAlltoall::new(8))),
+        ("bruck", Box::new(BruckAlltoall)),
+    ];
+    let mut g = c.benchmark_group("flat_exchange_sim");
+    g.sample_size(10);
+    for (name, algo) in &algos {
+        for s in [64u64, 4096] {
+            g.bench_with_input(BenchmarkId::new(*name, s), &s, |b, &s| {
+                let ctx = A2AContext::new(grid.clone(), s);
+                let sched = AlgoSchedule::new(algo.as_ref(), ctx);
+                b.iter(|| {
+                    let rep =
+                        simulate(&sched, &grid, &model, &SimOptions::default()).unwrap();
+                    black_box(rep.total_us)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exchanges);
+criterion_main!(benches);

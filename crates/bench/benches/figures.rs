@@ -1,0 +1,52 @@
+//! Figure kernels as criterion benchmarks: a miniature Figure-10 point per
+//! algorithm family, tying `cargo bench` to the reproduction harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use a2a_bench::{run_min, RunConfig};
+use a2a_core::{
+    AlltoallAlgorithm, ExchangeKind, HierarchicalAlltoall, MultileaderNodeAwareAlltoall,
+    NodeAwareAlltoall, SystemMpiAlltoall,
+};
+
+fn bench_fig10_kernel(c: &mut Criterion) {
+    let cfg = RunConfig {
+        nodes: 4,
+        runs: 1,
+        ..Default::default()
+    };
+    let grid = cfg.grid();
+    let model = cfg.model();
+    let ppn = grid.machine().ppn();
+    let algos: Vec<(&str, Box<dyn AlltoallAlgorithm>)> = vec![
+        (
+            "hierarchical",
+            Box::new(HierarchicalAlltoall::new(ppn, ExchangeKind::Pairwise)),
+        ),
+        (
+            "node-aware",
+            Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        ),
+        (
+            "mlna4",
+            Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
+        ),
+        ("system-mpi", Box::new(SystemMpiAlltoall::default())),
+    ];
+    let mut g = c.benchmark_group("fig10_kernel_4nodes");
+    g.sample_size(10);
+    for (name, algo) in &algos {
+        for s in [4u64, 4096] {
+            g.bench_with_input(BenchmarkId::new(*name, s), &s, |b, &s| {
+                b.iter(|| {
+                    black_box(run_min(algo.as_ref(), &grid, &model, s, 1, 1).total_us)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10_kernel);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Real (threaded) all-to-all wall time on the mini-MPI runtime: actual
+//! data movement across OS threads, algorithms compared at a small world.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use a2a_core::{
+    AlltoallAlgorithm, BruckAlltoall, ExchangeKind, NodeAwareAlltoall, PairwiseAlltoall,
+};
+use a2a_runtime::ThreadWorld;
+use a2a_sched::fill_alltoall_sbuf;
+use a2a_topo::{Machine, ProcGrid};
+
+fn bench_runtime(c: &mut Criterion) {
+    let grid = ProcGrid::new(Machine::custom("t", 2, 2, 1, 3)); // 12 ranks
+    let n = grid.world_size();
+    let algos: Vec<(&str, Box<dyn AlltoallAlgorithm>)> = vec![
+        ("pairwise", Box::new(PairwiseAlltoall)),
+        ("bruck", Box::new(BruckAlltoall)),
+        (
+            "node-aware",
+            Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        ),
+    ];
+    let mut g = c.benchmark_group("runtime_alltoall_12ranks");
+    g.sample_size(10);
+    for (name, algo) in &algos {
+        for s in [64u64, 1024] {
+            g.bench_with_input(BenchmarkId::new(*name, s), &s, |b, &s| {
+                let total = (n as u64 * s) as usize;
+                b.iter(|| {
+                    let grid = &grid;
+                    let algo = algo.as_ref();
+                    let out = ThreadWorld::run(n, move |comm| {
+                        let mut sbuf = vec![0u8; total];
+                        let mut rbuf = vec![0u8; total];
+                        fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
+                        comm.alltoall(algo, grid, s, &sbuf, &mut rbuf);
+                        rbuf[0]
+                    });
+                    black_box(out)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

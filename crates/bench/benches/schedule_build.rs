@@ -1,0 +1,48 @@
+//! Schedule-compilation throughput: how fast each algorithm's per-rank
+//! program builds. Matters because the simulator and runtime both compile
+//! schedules on the fly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use a2a_core::{
+    A2AContext, AlltoallAlgorithm, BruckAlltoall, ExchangeKind, HierarchicalAlltoall,
+    MpichShmAlltoall, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, PairwiseAlltoall,
+};
+use a2a_topo::{presets, ProcGrid};
+
+fn bench_build(c: &mut Criterion) {
+    let grid = ProcGrid::new(presets::scaled_many_core(8, 2)); // 8 nodes x 16 ppn
+    let ctx = A2AContext::new(grid, 1024);
+    let algos: Vec<(&str, Box<dyn AlltoallAlgorithm>)> = vec![
+        ("pairwise", Box::new(PairwiseAlltoall)),
+        ("bruck", Box::new(BruckAlltoall)),
+        (
+            "hierarchical",
+            Box::new(HierarchicalAlltoall::new(16, ExchangeKind::Pairwise)),
+        ),
+        (
+            "node-aware",
+            Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        ),
+        (
+            "mlna4",
+            Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
+        ),
+        ("mpich-shm", Box::new(MpichShmAlltoall::default())),
+    ];
+    let mut g = c.benchmark_group("schedule_build");
+    g.sample_size(20);
+    for (name, algo) in &algos {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                // Leader rank 0 has the largest program in every algorithm.
+                black_box(algo.build_rank(&ctx, 0).ops.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

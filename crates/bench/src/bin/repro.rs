@@ -1,0 +1,150 @@
+//! Regenerate the paper's tables and figures on the simulated machines.
+//!
+//! ```text
+//! repro all                     # every figure at the default scale
+//! repro fig10 fig11             # specific figures
+//! repro table1                  # system architecture table
+//! repro fig12 --scale full      # paper-scale nodes (112 ppn -> 3584 ranks)
+//!
+//! options:
+//!   --nodes N      largest node count (default 32)
+//!   --machine M    dane | amber | tuolumne (default dane; figs 17/18 override)
+//!   --runs R       jittered runs per point, minimum reported (default 3)
+//!   --seed S       base seed (default 1)
+//!   --scale full|small
+//!   --out DIR      output directory (default results)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use a2a_bench::{figure_by_name, known_figures, machine_for, RunConfig};
+use a2a_netsim::models;
+
+fn table1(cfg: &RunConfig) -> String {
+    let mut out = String::new();
+    out.push_str("# Table 1: system architectures (simulated)\n");
+    out.push_str(
+        "name      | ppn | sockets | numa/socket | cores/numa | net GB/s | net alpha us | nic msg us\n",
+    );
+    for name in ["dane", "amber", "tuolumne"] {
+        let m = machine_for(name, cfg.nodes, cfg.full_scale);
+        let c = models::for_machine(name);
+        let net = c.levels[3];
+        out.push_str(&format!(
+            "{:9} | {:3} | {:7} | {:11} | {:10} | {:8.1} | {:12.2} | {:10.2}\n",
+            name,
+            m.ppn(),
+            m.sockets_per_node,
+            m.numa_per_socket,
+            m.cores_per_numa,
+            1.0 / (net.beta * 1000.0),
+            net.alpha,
+            c.nic_per_msg,
+        ));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<String> = Vec::new();
+    let mut cfg = RunConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut want_table1 = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--nodes" => cfg.nodes = value("--nodes").parse().expect("--nodes: integer"),
+            "--machine" => cfg.machine = value("--machine"),
+            "--runs" => cfg.runs = value("--runs").parse().expect("--runs: integer"),
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed: integer"),
+            "--scale" => cfg.full_scale = value("--scale") == "full",
+            "--out" => out_dir = PathBuf::from(value("--out")),
+            "all" => figures.extend(known_figures().iter().map(|s| s.to_string())),
+            "table1" => want_table1 = true,
+            "tune" => figures.push("tune".into()),
+            "--help" | "-h" => {
+                println!("usage: repro [all|table1|tune|fig7..fig18|headline|ablation-*]... [options]");
+                println!("figures: {:?}", known_figures());
+                println!("options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR");
+                return ExitCode::SUCCESS;
+            }
+            f if known_figures().contains(&f) => figures.push(f.to_string()),
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if figures.is_empty() && !want_table1 {
+        figures.extend(known_figures().iter().map(|s| s.to_string()));
+        want_table1 = true;
+    }
+    figures.dedup();
+
+    let grid = cfg.grid();
+    println!(
+        "machine={} nodes={} ppn={} ranks={} scale={} runs={}",
+        cfg.machine,
+        cfg.nodes,
+        grid.machine().ppn(),
+        grid.world_size(),
+        if cfg.full_scale { "full" } else { "small" },
+        cfg.runs,
+    );
+
+    if want_table1 {
+        let t = table1(&cfg);
+        println!("\n{t}");
+        std::fs::create_dir_all(&out_dir).expect("create output dir");
+        std::fs::write(out_dir.join("table1.txt"), &t).expect("write table1");
+    }
+
+    for name in &figures {
+        let start = Instant::now();
+        if name == "tune" {
+            let res = a2a_bench::tune(&cfg);
+            println!("\n# selector tuning ({} nodes of {})", res.nodes, res.machine);
+            for p in &res.points {
+                println!("  {:>6} B -> {:<26} {:>10.1} us", p.bytes, p.winner, p.winner_us);
+            }
+            println!(
+                "  table: mlna(ppl={}) <= {} B < node-aware < {} B <= locality-aware(ppg={})",
+                res.table.ppl, res.table.small_threshold, res.table.large_threshold, res.table.ppg
+            );
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("selector_table.json"),
+                serde_json::to_string_pretty(&res).expect("serialize"),
+            )
+            .expect("write selector table");
+            println!("  [tune done in {:.1?}]", start.elapsed());
+            continue;
+        }
+        let fig = figure_by_name(name, &cfg);
+        fig.save(&out_dir).expect("save figure");
+        println!("\n{}", fig.table());
+        if let Some((winner, us)) = fig.winner_at(
+            fig.series[0]
+                .points
+                .last()
+                .map(|p| p.0)
+                .unwrap_or_default(),
+        ) {
+            println!("  -> winner at largest x: {winner} ({us:.1} us)");
+        }
+        println!("  [{name} done in {:.1?}]", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,25 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (Figures 7–18, Table 1) on the simulated machines, and hosts
+//! the criterion microbenchmarks.
+//!
+//! The `repro` binary (`src/bin/repro.rs`) is the entry point:
+//!
+//! ```text
+//! repro all --out results            # every figure, scaled machines
+//! repro fig10 --nodes 32 --runs 3    # one figure
+//! repro fig12 --scale full           # paper-scale (112 ppn, 3584 ranks)
+//! ```
+//!
+//! Scaled machines keep the paper's node *structure* (sockets x NUMA
+//! hierarchy) with fewer cores per NUMA domain so the full sweep runs on a
+//! laptop-class host; `--scale full` uses the real 112/96-core nodes.
+
+pub mod figures;
+pub mod harness;
+pub mod tune;
+
+pub use figures::{figure_by_name, known_figures};
+pub use harness::{
+    machine_for, run_min, FigureData, RunConfig, Series, DEFAULT_SIZES, PAPER_GROUP_SIZES,
+};
+pub use tune::{tune, TuneResult};

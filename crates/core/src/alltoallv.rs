@@ -1,0 +1,519 @@
+//! Variable-sized all-to-all (`MPI_Alltoallv`), the irregular counterpart
+//! the paper's related work ([7], [12]) optimizes with the same node-aware
+//! aggregation ideas.
+//!
+//! Counts are a function `counts(src, dst) -> bytes`, known on every rank
+//! (as in MPI, where callers supply both send and receive counts). Send
+//! buffers concatenate blocks by destination rank; receive buffers by
+//! source rank. Zero-count pairs exchange nothing.
+//!
+//! Three algorithms:
+//! * [`PairwiseAlltoallv`] / [`NonblockingAlltoallv`] — direct exchanges;
+//! * [`NodeAwareAlltoallv`] — Algorithm 4 generalized to variable counts:
+//!   aggregate per node so each rank sends one (possibly large) message to
+//!   its counterpart on every other node, then redistribute locally.
+
+use std::sync::Arc;
+
+use a2a_sched::{Block, BufId, Bytes, Phase, ProgBuilder, RankProgram, ScheduleSource, RBUF, SBUF};
+use a2a_topo::{ProcGrid, Rank};
+
+use crate::tags;
+
+/// Byte count for each (source, destination) pair.
+pub type CountsFn = Arc<dyn Fn(Rank, Rank) -> Bytes + Send + Sync>;
+
+/// Context for a variable all-to-all.
+#[derive(Clone)]
+pub struct VContext {
+    pub grid: ProcGrid,
+    pub counts: CountsFn,
+}
+
+impl VContext {
+    pub fn new(grid: ProcGrid, counts: CountsFn) -> Self {
+        VContext { grid, counts }
+    }
+
+    pub fn n(&self) -> usize {
+        self.grid.world_size()
+    }
+
+    /// Bytes `src` sends to `dst`.
+    pub fn count(&self, src: Rank, dst: Rank) -> Bytes {
+        (self.counts)(src, dst)
+    }
+
+    /// Offset of the block for `dst` within `src`'s send buffer.
+    pub fn send_off(&self, src: Rank, dst: Rank) -> Bytes {
+        (0..dst).map(|j| self.count(src, j)).sum()
+    }
+
+    /// Offset of the block from `src` within `dst`'s receive buffer.
+    pub fn recv_off(&self, src: Rank, dst: Rank) -> Bytes {
+        (0..src).map(|i| self.count(i, dst)).sum()
+    }
+
+    /// Total bytes `src` sends.
+    pub fn send_total(&self, src: Rank) -> Bytes {
+        (0..self.n() as Rank).map(|j| self.count(src, j)).sum()
+    }
+
+    /// Total bytes `dst` receives.
+    pub fn recv_total(&self, dst: Rank) -> Bytes {
+        (0..self.n() as Rank).map(|i| self.count(i, dst)).sum()
+    }
+}
+
+/// A variable all-to-all algorithm.
+pub trait AlltoallvAlgorithm: Send + Sync {
+    fn name(&self) -> String;
+    fn phase_names(&self) -> Vec<&'static str>;
+    fn buffers(&self, ctx: &VContext, rank: Rank) -> Vec<Bytes>;
+    fn build_rank(&self, ctx: &VContext, rank: Rank) -> RankProgram;
+}
+
+/// Adapter to `ScheduleSource`.
+pub struct VSchedule<'a> {
+    algo: &'a dyn AlltoallvAlgorithm,
+    ctx: VContext,
+}
+
+impl<'a> VSchedule<'a> {
+    pub fn new(algo: &'a dyn AlltoallvAlgorithm, ctx: VContext) -> Self {
+        VSchedule { algo, ctx }
+    }
+}
+
+impl ScheduleSource for VSchedule<'_> {
+    fn nranks(&self) -> usize {
+        self.ctx.n()
+    }
+    fn buffers(&self, rank: Rank) -> Vec<Bytes> {
+        self.algo.buffers(&self.ctx, rank)
+    }
+    fn build_rank(&self, rank: Rank) -> RankProgram {
+        self.algo.build_rank(&self.ctx, rank)
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        self.algo.phase_names()
+    }
+}
+
+fn direct_buffers(ctx: &VContext, rank: Rank) -> Vec<Bytes> {
+    vec![ctx.send_total(rank).max(1), ctx.recv_total(rank).max(1)]
+}
+
+fn direct_build(ctx: &VContext, rank: Rank, nonblocking: bool) -> RankProgram {
+    let n = ctx.n();
+    let me = rank as usize;
+    let mut b = ProgBuilder::new(Phase(0));
+    let self_count = ctx.count(rank, rank);
+    if self_count > 0 {
+        b.copy(
+            Block::new(SBUF, ctx.send_off(rank, rank), self_count),
+            Block::new(RBUF, ctx.recv_off(rank, rank), self_count),
+        );
+    }
+    let first = b.req_mark();
+    for i in 1..n {
+        let sp = ((me + i) % n) as Rank;
+        let rp = ((me + n - i) % n) as Rank;
+        let scount = ctx.count(rank, sp);
+        let rcount = ctx.count(rp, rank);
+        let step = b.req_mark();
+        if scount > 0 {
+            b.isend(sp, Block::new(SBUF, ctx.send_off(rank, sp), scount), tags::DIRECT);
+        }
+        if rcount > 0 {
+            b.irecv(rp, Block::new(RBUF, ctx.recv_off(rp, rank), rcount), tags::DIRECT);
+        }
+        if !nonblocking {
+            let posted = b.req_mark() - step;
+            b.waitall(step, posted);
+        }
+    }
+    if nonblocking {
+        let posted = b.req_mark() - first;
+        b.waitall(first, posted);
+    }
+    b.finish()
+}
+
+/// Pairwise-ordered direct variable exchange.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairwiseAlltoallv;
+
+impl AlltoallvAlgorithm for PairwiseAlltoallv {
+    fn name(&self) -> String {
+        "alltoallv-pairwise".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["exchange"]
+    }
+    fn buffers(&self, ctx: &VContext, rank: Rank) -> Vec<Bytes> {
+        direct_buffers(ctx, rank)
+    }
+    fn build_rank(&self, ctx: &VContext, rank: Rank) -> RankProgram {
+        direct_build(ctx, rank, false)
+    }
+}
+
+/// Fully non-blocking direct variable exchange.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonblockingAlltoallv;
+
+impl AlltoallvAlgorithm for NonblockingAlltoallv {
+    fn name(&self) -> String {
+        "alltoallv-nonblocking".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["exchange"]
+    }
+    fn buffers(&self, ctx: &VContext, rank: Rank) -> Vec<Bytes> {
+        direct_buffers(ctx, rank)
+    }
+    fn build_rank(&self, ctx: &VContext, rank: Rank) -> RankProgram {
+        direct_build(ctx, rank, true)
+    }
+}
+
+const V_T0: BufId = BufId(2); // inter-phase receive staging
+const V_P: BufId = BufId(3); // packed for intra phase
+const V_T1: BufId = BufId(4); // intra-phase receive staging
+
+/// Node-aware variable all-to-all: one aggregated message to the same-local
+/// -rank counterpart on every other node, then local redistribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeAwareAlltoallv;
+
+impl NodeAwareAlltoallv {
+    /// Bytes rank `(node(of), o)` holds for node `dn` after the inter
+    /// phase: everything its counterpart senders `(d_src, o)` sent for all
+    /// members of `dn`... (helper for offsets; see `build_rank`).
+    fn seg_from_region(ctx: &VContext, sender: Rank, dst_node: usize) -> Bytes {
+        let ppn = ctx.grid.machine().ppn();
+        let base = (dst_node * ppn) as Rank;
+        (0..ppn as Rank).map(|l| ctx.count(sender, base + l)).sum()
+    }
+}
+
+impl AlltoallvAlgorithm for NodeAwareAlltoallv {
+    fn name(&self) -> String {
+        "alltoallv-node-aware".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["inter-a2a", "pack", "intra-a2a"]
+    }
+    fn buffers(&self, ctx: &VContext, rank: Rank) -> Vec<Bytes> {
+        let grid = &ctx.grid;
+        let ppn = grid.machine().ppn();
+        let nodes = grid.machine().nodes;
+        let o = grid.local_rank(rank) as Rank;
+        let my_node = grid.node_of(rank);
+        // T0: from each node's o-counterpart, its data for my whole node.
+        let t0: Bytes = (0..nodes)
+            .map(|dn| {
+                let sender = (dn * ppn) as Rank + o;
+                Self::seg_from_region(ctx, sender, my_node)
+            })
+            .sum();
+        // P/T1: regrouped by destination member / by source.
+        vec![
+            ctx.send_total(rank).max(1),
+            ctx.recv_total(rank).max(1),
+            t0.max(1),
+            t0.max(1),
+            ctx.recv_total(rank).max(1),
+        ]
+    }
+    fn build_rank(&self, ctx: &VContext, rank: Rank) -> RankProgram {
+        let grid = &ctx.grid;
+        let ppn = grid.machine().ppn();
+        let nodes = grid.machine().nodes;
+        let o = grid.local_rank(rank) as Rank;
+        let my_node = grid.node_of(rank);
+        let node_base = |d: usize| (d * ppn) as Rank;
+        let mut b = ProgBuilder::new(Phase(0));
+
+        // --- Inter phase: exchange aggregated node blocks with the same-
+        // offset counterpart on every node. My send block for node d' is
+        // contiguous in SBUF (destinations of one node are consecutive).
+        // T0 layout: segments by source node d, within a segment the
+        // sender's blocks for my node's members l'' in order.
+        let t0_seg_off = |d: usize| -> Bytes {
+            (0..d)
+                .map(|dd| Self::seg_from_region(ctx, node_base(dd) + o, my_node))
+                .sum()
+        };
+        // Self segment first, then pairwise steps (send to node me+i,
+        // receive from node me-i, as in Algorithm 1).
+        let self_count = Self::seg_from_region(ctx, rank, my_node);
+        if self_count > 0 {
+            b.copy(
+                Block::new(SBUF, ctx.send_off(rank, node_base(my_node)), self_count),
+                Block::new(V_T0, t0_seg_off(my_node), self_count),
+            );
+        }
+        for step in 1..nodes {
+            let d_send = (my_node + step) % nodes;
+            let d_recv = (my_node + nodes - step) % nodes;
+            let send_peer = node_base(d_send) + o;
+            let recv_peer = node_base(d_recv) + o;
+            let scount = Self::seg_from_region(ctx, rank, d_send);
+            let rcount = Self::seg_from_region(ctx, recv_peer, my_node);
+            let first = b.req_mark();
+            if scount > 0 {
+                b.isend(
+                    send_peer,
+                    Block::new(SBUF, ctx.send_off(rank, node_base(d_send)), scount),
+                    tags::INTER,
+                );
+            }
+            if rcount > 0 {
+                b.irecv(
+                    recv_peer,
+                    Block::new(V_T0, t0_seg_off(d_recv), rcount),
+                    tags::INTER,
+                );
+            }
+            let posted = b.req_mark() - first;
+            b.waitall(first, posted);
+        }
+
+        // --- Pack by destination member l'': P groups, for each member,
+        // the blocks (from every node's o-counterpart) destined to it.
+        b.set_phase(Phase(1));
+        let p_seg = |l2: usize| -> Bytes {
+            // bytes destined to member l'' that traveled through me
+            (0..nodes)
+                .map(|d| ctx.count(node_base(d) + o, node_base(my_node) + l2 as Rank))
+                .sum()
+        };
+        let p_seg_off = |l2: usize| -> Bytes { (0..l2).map(p_seg).sum() };
+        for l2 in 0..ppn {
+            let dst_rank = node_base(my_node) + l2 as Rank;
+            let mut p_off = p_seg_off(l2);
+            for d in 0..nodes {
+                let sender = node_base(d) + o;
+                let cnt = ctx.count(sender, dst_rank);
+                if cnt > 0 {
+                    // Within T0 segment d: blocks for members 0..l2 first.
+                    let within: Bytes = (0..l2)
+                        .map(|ll| ctx.count(sender, node_base(my_node) + ll as Rank))
+                        .sum();
+                    b.copy(
+                        Block::new(V_T0, t0_seg_off(d) + within, cnt),
+                        Block::new(V_P, p_off, cnt),
+                    );
+                }
+                p_off += cnt;
+            }
+        }
+
+        // --- Intra phase: hand member l'' its segment; receive mine from
+        // every node-mate. T1 layout: segments by source offset o~, each
+        // holding that mate's forwarded blocks (by source node).
+        b.set_phase(Phase(2));
+        let t1_seg = |o2: usize| -> Bytes {
+            (0..nodes)
+                .map(|d| ctx.count(node_base(d) + o2 as Rank, rank))
+                .sum()
+        };
+        let t1_seg_off = |o2: usize| -> Bytes { (0..o2).map(t1_seg).sum() };
+        let self_fwd = p_seg(o as usize);
+        if self_fwd > 0 {
+            b.copy(
+                Block::new(V_P, p_seg_off(o as usize), self_fwd),
+                Block::new(V_T1, t1_seg_off(o as usize), self_fwd),
+            );
+        }
+        for step in 1..ppn {
+            let l_send = (o as usize + step) % ppn;
+            let l_recv = (o as usize + ppn - step) % ppn;
+            let send_peer = node_base(my_node) + l_send as Rank;
+            let recv_peer = node_base(my_node) + l_recv as Rank;
+            let scount = p_seg(l_send);
+            let rcount = t1_seg(l_recv);
+            let first = b.req_mark();
+            if scount > 0 {
+                b.isend(send_peer, Block::new(V_P, p_seg_off(l_send), scount), tags::INTRA);
+            }
+            if rcount > 0 {
+                b.irecv(
+                    recv_peer,
+                    Block::new(V_T1, t1_seg_off(l_recv), rcount),
+                    tags::INTRA,
+                );
+            }
+            let posted = b.req_mark() - first;
+            b.waitall(first, posted);
+        }
+
+        // --- Unpack into the receive buffer by source world rank.
+        b.set_phase(Phase(1));
+        for o2 in 0..ppn {
+            let mut t1_off = t1_seg_off(o2);
+            for d in 0..nodes {
+                let src = node_base(d) + o2 as Rank;
+                let cnt = ctx.count(src, rank);
+                if cnt > 0 {
+                    b.copy(
+                        Block::new(V_T1, t1_off, cnt),
+                        Block::new(RBUF, ctx.recv_off(src, rank), cnt),
+                    );
+                }
+                t1_off += cnt;
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Fill `rank`'s alltoallv send buffer with the deterministic pattern.
+pub fn fill_alltoallv_sbuf(ctx: &VContext, rank: Rank, buf: &mut [u8]) {
+    let mut off = 0usize;
+    for dst in 0..ctx.n() as Rank {
+        let cnt = ctx.count(rank, dst);
+        for k in 0..cnt {
+            buf[off] = a2a_sched::pattern_byte(rank, dst, k);
+            off += 1;
+        }
+    }
+}
+
+/// Check `rank`'s alltoallv receive buffer.
+pub fn check_alltoallv_rbuf(ctx: &VContext, rank: Rank, buf: &[u8]) -> Result<(), String> {
+    let mut off = 0usize;
+    for src in 0..ctx.n() as Rank {
+        let cnt = ctx.count(src, rank);
+        for k in 0..cnt {
+            let got = buf[off];
+            let want = a2a_sched::pattern_byte(src, rank, k);
+            if got != want {
+                return Err(format!(
+                    "rank {rank}: block from {src} byte {k}: got {got:#04x}, want {want:#04x}"
+                ));
+            }
+            off += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Execute and verify an alltoallv schedule end to end.
+pub fn run_and_verify_v(algo: &dyn AlltoallvAlgorithm, ctx: &VContext) -> Result<(), String> {
+    let sched = VSchedule::new(algo, ctx.clone());
+    let res = a2a_sched::DataExecutor::run(&sched, |r, buf| fill_alltoallv_sbuf(ctx, r, buf))
+        .map_err(|e| format!("{}: {e}", algo.name()))?;
+    for (r, rbuf) in res.rbufs.iter().enumerate() {
+        check_alltoallv_rbuf(ctx, r as Rank, rbuf).map_err(|e| format!("{}: {e}", algo.name()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_topo::Machine;
+
+    fn grid(nodes: usize) -> ProcGrid {
+        ProcGrid::new(Machine::custom("v", nodes, 2, 1, 3))
+    }
+
+    /// A lumpy, asymmetric count matrix with plenty of zeros.
+    fn lumpy(_n: usize) -> CountsFn {
+        Arc::new(move |s: Rank, d: Rank| {
+            let x = (s as u64 * 31 + d as u64 * 17) % 13;
+            if x < 4 {
+                0
+            } else {
+                x * (1 + (s as u64 + d as u64) % 5)
+            }
+        })
+    }
+
+    #[test]
+    fn offsets_are_consistent() {
+        let g = grid(2);
+        let n = g.world_size();
+        let ctx = VContext::new(g, lumpy(n));
+        for r in 0..n as Rank {
+            let mut acc = 0;
+            for d in 0..n as Rank {
+                assert_eq!(ctx.send_off(r, d), acc);
+                acc += ctx.count(r, d);
+            }
+            assert_eq!(ctx.send_total(r), acc);
+        }
+    }
+
+    #[test]
+    fn direct_variants_correct() {
+        for nodes in [1usize, 2, 3] {
+            let g = grid(nodes);
+            let n = g.world_size();
+            let ctx = VContext::new(g, lumpy(n));
+            run_and_verify_v(&PairwiseAlltoallv, &ctx).unwrap();
+            run_and_verify_v(&NonblockingAlltoallv, &ctx).unwrap();
+        }
+    }
+
+    #[test]
+    fn node_aware_correct() {
+        for nodes in [1usize, 2, 3, 4] {
+            let g = grid(nodes);
+            let n = g.world_size();
+            let ctx = VContext::new(g, lumpy(n));
+            run_and_verify_v(&NodeAwareAlltoallv, &ctx).unwrap();
+        }
+    }
+
+    #[test]
+    fn uniform_counts_match_fixed_alltoall_shape() {
+        // With uniform counts the node-aware variant must produce exactly
+        // the fixed algorithm's network statistics.
+        let g = grid(3);
+        let ctx = VContext::new(g.clone(), Arc::new(|_, _| 8));
+        let vsched = VSchedule::new(&NodeAwareAlltoallv, ctx);
+        let vstats = a2a_sched::validate(&vsched, &g).unwrap();
+        let fixed = crate::NodeAwareAlltoall::node_aware(crate::ExchangeKind::Pairwise);
+        let fsched = crate::AlgoSchedule::new(&fixed, crate::A2AContext::new(g.clone(), 8));
+        let fstats = a2a_sched::validate(&fsched, &g).unwrap();
+        assert_eq!(vstats.inter_node_bytes(), fstats.inter_node_bytes());
+        assert_eq!(vstats.inter_node_msgs(), fstats.inter_node_msgs());
+    }
+
+    #[test]
+    fn all_zero_counts_produce_empty_exchange() {
+        let g = grid(2);
+        let ctx = VContext::new(g, Arc::new(|_, _| 0));
+        run_and_verify_v(&PairwiseAlltoallv, &ctx).unwrap();
+        run_and_verify_v(&NodeAwareAlltoallv, &ctx).unwrap();
+    }
+
+    #[test]
+    fn single_hot_pair() {
+        // Only one pair communicates; everyone else is silent.
+        let g = grid(2);
+        let ctx = VContext::new(
+            g,
+            Arc::new(|s: Rank, d: Rank| if s == 1 && d == 10 { 333 } else { 0 }),
+        );
+        run_and_verify_v(&PairwiseAlltoallv, &ctx).unwrap();
+        run_and_verify_v(&NodeAwareAlltoallv, &ctx).unwrap();
+    }
+
+    #[test]
+    fn node_aware_reduces_internode_messages_for_dense_counts() {
+        let g = grid(3);
+        let n = g.world_size();
+        let ctx = VContext::new(g.clone(), Arc::new(|_, _| 16));
+        let direct = VSchedule::new(&PairwiseAlltoallv, ctx.clone());
+        let na = VSchedule::new(&NodeAwareAlltoallv, ctx);
+        let sd = a2a_sched::validate(&direct, &g).unwrap();
+        let sn = a2a_sched::validate(&na, &g).unwrap();
+        assert!(sn.inter_node_msgs() < sd.inter_node_msgs());
+        assert_eq!(sd.max_sends_per_rank, n - 1);
+    }
+}

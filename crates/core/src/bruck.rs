@@ -1,0 +1,238 @@
+//! Bruck's log-step all-to-all [Bruck et al., TPDS 1997].
+//!
+//! Minimizes message count: `ceil(log2 m)` rounds, each sending roughly half
+//! of the local blocks (`~m*s/2` bytes), which is why production MPIs use it
+//! for small messages and why it loses to direct exchange for large ones.
+//!
+//! Structure (for comm rank `p` of `m`, block size `b`):
+//! 1. **Rotate**: `work[i] = src[(p + i) mod m]`, so `work[i]` holds the
+//!    block destined for rank `p + i`.
+//! 2. **Rounds**: for each bit `2^k < m`, pack every `work[i]` with bit `k`
+//!    set in `i`, send the aggregate to rank `p + 2^k`, receive from
+//!    `p - 2^k`, and unpack into the same indices. Each block therefore
+//!    accumulates displacement `i` over the rounds.
+//! 3. **Final rotate**: the block from source rank `j` ends at
+//!    `work[(p - j) mod m]`; copy it to the destination segment `j`.
+//!
+//! Works for any `m`, including non-powers-of-two.
+
+use a2a_sched::{Block, BufId, Bytes, ProgBuilder};
+use a2a_topo::CommView;
+
+use crate::exchange::Contig;
+
+/// Scratch buffers a Bruck exchange needs, declared by the caller so
+/// composed algorithms control buffer-id allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct BruckBufs {
+    /// Working array of `m` blocks.
+    pub work: BufId,
+    /// Packed outgoing blocks for one round (`max_round_blocks(m)` blocks).
+    pub pack: BufId,
+    /// Incoming blocks for one round (same size as `pack`).
+    pub recv: BufId,
+}
+
+/// Largest number of blocks any round sends: `max_k |{i < m : i & 2^k != 0}|`.
+pub fn max_round_blocks(m: usize) -> usize {
+    let mut max = 0;
+    let mut k = 0;
+    while (1usize << k) < m {
+        let bit = 1usize << k;
+        max = max.max((0..m).filter(|i| i & bit != 0).count());
+        k += 1;
+    }
+    max
+}
+
+/// Required sizes of (work, pack, recv) scratch buffers.
+pub fn bruck_buffer_sizes(m: usize, block: Bytes) -> (Bytes, Bytes, Bytes) {
+    let round = max_round_blocks(m) as Bytes * block;
+    (m as Bytes * block, round, round)
+}
+
+/// Emit a Bruck all-to-all over `comm` for the rank at comm index `me`.
+/// Tags `tag..tag+rounds` are used (one per round).
+pub fn build_bruck(
+    b: &mut ProgBuilder,
+    comm: &CommView,
+    me: usize,
+    x: Contig,
+    bufs: &BruckBufs,
+    tag: u32,
+) {
+    let m = comm.size();
+    let blk = x.block;
+    if m == 1 {
+        b.copy(x.sblk(0), x.rblk(0));
+        return;
+    }
+    let work = |i: usize| Block::new(bufs.work, i as Bytes * blk, blk);
+    let work_run = |i: usize, len: usize| {
+        Block::new(bufs.work, i as Bytes * blk, len as Bytes * blk)
+    };
+
+    // 1. Rotate into the working array — two bulk copies.
+    b.copy(
+        Block::new(x.sbuf, x.soff + me as Bytes * blk, (m - me) as Bytes * blk),
+        work_run(0, m - me),
+    );
+    if me > 0 {
+        b.copy(
+            Block::new(x.sbuf, x.soff, me as Bytes * blk),
+            work_run(m - me, me),
+        );
+    }
+
+    // 2. Log-step rounds. The indices with bit `k` set form contiguous
+    //    runs of length `2^k`; packing/unpacking works run-at-a-time so
+    //    the op count stays O(m) per rank across all rounds.
+    let mut k = 0u32;
+    while (1usize << k) < m {
+        let bit = 1usize << k;
+        // Runs [start, end) of indices with bit k set, below m.
+        let mut runs: Vec<(usize, usize)> = Vec::with_capacity(m / (2 * bit) + 1);
+        let mut start = bit;
+        while start < m {
+            runs.push((start, (start + bit).min(m)));
+            start += 2 * bit;
+        }
+        let cnt: usize = runs.iter().map(|r| r.1 - r.0).sum();
+        let mut off = 0usize;
+        for &(lo, hi) in &runs {
+            b.copy(work_run(lo, hi - lo), {
+                Block::new(bufs.pack, off as Bytes * blk, (hi - lo) as Bytes * blk)
+            });
+            off += hi - lo;
+        }
+        let to = comm.world((me + bit) % m);
+        let from = comm.world((me + m - bit) % m);
+        b.sendrecv(
+            to,
+            Block::new(bufs.pack, 0, cnt as Bytes * blk),
+            tag + k,
+            from,
+            Block::new(bufs.recv, 0, cnt as Bytes * blk),
+            tag + k,
+        );
+        let mut off = 0usize;
+        for &(lo, hi) in &runs {
+            b.copy(
+                Block::new(bufs.recv, off as Bytes * blk, (hi - lo) as Bytes * blk),
+                work_run(lo, hi - lo),
+            );
+            off += hi - lo;
+        }
+        k += 1;
+    }
+
+    // 3. Final rotation into the destination layout.
+    for j in 0..m {
+        b.copy(work((me + m - j) % m), x.rblk(j));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_sched::{Bytes, Op, Phase, RankProgram, ScheduleSource, TMP0, TMP1, TMP2};
+    use a2a_topo::Rank;
+
+    /// Standalone Bruck over a world of `m` ranks, for executor testing.
+    struct BruckWorld {
+        m: usize,
+        s: Bytes,
+    }
+
+    impl ScheduleSource for BruckWorld {
+        fn nranks(&self) -> usize {
+            self.m
+        }
+        fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+            let (w, p, r) = bruck_buffer_sizes(self.m, self.s);
+            vec![self.m as Bytes * self.s, self.m as Bytes * self.s, w, p, r]
+        }
+        fn build_rank(&self, r: Rank) -> RankProgram {
+            let comm = CommView::new((0..self.m as Rank).collect());
+            let mut b = ProgBuilder::new(Phase(0));
+            build_bruck(
+                &mut b,
+                &comm,
+                r as usize,
+                Contig::new(a2a_sched::SBUF, 0, a2a_sched::RBUF, 0, self.s),
+                &BruckBufs {
+                    work: TMP0,
+                    pack: TMP1,
+                    recv: TMP2,
+                },
+                0,
+            );
+            b.finish()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            vec!["bruck"]
+        }
+    }
+
+    #[test]
+    fn bruck_transposes_various_sizes() {
+        // Powers of two and awkward non-powers, including 1 and primes.
+        for m in [1usize, 2, 3, 4, 5, 6, 7, 8, 12, 13, 16, 31] {
+            let src = BruckWorld { m, s: 8 };
+            a2a_sched::run_and_verify(&src, 8)
+                .unwrap_or_else(|e| panic!("bruck m={m} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn round_count_is_log2_ceil() {
+        let src = BruckWorld { m: 8, s: 4 };
+        let prog = src.build_rank(0);
+        let sends = prog
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, Op::Isend { .. }))
+            .count();
+        assert_eq!(sends, 3); // log2(8)
+        let src = BruckWorld { m: 9, s: 4 };
+        let sends9 = src
+            .build_rank(0)
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, Op::Isend { .. }))
+            .count();
+        assert_eq!(sends9, 4); // ceil(log2 9)
+    }
+
+    #[test]
+    fn per_round_volume_is_about_half() {
+        // Paper: Bruck sends ~ s*p/2 bytes per step.
+        let m = 16;
+        let s = 8;
+        let src = BruckWorld { m, s };
+        let prog = src.build_rank(3);
+        for t in &prog.ops {
+            if let Op::Isend { block, .. } = t.op {
+                assert_eq!(block.len, (m as Bytes / 2) * s);
+            }
+        }
+    }
+
+    #[test]
+    fn max_round_blocks_bounds() {
+        assert_eq!(max_round_blocks(1), 0);
+        assert_eq!(max_round_blocks(2), 1);
+        assert_eq!(max_round_blocks(8), 4);
+        for m in 2..64 {
+            assert!(max_round_blocks(m) <= m.div_ceil(2), "m={m}");
+        }
+    }
+
+    #[test]
+    fn buffer_sizes_consistent() {
+        let (w, p, r) = bruck_buffer_sizes(10, 4);
+        assert_eq!(w, 40);
+        assert_eq!(p, r);
+        assert_eq!(p, max_round_blocks(10) as Bytes * 4);
+    }
+}

@@ -1,0 +1,283 @@
+//! Broadcast algorithms: the root's payload ends up in every rank's
+//! receive buffer.
+//!
+//! * [`LinearBcast`] — root sends to everyone (the baseline worth beating).
+//! * [`BinomialBcast`] — classic `ceil(log2 n)`-round tree over the world.
+//! * [`HierarchicalBcast`] — the paper's locality recipe: binomial tree
+//!   among node leaders (one inter-node receive per node), then a binomial
+//!   tree within each node. Network messages drop from `O(n)` to
+//!   `O(nodes)`.
+
+use a2a_sched::{Block, Bytes, Phase, ProgBuilder, RankProgram, ScheduleSource, RBUF, SBUF};
+use a2a_topo::{CommView, Rank};
+
+use crate::{tags, A2AContext};
+
+/// A broadcast algorithm: rank `root`'s `SBUF` holds `payload` bytes; after
+/// the collective every rank's `RBUF` holds them. `ctx.block_bytes` is the
+/// payload size.
+pub trait BcastAlgorithm: Send + Sync {
+    fn name(&self) -> String;
+    fn phase_names(&self) -> Vec<&'static str>;
+    fn buffers(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> Vec<Bytes>;
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> RankProgram;
+}
+
+/// Adapter to `ScheduleSource`.
+pub struct BcastSchedule<'a> {
+    algo: &'a dyn BcastAlgorithm,
+    ctx: A2AContext,
+    root: Rank,
+}
+
+impl<'a> BcastSchedule<'a> {
+    pub fn new(algo: &'a dyn BcastAlgorithm, ctx: A2AContext, root: Rank) -> Self {
+        assert!((root as usize) < ctx.n(), "root out of range");
+        BcastSchedule { algo, ctx, root }
+    }
+}
+
+impl ScheduleSource for BcastSchedule<'_> {
+    fn nranks(&self) -> usize {
+        self.ctx.n()
+    }
+    fn buffers(&self, rank: Rank) -> Vec<Bytes> {
+        self.algo.buffers(&self.ctx, rank, self.root)
+    }
+    fn build_rank(&self, rank: Rank) -> RankProgram {
+        self.algo.build_rank(&self.ctx, rank, self.root)
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        self.algo.phase_names()
+    }
+}
+
+fn bcast_buffers(ctx: &A2AContext, rank: Rank, root: Rank) -> Vec<Bytes> {
+    let len = ctx.block_bytes;
+    vec![if rank == root { len } else { 0 }, len]
+}
+
+/// Emit a binomial broadcast over `comm` rooted at comm index `root_idx`,
+/// payload living in `data` (each rank's own `RBUF` window). The root must
+/// already hold the payload in `data` before these ops run.
+pub(crate) fn build_binomial_bcast(
+    b: &mut ProgBuilder,
+    comm: &CommView,
+    me: usize,
+    root_idx: usize,
+    data: Block,
+    tag: u32,
+) {
+    let m = comm.size();
+    if m == 1 {
+        return;
+    }
+    let vr = (me + m - root_idx) % m;
+    // Receive from the parent (clear the highest set bit of vr).
+    let mut mask = 1usize;
+    while mask < m {
+        if vr & mask != 0 {
+            let parent = (vr - mask + root_idx) % m;
+            b.recv(comm.world(parent), data, tag);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children, largest stride first.
+    mask >>= 1;
+    while mask > 0 {
+        if vr + mask < m {
+            let child = (vr + mask + root_idx) % m;
+            b.send(comm.world(child), data, tag);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Root sends the payload to every rank directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearBcast;
+
+impl BcastAlgorithm for LinearBcast {
+    fn name(&self) -> String {
+        "bcast-linear".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["bcast"]
+    }
+    fn buffers(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> Vec<Bytes> {
+        bcast_buffers(ctx, rank, root)
+    }
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> RankProgram {
+        let len = ctx.block_bytes;
+        let mut b = ProgBuilder::new(Phase(0));
+        let data = Block::new(RBUF, 0, len);
+        if rank == root {
+            b.copy(Block::new(SBUF, 0, len), data);
+            let first = b.req_mark();
+            for r in 0..ctx.n() as Rank {
+                if r != root {
+                    b.isend(r, data, tags::DIRECT);
+                }
+            }
+            b.waitall(first, ctx.n() as u32 - 1);
+        } else {
+            b.recv(root, data, tags::DIRECT);
+        }
+        b.finish()
+    }
+}
+
+/// Binomial tree over the world communicator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinomialBcast;
+
+impl BcastAlgorithm for BinomialBcast {
+    fn name(&self) -> String {
+        "bcast-binomial".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["bcast"]
+    }
+    fn buffers(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> Vec<Bytes> {
+        bcast_buffers(ctx, rank, root)
+    }
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> RankProgram {
+        let len = ctx.block_bytes;
+        let mut b = ProgBuilder::new(Phase(0));
+        let data = Block::new(RBUF, 0, len);
+        if rank == root {
+            b.copy(Block::new(SBUF, 0, len), data);
+        }
+        build_binomial_bcast(
+            &mut b,
+            &ctx.grid.world_comm(),
+            rank as usize,
+            root as usize,
+            data,
+            tags::DIRECT,
+        );
+        b.finish()
+    }
+}
+
+/// Two-level broadcast: binomial among node leaders (rooted at the root's
+/// node), then binomial within each node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchicalBcast;
+
+impl BcastAlgorithm for HierarchicalBcast {
+    fn name(&self) -> String {
+        "bcast-hierarchical".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["inter-bcast", "intra-bcast"]
+    }
+    fn buffers(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> Vec<Bytes> {
+        bcast_buffers(ctx, rank, root)
+    }
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank, root: Rank) -> RankProgram {
+        let grid = &ctx.grid;
+        let len = ctx.block_bytes;
+        let ppn = grid.machine().ppn();
+        let data = Block::new(RBUF, 0, len);
+        let mut b = ProgBuilder::new(Phase(0));
+
+        // Per-node "leader" for this broadcast: the root on its own node,
+        // the first rank elsewhere (so the root never relays to itself).
+        let my_node = grid.node_of(rank);
+        let root_node = grid.node_of(root);
+        let node_leader = |node: usize| -> Rank {
+            if node == root_node {
+                root
+            } else {
+                (node * ppn) as Rank
+            }
+        };
+        let leaders = CommView::new({
+            let mut v: Vec<Rank> = (0..grid.machine().nodes).map(node_leader).collect();
+            v.sort_unstable();
+            v
+        });
+
+        if rank == root {
+            b.copy(Block::new(SBUF, 0, len), data);
+        }
+        if rank == node_leader(my_node) {
+            let me = leaders.local_of(rank).expect("leader in comm");
+            let root_idx = leaders.local_of(root).expect("root leads its node");
+            build_binomial_bcast(&mut b, &leaders, me, root_idx, data, tags::INTER);
+        }
+
+        // Intra-node stage, rooted at the node leader.
+        b.set_phase(Phase(1));
+        let node = grid.node_comm(rank);
+        let me = node.local_of(rank).expect("rank in node comm");
+        let root_idx = node
+            .local_of(node_leader(my_node))
+            .expect("leader in node comm");
+        build_binomial_bcast(&mut b, &node, me, root_idx, data, tags::INTRA);
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_sched::{run_and_verify_bcast, validate};
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn ctx(nodes: usize, len: Bytes) -> A2AContext {
+        A2AContext::new(ProcGrid::new(Machine::custom("t", nodes, 2, 1, 3)), len)
+    }
+
+    fn verify(algo: &dyn BcastAlgorithm, c: A2AContext, root: Rank) {
+        let len = c.block_bytes;
+        let sched = BcastSchedule::new(algo, c, root);
+        run_and_verify_bcast(&sched, root, len)
+            .unwrap_or_else(|e| panic!("{} root={root}: {e}", algo.name()));
+    }
+
+    #[test]
+    fn all_bcasts_correct_from_any_root() {
+        for nodes in [1usize, 2, 3] {
+            let c = ctx(nodes, 64);
+            let n = c.n() as Rank;
+            for root in [0, n / 2, n - 1] {
+                verify(&LinearBcast, c.clone(), root);
+                verify(&BinomialBcast, c.clone(), root);
+                verify(&HierarchicalBcast, c.clone(), root);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_root_sends_log_messages() {
+        let c = ctx(3, 16); // 18 ranks
+        let prog = BinomialBcast.build_rank(&c, 0, 0);
+        assert_eq!(prog.send_count(), 5); // ceil(log2 18)
+        let linear = LinearBcast.build_rank(&c, 0, 0);
+        assert_eq!(linear.send_count(), 17);
+    }
+
+    #[test]
+    fn hierarchical_minimizes_internode_messages() {
+        let c = ctx(4, 32);
+        let grid = c.grid.clone();
+        let h = HierarchicalBcast;
+        let sched = BcastSchedule::new(&h, c.clone(), 0);
+        let st = validate(&sched, &grid).unwrap();
+        // Exactly nodes-1 network messages (the leader tree edges).
+        assert_eq!(st.inter_node_msgs(), 3);
+        let flat = BcastSchedule::new(&BinomialBcast, c, 0);
+        let st_flat = validate(&flat, &grid).unwrap();
+        assert!(st.inter_node_msgs() <= st_flat.inter_node_msgs());
+    }
+
+    #[test]
+    fn nonleader_root_works_hierarchically() {
+        // Root in the middle of a node: it must act as that node's leader.
+        let c = ctx(3, 16);
+        verify(&HierarchicalBcast, c, 7);
+    }
+}

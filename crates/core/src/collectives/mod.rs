@@ -1,0 +1,19 @@
+//! Locality-aware extensions to further collectives — the paper's §5
+//! future work: *"We plan to extend this work by applying this approach on
+//! both other HPC critical collectives (all-gather, broadcast, etc.)"*.
+//!
+//! These reuse the same schedule IR, communicator algebra, and executors
+//! as the all-to-all family, so every algorithm here runs on the data
+//! executor (correctness), the simulator (cost), and the threaded runtime.
+//!
+//! Scope note: data-movement collectives only. Reductions (allreduce,
+//! reduce-scatter) need a compute operation in the IR and are documented
+//! as out of scope in DESIGN.md.
+
+pub mod allgather;
+pub mod bcast;
+
+pub use allgather::{
+    AllgatherAlgorithm, AllgatherSchedule, BruckAllgather, LocalityAwareAllgather, RingAllgather,
+};
+pub use bcast::{BcastAlgorithm, BcastSchedule, BinomialBcast, HierarchicalBcast, LinearBcast};

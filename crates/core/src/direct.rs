@@ -1,0 +1,195 @@
+//! Flat (topology-oblivious) all-to-all algorithms over the world
+//! communicator: the paper's §2 baselines.
+
+use a2a_sched::{Bytes, Phase, ProgBuilder, RankProgram, SBUF, RBUF, TMP0, TMP1, TMP2};
+use a2a_topo::Rank;
+
+use crate::bruck::{bruck_buffer_sizes, BruckBufs};
+use crate::exchange::{build_exchange, Contig, ExchangeKind};
+use crate::{tags, A2AContext, AlltoallAlgorithm};
+
+fn direct_build(kind: ExchangeKind, ctx: &A2AContext, rank: Rank) -> RankProgram {
+    let comm = ctx.grid.world_comm();
+    let mut b = ProgBuilder::new(Phase(0));
+    let x = Contig::new(SBUF, 0, RBUF, 0, ctx.block_bytes);
+    let bruck = BruckBufs {
+        work: TMP0,
+        pack: TMP1,
+        recv: TMP2,
+    };
+    build_exchange(kind, &mut b, &comm, rank as usize, x, tags::DIRECT, Some(&bruck));
+    b.finish()
+}
+
+fn direct_buffers(kind: ExchangeKind, ctx: &A2AContext) -> Vec<Bytes> {
+    let total = ctx.total_bytes();
+    match kind {
+        ExchangeKind::Bruck => {
+            let (w, p, r) = bruck_buffer_sizes(ctx.n(), ctx.block_bytes);
+            vec![total, total, w, p, r]
+        }
+        _ => vec![total, total],
+    }
+}
+
+/// Paper Algorithm 1: `p-1` blocking pairwise sendrecv steps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairwiseAlltoall;
+
+impl AlltoallAlgorithm for PairwiseAlltoall {
+    fn name(&self) -> String {
+        "pairwise".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["exchange"]
+    }
+    fn buffers(&self, ctx: &A2AContext, _rank: Rank) -> Vec<Bytes> {
+        direct_buffers(ExchangeKind::Pairwise, ctx)
+    }
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        direct_build(ExchangeKind::Pairwise, ctx, rank)
+    }
+}
+
+/// Paper Algorithm 2: all sends/recvs posted non-blocking, one waitall.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonblockingAlltoall;
+
+impl AlltoallAlgorithm for NonblockingAlltoall {
+    fn name(&self) -> String {
+        "nonblocking".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["exchange"]
+    }
+    fn buffers(&self, ctx: &A2AContext, _rank: Rank) -> Vec<Bytes> {
+        direct_buffers(ExchangeKind::Nonblocking, ctx)
+    }
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        direct_build(ExchangeKind::Nonblocking, ctx, rank)
+    }
+}
+
+/// Batched all-to-all (related work [16]): non-blocking exchange in bounded
+/// batches, trading pairwise's synchronization for bounded queue pressure.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedAlltoall {
+    pub batch: usize,
+}
+
+impl BatchedAlltoall {
+    pub fn new(batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be nonzero");
+        BatchedAlltoall { batch }
+    }
+}
+
+impl AlltoallAlgorithm for BatchedAlltoall {
+    fn name(&self) -> String {
+        format!("batched(b={})", self.batch)
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["exchange"]
+    }
+    fn buffers(&self, ctx: &A2AContext, _rank: Rank) -> Vec<Bytes> {
+        direct_buffers(ExchangeKind::Batched { batch: self.batch }, ctx)
+    }
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        direct_build(ExchangeKind::Batched { batch: self.batch }, ctx, rank)
+    }
+}
+
+/// Bruck's log-step all-to-all over the world communicator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruckAlltoall;
+
+impl AlltoallAlgorithm for BruckAlltoall {
+    fn name(&self) -> String {
+        "bruck".into()
+    }
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["exchange"]
+    }
+    fn buffers(&self, ctx: &A2AContext, _rank: Rank) -> Vec<Bytes> {
+        direct_buffers(ExchangeKind::Bruck, ctx)
+    }
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        direct_build(ExchangeKind::Bruck, ctx, rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgoSchedule;
+    use a2a_sched::{run_and_verify, validate};
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn ctx(nodes: usize, s: Bytes) -> A2AContext {
+        A2AContext::new(ProcGrid::new(Machine::custom("t", nodes, 2, 1, 3)), s)
+    }
+
+    fn algos() -> Vec<Box<dyn AlltoallAlgorithm>> {
+        vec![
+            Box::new(PairwiseAlltoall),
+            Box::new(NonblockingAlltoall),
+            Box::new(BatchedAlltoall::new(4)),
+            Box::new(BruckAlltoall),
+        ]
+    }
+
+    #[test]
+    fn all_flat_algorithms_transpose() {
+        for algo in algos() {
+            for nodes in [1usize, 2, 3] {
+                let c = ctx(nodes, 8);
+                let sched = AlgoSchedule::new(algo.as_ref(), c);
+                run_and_verify(&sched, 8)
+                    .unwrap_or_else(|e| panic!("{} nodes={nodes}: {e}", algo.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn all_flat_algorithms_validate() {
+        for algo in algos() {
+            let c = ctx(2, 16);
+            let grid = c.grid.clone();
+            let sched = AlgoSchedule::new(algo.as_ref(), c);
+            validate(&sched, &grid).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        }
+    }
+
+    #[test]
+    fn direct_algorithms_send_n_minus_1_messages_per_rank() {
+        let c = ctx(2, 8); // n = 12
+        for algo in [
+            Box::new(PairwiseAlltoall) as Box<dyn AlltoallAlgorithm>,
+            Box::new(NonblockingAlltoall),
+            Box::new(BatchedAlltoall::new(5)),
+        ] {
+            let prog = algo.build_rank(&c, 3);
+            assert_eq!(prog.send_count(), 11, "{}", algo.name());
+            assert_eq!(prog.send_bytes(), 11 * 8, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn bruck_sends_fewer_messages_but_more_bytes() {
+        let c = ctx(4, 8); // n = 24
+        let direct = PairwiseAlltoall.build_rank(&c, 0);
+        let bruck = BruckAlltoall.build_rank(&c, 0);
+        assert!(bruck.send_count() < direct.send_count());
+        assert!(bruck.send_bytes() > direct.send_bytes());
+        assert_eq!(bruck.send_count(), 5); // ceil(log2 24)
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let c = A2AContext::new(ProcGrid::new(Machine::custom("t", 1, 1, 1, 1)), 4);
+        for algo in algos() {
+            let sched = AlgoSchedule::new(algo.as_ref(), c.clone());
+            run_and_verify(&sched, 4).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        }
+    }
+}

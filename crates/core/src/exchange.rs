@@ -1,0 +1,265 @@
+//! Flat all-to-all exchange builders over contiguous equal-sized segments.
+//!
+//! Every all-to-all in the paper — the top-level flat algorithms *and* the
+//! inner exchanges of the composed algorithms — moves `m` equal blocks laid
+//! out contiguously by communicator rank: block `i` of the source region
+//! goes to comm rank `i`, and block `j` of the destination region receives
+//! from comm rank `j`. [`build_exchange`] emits the ops for one such
+//! exchange using the selected underlying pattern:
+//!
+//! * **Pairwise** (paper Algorithm 1): `m-1` steps; at step `i` exchange
+//!   with ranks `me±i` via a blocking sendrecv. One transfer in flight at a
+//!   time bounds contention but serializes steps.
+//! * **Non-blocking** (paper Algorithm 2): post all `2(m-1)` transfers then
+//!   wait once. Minimal synchronization, maximal queue pressure.
+//! * **Batched** (related work): non-blocking within fixed-size batches.
+//! * **Bruck**: `ceil(log2 m)` rounds of aggregated messages (see
+//!   [`crate::bruck`]).
+//!
+//! The self block (`i == me`) is always a local copy, exactly as MPI
+//! implementations shortcut it.
+
+use std::fmt;
+
+use a2a_sched::{Block, BufId, Bytes, ProgBuilder};
+use a2a_topo::CommView;
+use serde::{Deserialize, Serialize};
+
+use crate::bruck::{build_bruck, BruckBufs};
+
+/// Underlying data-exchange pattern for one all-to-all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExchangeKind {
+    /// Algorithm 1: blocking pairwise exchange.
+    Pairwise,
+    /// Algorithm 2: all transfers posted up front.
+    Nonblocking,
+    /// Non-blocking in batches of `batch` peers at a time.
+    Batched { batch: usize },
+    /// Bruck's log-step algorithm (requires scratch buffers).
+    Bruck,
+}
+
+impl fmt::Display for ExchangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeKind::Pairwise => write!(f, "pairwise"),
+            ExchangeKind::Nonblocking => write!(f, "nonblocking"),
+            ExchangeKind::Batched { batch } => write!(f, "batched{batch}"),
+            ExchangeKind::Bruck => write!(f, "bruck"),
+        }
+    }
+}
+
+/// A contiguous-segment exchange: comm rank `i`'s outgoing block sits at
+/// `sbuf[soff + i*block ..]`, and its incoming block from rank `j` lands at
+/// `rbuf[roff + j*block ..]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Contig {
+    pub sbuf: BufId,
+    pub soff: Bytes,
+    pub rbuf: BufId,
+    pub roff: Bytes,
+    /// Bytes per segment.
+    pub block: Bytes,
+}
+
+impl Contig {
+    pub fn new(sbuf: BufId, soff: Bytes, rbuf: BufId, roff: Bytes, block: Bytes) -> Self {
+        Contig {
+            sbuf,
+            soff,
+            rbuf,
+            roff,
+            block,
+        }
+    }
+
+    pub fn sblk(&self, i: usize) -> Block {
+        Block::new(self.sbuf, self.soff + i as Bytes * self.block, self.block)
+    }
+
+    pub fn rblk(&self, i: usize) -> Block {
+        Block::new(self.rbuf, self.roff + i as Bytes * self.block, self.block)
+    }
+}
+
+/// Emit one all-to-all exchange over `comm` into `b` (the program of the
+/// rank at comm index `me`), using pattern `kind`. `bruck` scratch buffers
+/// are required only for [`ExchangeKind::Bruck`].
+///
+/// Tags `tag .. tag+32` are reserved for this exchange.
+///
+/// # Panics
+/// Panics if `me` is out of range, or `kind` is Bruck without scratch
+/// buffers, or a batch size of zero is given.
+pub fn build_exchange(
+    kind: ExchangeKind,
+    b: &mut ProgBuilder,
+    comm: &CommView,
+    me: usize,
+    x: Contig,
+    tag: u32,
+    bruck: Option<&BruckBufs>,
+) {
+    let m = comm.size();
+    assert!(me < m, "comm index {me} out of range for size {m}");
+    // Self block first: every pattern shortcuts it to a memcpy.
+    if !matches!(kind, ExchangeKind::Bruck) {
+        b.copy(x.sblk(me), x.rblk(me));
+    }
+    if m == 1 {
+        if matches!(kind, ExchangeKind::Bruck) {
+            b.copy(x.sblk(0), x.rblk(0));
+        }
+        return;
+    }
+    match kind {
+        ExchangeKind::Pairwise => {
+            for i in 1..m {
+                let sp = (me + i) % m;
+                let rp = (me + m - i) % m;
+                b.sendrecv(comm.world(sp), x.sblk(sp), tag, comm.world(rp), x.rblk(rp), tag);
+            }
+        }
+        ExchangeKind::Nonblocking => {
+            let first = b.req_mark();
+            for i in 1..m {
+                let sp = (me + i) % m;
+                b.isend(comm.world(sp), x.sblk(sp), tag);
+                let rp = (me + m - i) % m;
+                b.irecv(comm.world(rp), x.rblk(rp), tag);
+            }
+            b.waitall(first, 2 * (m as u32 - 1));
+        }
+        ExchangeKind::Batched { batch } => {
+            assert!(batch > 0, "batch size must be nonzero");
+            let mut i = 1;
+            while i < m {
+                let hi = (i + batch).min(m);
+                let first = b.req_mark();
+                for j in i..hi {
+                    let sp = (me + j) % m;
+                    b.isend(comm.world(sp), x.sblk(sp), tag);
+                    let rp = (me + m - j) % m;
+                    b.irecv(comm.world(rp), x.rblk(rp), tag);
+                }
+                b.waitall(first, 2 * (hi - i) as u32);
+                i = hi;
+            }
+        }
+        ExchangeKind::Bruck => {
+            let bufs = bruck.expect("Bruck exchange requires scratch buffers");
+            build_bruck(b, comm, me, x, bufs, tag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_sched::{Op, Phase};
+
+    fn comm(m: usize) -> CommView {
+        CommView::new((0..m as u32).collect())
+    }
+
+    fn x(block: Bytes) -> Contig {
+        Contig::new(a2a_sched::SBUF, 0, a2a_sched::RBUF, 0, block)
+    }
+
+    fn count_ops(kind: ExchangeKind, m: usize) -> (usize, usize, usize) {
+        let mut b = ProgBuilder::new(Phase(0));
+        build_exchange(kind, &mut b, &comm(m), 0, x(8), 0, None);
+        let prog = b.finish();
+        let sends = prog
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, Op::Isend { .. }))
+            .count();
+        let waits = prog
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, Op::WaitAll { .. }))
+            .count();
+        (sends, waits, prog.ops.len())
+    }
+
+    #[test]
+    fn pairwise_step_structure() {
+        let (sends, waits, _) = count_ops(ExchangeKind::Pairwise, 8);
+        assert_eq!(sends, 7);
+        assert_eq!(waits, 7); // one joint wait per step
+    }
+
+    #[test]
+    fn nonblocking_single_wait() {
+        let (sends, waits, _) = count_ops(ExchangeKind::Nonblocking, 8);
+        assert_eq!(sends, 7);
+        assert_eq!(waits, 1);
+    }
+
+    #[test]
+    fn batched_wait_count() {
+        let (sends, waits, _) = count_ops(ExchangeKind::Batched { batch: 3 }, 8);
+        assert_eq!(sends, 7);
+        assert_eq!(waits, 3); // ceil(7/3)
+    }
+
+    #[test]
+    fn batch_larger_than_comm_degenerates_to_nonblocking() {
+        assert_eq!(
+            count_ops(ExchangeKind::Batched { batch: 100 }, 8),
+            count_ops(ExchangeKind::Nonblocking, 8)
+        );
+    }
+
+    #[test]
+    fn single_rank_comm_is_pure_copy() {
+        for kind in [
+            ExchangeKind::Pairwise,
+            ExchangeKind::Nonblocking,
+            ExchangeKind::Batched { batch: 4 },
+        ] {
+            let mut b = ProgBuilder::new(Phase(0));
+            build_exchange(kind, &mut b, &comm(1), 0, x(8), 0, None);
+            let prog = b.finish();
+            assert_eq!(prog.ops.len(), 1, "{kind}");
+            assert!(matches!(prog.ops[0].op, Op::Copy { .. }));
+        }
+    }
+
+    #[test]
+    fn pairwise_peers_are_symmetric() {
+        // In every step, if rank a sends to rank b then b receives from a.
+        let m = 5;
+        for step in 1..m {
+            for me in 0..m {
+                let sp = (me + step) % m;
+                let their_rp = (sp + m - step) % m;
+                assert_eq!(their_rp, me);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let mut b = ProgBuilder::new(Phase(0));
+        build_exchange(ExchangeKind::Pairwise, &mut b, &comm(2), 5, x(8), 0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch buffers")]
+    fn bruck_without_buffers_panics() {
+        let mut b = ProgBuilder::new(Phase(0));
+        build_exchange(ExchangeKind::Bruck, &mut b, &comm(4), 0, x(8), 0, None);
+    }
+
+    #[test]
+    fn contig_block_math() {
+        let c = Contig::new(a2a_sched::SBUF, 100, a2a_sched::RBUF, 200, 16);
+        assert_eq!(c.sblk(3), Block::new(a2a_sched::SBUF, 148, 16));
+        assert_eq!(c.rblk(0), Block::new(a2a_sched::RBUF, 200, 16));
+    }
+}

@@ -1,0 +1,388 @@
+//! Gather and scatter builders (the intra-node steps of Algorithms 3 and 5).
+//!
+//! Root is always comm index 0 — in this suite leaders are the lowest rank
+//! of their subset, which is comm index 0 of every `subset_comm`.
+//!
+//! Two flavors, matching what MPI libraries switch between:
+//! * **Linear**: the root posts one receive per member (members send
+//!   directly). Minimal total traffic; the root is the serialization point.
+//! * **Binomial**: a `ceil(log2 m)`-round tree; members relay aggregated
+//!   subtrees. Fewer rounds of latency for small chunks at the price of
+//!   forwarding volume (each byte may cross the node several times).
+
+use a2a_sched::{Block, BufId, Bytes, ProgBuilder};
+use a2a_topo::CommView;
+use serde::{Deserialize, Serialize};
+
+/// Gather/scatter flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatherKind {
+    Linear,
+    Binomial,
+}
+
+impl std::fmt::Display for GatherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatherKind::Linear => write!(f, "linear"),
+            GatherKind::Binomial => write!(f, "binomial"),
+        }
+    }
+}
+
+/// Number of chunks in member `i`'s binomial subtree (the contiguous index
+/// range `[i, i + span)` it aggregates/forwards). Root spans everything.
+pub fn subtree_span(i: usize, m: usize) -> usize {
+    if i == 0 {
+        return m;
+    }
+    let low = 1usize << i.trailing_zeros();
+    (i + low).min(m) - i
+}
+
+/// Relay-buffer chunks member `i` needs for a binomial gather/scatter
+/// (0 for the root, which stages directly in its gather buffer, and 0 for
+/// any member under the linear flavor).
+pub fn relay_chunks(kind: GatherKind, i: usize, m: usize) -> usize {
+    match kind {
+        GatherKind::Linear => 0,
+        GatherKind::Binomial if i == 0 => 0,
+        GatherKind::Binomial => subtree_span(i, m),
+    }
+}
+
+/// Child comm indices of `i` in the binomial tree, in receive-round order.
+fn children(i: usize, m: usize) -> Vec<usize> {
+    let k_max = if i == 0 {
+        usize::BITS
+    } else {
+        i.trailing_zeros()
+    };
+    let mut out = Vec::new();
+    for j in 0..k_max {
+        let c = i + (1usize << j);
+        if c >= m {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Parent of `i` (valid for `i > 0`).
+fn parent(i: usize) -> usize {
+    i - (1usize << i.trailing_zeros())
+}
+
+/// Emit a gather-to-root over `comm` into `b` (program of comm index `me`).
+///
+/// * `src` — this member's contribution (`chunk` bytes, anywhere).
+/// * `dst` — root's destination region base; member `i`'s chunk lands at
+///   `dst.1 + i*chunk`. Only read when `me == 0`.
+/// * `relay` — member scratch for the binomial flavor
+///   ([`relay_chunks`] chunks).
+pub fn build_gather(
+    kind: GatherKind,
+    b: &mut ProgBuilder,
+    comm: &CommView,
+    me: usize,
+    src: Block,
+    dst: (BufId, Bytes),
+    relay: BufId,
+    chunk: Bytes,
+    tag: u32,
+) {
+    let m = comm.size();
+    assert!(me < m, "comm index out of range");
+    assert_eq!(src.len, chunk, "source block must be one chunk");
+    let dst_at = |i: usize| Block::new(dst.0, dst.1 + i as Bytes * chunk, chunk);
+
+    match kind {
+        GatherKind::Linear => {
+            if me == 0 {
+                b.copy(src, dst_at(0));
+                let first = b.req_mark();
+                for i in 1..m {
+                    b.irecv(comm.world(i), dst_at(i), tag);
+                }
+                b.waitall(first, m as u32 - 1);
+            } else {
+                b.send(comm.world(0), src, tag);
+            }
+        }
+        GatherKind::Binomial => {
+            if me == 0 {
+                b.copy(src, dst_at(0));
+                for c in children(0, m) {
+                    let span = subtree_span(c, m) as Bytes;
+                    b.recv(
+                        comm.world(c),
+                        Block::new(dst.0, dst.1 + c as Bytes * chunk, span * chunk),
+                        tag,
+                    );
+                }
+            } else {
+                let span = subtree_span(me, m) as Bytes;
+                let kids = children(me, m);
+                if kids.is_empty() {
+                    // Leaf: forward own chunk directly, no staging needed.
+                    b.send(comm.world(parent(me)), src, tag);
+                } else {
+                    b.copy(src, Block::new(relay, 0, chunk));
+                    for c in kids {
+                        let cspan = subtree_span(c, m) as Bytes;
+                        b.recv(
+                            comm.world(c),
+                            Block::new(relay, (c - me) as Bytes * chunk, cspan * chunk),
+                            tag,
+                        );
+                    }
+                    b.send(comm.world(parent(me)), Block::new(relay, 0, span * chunk), tag);
+                }
+            }
+        }
+    }
+}
+
+/// Emit a scatter-from-root over `comm` (mirror of [`build_gather`]).
+///
+/// * `src` — root's staged region base; member `i`'s chunk sits at
+///   `src.1 + i*chunk`. Only read when `me == 0`.
+/// * `dst` — where this member's chunk must land (`chunk` bytes).
+pub fn build_scatter(
+    kind: GatherKind,
+    b: &mut ProgBuilder,
+    comm: &CommView,
+    me: usize,
+    src: (BufId, Bytes),
+    dst: Block,
+    relay: BufId,
+    chunk: Bytes,
+    tag: u32,
+) {
+    let m = comm.size();
+    assert!(me < m, "comm index out of range");
+    assert_eq!(dst.len, chunk, "destination block must be one chunk");
+    let src_at = |i: usize| Block::new(src.0, src.1 + i as Bytes * chunk, chunk);
+
+    match kind {
+        GatherKind::Linear => {
+            if me == 0 {
+                b.copy(src_at(0), dst);
+                let first = b.req_mark();
+                for i in 1..m {
+                    b.isend(comm.world(i), src_at(i), tag);
+                }
+                b.waitall(first, m as u32 - 1);
+            } else {
+                b.recv(comm.world(0), dst, tag);
+            }
+        }
+        GatherKind::Binomial => {
+            if me == 0 {
+                // Send larger subtrees first (conventional; also lets far
+                // subtrees start forwarding earliest).
+                for c in children(0, m).into_iter().rev() {
+                    let span = subtree_span(c, m) as Bytes;
+                    b.send(
+                        comm.world(c),
+                        Block::new(src.0, src.1 + c as Bytes * chunk, span * chunk),
+                        tag,
+                    );
+                }
+                b.copy(src_at(0), dst);
+            } else {
+                let span = subtree_span(me, m) as Bytes;
+                let kids = children(me, m);
+                if kids.is_empty() {
+                    b.recv(comm.world(parent(me)), dst, tag);
+                } else {
+                    b.recv(
+                        comm.world(parent(me)),
+                        Block::new(relay, 0, span * chunk),
+                        tag,
+                    );
+                    for c in kids.into_iter().rev() {
+                        let cspan = subtree_span(c, m) as Bytes;
+                        b.send(
+                            comm.world(c),
+                            Block::new(relay, (c - me) as Bytes * chunk, cspan * chunk),
+                            tag,
+                        );
+                    }
+                    b.copy(Block::new(relay, 0, chunk), dst);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_sched::{DataExecutor, Phase, RankProgram, ScheduleSource, RBUF, SBUF, TMP0};
+    use a2a_topo::Rank;
+
+    /// Gather world: every rank's chunk ends up ordered at root's RBUF; then
+    /// (optionally) scattered back into every rank's RBUF tail.
+    struct GatherWorld {
+        m: usize,
+        chunk: Bytes,
+        kind: GatherKind,
+        and_scatter: bool,
+    }
+
+    impl ScheduleSource for GatherWorld {
+        fn nranks(&self) -> usize {
+            self.m
+        }
+        fn buffers(&self, r: Rank) -> Vec<Bytes> {
+            let total = self.m as Bytes * self.chunk;
+            let relay = relay_chunks(self.kind, r as usize, self.m) as Bytes * self.chunk;
+            // RBUF: root stages the gathered array; everyone reserves one
+            // chunk at the front for the scattered-back data.
+            vec![self.chunk, total.max(self.chunk), relay.max(1)]
+        }
+        fn build_rank(&self, r: Rank) -> RankProgram {
+            let comm = CommView::new((0..self.m as Rank).collect());
+            let mut b = ProgBuilder::new(Phase(0));
+            build_gather(
+                self.kind,
+                &mut b,
+                &comm,
+                r as usize,
+                Block::new(SBUF, 0, self.chunk),
+                (RBUF, 0),
+                TMP0,
+                self.chunk,
+                1,
+            );
+            if self.and_scatter {
+                // Scatter the gathered array straight back.
+                build_scatter(
+                    self.kind,
+                    &mut b,
+                    &comm,
+                    r as usize,
+                    (RBUF, 0),
+                    Block::new(RBUF, 0, self.chunk),
+                    TMP0,
+                    self.chunk,
+                    2,
+                );
+            }
+            b.finish()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            vec!["gather"]
+        }
+    }
+
+    fn fill(r: Rank, buf: &mut [u8]) {
+        buf.fill(r as u8 + 1);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        for kind in [GatherKind::Linear, GatherKind::Binomial] {
+            for m in [1usize, 2, 3, 5, 8, 13, 16] {
+                let w = GatherWorld {
+                    m,
+                    chunk: 4,
+                    kind,
+                    and_scatter: false,
+                };
+                let res = DataExecutor::run(&w, fill)
+                    .unwrap_or_else(|e| panic!("{kind} m={m}: {e}"));
+                let root = &res.rbufs[0];
+                for i in 0..m {
+                    assert_eq!(
+                        &root[i * 4..(i + 1) * 4],
+                        &[i as u8 + 1; 4],
+                        "{kind} m={m} chunk {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_returns_each_chunk_home() {
+        for kind in [GatherKind::Linear, GatherKind::Binomial] {
+            for m in [1usize, 2, 3, 5, 8, 13, 16] {
+                let w = GatherWorld {
+                    m,
+                    chunk: 4,
+                    kind,
+                    and_scatter: true,
+                };
+                let res = DataExecutor::run(&w, fill)
+                    .unwrap_or_else(|e| panic!("{kind} m={m}: {e}"));
+                for (r, rb) in res.rbufs.iter().enumerate() {
+                    assert_eq!(&rb[..4], &[r as u8 + 1; 4], "{kind} m={m} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_message_count_is_m_minus_1_total() {
+        // The tree moves exactly m-1 messages in gather, regardless of shape.
+        for m in [2usize, 3, 7, 8, 12] {
+            let w = GatherWorld {
+                m,
+                chunk: 4,
+                kind: GatherKind::Binomial,
+                and_scatter: false,
+            };
+            let res = DataExecutor::run(&w, fill).unwrap();
+            assert_eq!(res.messages, m - 1, "m={m}");
+        }
+    }
+
+    #[test]
+    fn binomial_root_receives_only_log_messages() {
+        let w = GatherWorld {
+            m: 16,
+            chunk: 4,
+            kind: GatherKind::Binomial,
+            and_scatter: false,
+        };
+        let prog = w.build_rank(0);
+        let recvs = prog
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, a2a_sched::Op::Irecv { .. }))
+            .count();
+        assert_eq!(recvs, 4); // log2(16)
+    }
+
+    #[test]
+    fn subtree_span_properties() {
+        assert_eq!(subtree_span(0, 16), 16);
+        assert_eq!(subtree_span(8, 16), 8);
+        assert_eq!(subtree_span(8, 12), 4); // clipped by m
+        assert_eq!(subtree_span(5, 16), 1); // odd index is a leaf
+        assert_eq!(subtree_span(6, 16), 2);
+        // Children partition [i+1, i+span).
+        for m in [5usize, 8, 11, 16] {
+            for i in 0..m {
+                let mut covered: Vec<usize> = Vec::new();
+                for c in children(i, m) {
+                    covered.extend(c..c + subtree_span(c, m));
+                }
+                covered.sort_unstable();
+                let span = subtree_span(i, m);
+                let expect: Vec<usize> = (i + 1..i + span).collect();
+                assert_eq!(covered, expect, "i={i} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn relay_chunks_zero_for_linear_and_root() {
+        assert_eq!(relay_chunks(GatherKind::Linear, 3, 8), 0);
+        assert_eq!(relay_chunks(GatherKind::Binomial, 0, 8), 0);
+        assert_eq!(relay_chunks(GatherKind::Binomial, 4, 8), 4);
+    }
+}

@@ -1,0 +1,320 @@
+//! Paper Algorithm 3: hierarchical / multi-leader all-to-all.
+//!
+//! Each node is partitioned into subsets of `ppl` consecutive ranks; the
+//! first rank of each subset is its *leader*. Stages:
+//!
+//! 1. **Gather** — members send their entire send buffer (`n*s` bytes) to
+//!    their leader.
+//! 2. **Pack** — the leader reorders the gathered data by destination
+//!    leader: the segment for leader `m'` holds, member-major, the `ppl`
+//!    blocks destined to each of `m'`'s members (`ppl^2 * s` bytes).
+//! 3. **Inter all-to-all** — all `nodes * ppn/ppl` leaders exchange their
+//!    segments with the configured underlying pattern.
+//! 4. **Unpack** — the leader reorders received segments into per-member
+//!    receive images ordered by source world rank.
+//! 5. **Scatter** — each member receives its `n*s`-byte result.
+//!
+//! `ppl = ppn` is the classic hierarchical algorithm (one leader per node);
+//! smaller `ppl` is the multi-leader extension. With `ppl = 1` every rank
+//! leads and the algorithm degenerates to a flat exchange.
+
+use a2a_sched::{Block, BufId, Bytes, Phase, ProgBuilder, RankProgram, RBUF, SBUF};
+use a2a_topo::Rank;
+
+use crate::bruck::{bruck_buffer_sizes, BruckBufs};
+use crate::exchange::{build_exchange, Contig, ExchangeKind};
+use crate::gather::{build_gather, build_scatter, relay_chunks, GatherKind};
+use crate::{tags, A2AContext, AlltoallAlgorithm};
+
+const G: BufId = BufId(2); // gathered member buffers, member-major
+const P: BufId = BufId(3); // packed by destination leader
+const Q: BufId = BufId(4); // received segments, source-leader-major
+const S: BufId = BufId(5); // per-member receive images
+const RELAY: BufId = BufId(6); // binomial gather/scatter relay
+const BK_WORK: BufId = BufId(7);
+const BK_PACK: BufId = BufId(8);
+const BK_RECV: BufId = BufId(9);
+
+const PH_GATHER: Phase = Phase(0);
+const PH_PACK: Phase = Phase(1);
+const PH_INTER: Phase = Phase(2);
+const PH_SCATTER: Phase = Phase(3);
+
+/// Hierarchical (1 leader/node) and multi-leader (ppn/ppl leaders/node)
+/// all-to-all.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalAlltoall {
+    /// Processes per leader (subset size). `ppl == ppn` means one leader
+    /// per node.
+    pub ppl: usize,
+    /// Underlying pattern for the inter-leader all-to-all.
+    pub inner: ExchangeKind,
+    /// Gather/scatter flavor.
+    pub gather: GatherKind,
+}
+
+impl HierarchicalAlltoall {
+    pub fn new(ppl: usize, inner: ExchangeKind) -> Self {
+        assert!(ppl > 0, "ppl must be nonzero");
+        HierarchicalAlltoall {
+            ppl,
+            inner,
+            gather: GatherKind::Linear,
+        }
+    }
+
+    pub fn with_gather(mut self, gather: GatherKind) -> Self {
+        self.gather = gather;
+        self
+    }
+
+    fn is_leader(&self, ctx: &A2AContext, rank: Rank) -> bool {
+        ctx.grid.subset_offset(rank, self.ppl) == 0
+    }
+}
+
+impl AlltoallAlgorithm for HierarchicalAlltoall {
+    fn name(&self) -> String {
+        format!("hier(ppl={},{},{})", self.ppl, self.inner, self.gather)
+    }
+
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["gather", "pack", "inter-a2a", "scatter"]
+    }
+
+    fn buffers(&self, ctx: &A2AContext, rank: Rank) -> Vec<Bytes> {
+        let g = self.ppl as Bytes;
+        let s = ctx.block_bytes;
+        let total = ctx.total_bytes(); // n*s
+        let mut bufs = vec![total, total, 0, 0, 0, 0, 0, 0, 0, 0];
+        let grid = &ctx.grid;
+        let o = grid.subset_offset(rank, self.ppl);
+        // Gather/scatter relay for internal binomial-tree members.
+        bufs[RELAY.0 as usize] =
+            relay_chunks(self.gather, o, self.ppl) as Bytes * total;
+        if self.is_leader(ctx, rank) {
+            let leader_bytes = g * total; // ppl member images of n*s
+            bufs[G.0 as usize] = leader_bytes;
+            bufs[P.0 as usize] = leader_bytes;
+            bufs[Q.0 as usize] = leader_bytes;
+            bufs[S.0 as usize] = leader_bytes;
+            if matches!(self.inner, ExchangeKind::Bruck) {
+                let m = grid.region_count(self.ppl);
+                let (w, p, r) = bruck_buffer_sizes(m, g * g * s);
+                bufs[BK_WORK.0 as usize] = w;
+                bufs[BK_PACK.0 as usize] = p;
+                bufs[BK_RECV.0 as usize] = r;
+            }
+        }
+        bufs
+    }
+
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        let grid = &ctx.grid;
+        let ppn = grid.machine().ppn();
+        assert!(
+            self.ppl <= ppn && ppn % self.ppl == 0,
+            "ppl {} must divide ppn {ppn}",
+            self.ppl
+        );
+        let g = self.ppl;
+        let s = ctx.block_bytes;
+        let n = ctx.n() as Bytes;
+        let total = n * s;
+        let subset = grid.subset_comm(rank, g);
+        let o = grid.subset_offset(rank, g);
+        let mut b = ProgBuilder::new(PH_GATHER);
+
+        // 1. Gather member send buffers to the leader.
+        build_gather(
+            self.gather,
+            &mut b,
+            &subset,
+            o,
+            Block::new(SBUF, 0, total),
+            (G, 0),
+            RELAY,
+            total,
+            tags::GATHER,
+        );
+
+        if self.is_leader(ctx, rank) {
+            let leaders = grid.all_leaders_comm(g);
+            let me = leaders
+                .local_of(rank)
+                .expect("leader must be in leader comm");
+            let nl = leaders.size();
+            let seg = (g * g) as Bytes * s; // bytes per destination leader
+
+            // 2. Pack by destination leader, member-major within segments.
+            b.set_phase(PH_PACK);
+            for m2 in 0..nl {
+                let dst_base = grid.region_base(m2, g) as Bytes * s;
+                for o2 in 0..g as Bytes {
+                    b.copy(
+                        Block::new(G, o2 * total + dst_base, g as Bytes * s),
+                        Block::new(P, m2 as Bytes * seg + o2 * g as Bytes * s, g as Bytes * s),
+                    );
+                }
+            }
+
+            // 3. Inter-leader all-to-all.
+            b.set_phase(PH_INTER);
+            let bruck = BruckBufs {
+                work: BK_WORK,
+                pack: BK_PACK,
+                recv: BK_RECV,
+            };
+            build_exchange(
+                self.inner,
+                &mut b,
+                &leaders,
+                me,
+                Contig::new(P, 0, Q, 0, seg),
+                tags::INTER,
+                Some(&bruck),
+            );
+
+            // 4. Unpack into per-member receive images ordered by source
+            //    world rank.
+            b.set_phase(PH_PACK);
+            for om in 0..g as Bytes {
+                // destination member
+                for m2 in 0..nl {
+                    let src_base = grid.region_base(m2, g) as Bytes;
+                    for o2 in 0..g as Bytes {
+                        // source member within region m2
+                        b.copy(
+                            Block::new(Q, m2 as Bytes * seg + o2 * g as Bytes * s + om * s, s),
+                            Block::new(S, om * total + (src_base + o2) * s, s),
+                        );
+                    }
+                }
+            }
+
+            // 5. Scatter receive images back to members.
+            b.set_phase(PH_SCATTER);
+            build_scatter(
+                self.gather,
+                &mut b,
+                &subset,
+                0,
+                (S, 0),
+                Block::new(RBUF, 0, total),
+                RELAY,
+                total,
+                tags::SCATTER,
+            );
+        } else {
+            // Members only participate in gather and scatter.
+            b.set_phase(PH_SCATTER);
+            build_scatter(
+                self.gather,
+                &mut b,
+                &subset,
+                o,
+                (S, 0),
+                Block::new(RBUF, 0, total),
+                RELAY,
+                total,
+                tags::SCATTER,
+            );
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgoSchedule;
+    use a2a_sched::{run_and_verify, validate, ScheduleSource};
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn ctx(nodes: usize, ppn_shape: (usize, usize, usize), s: Bytes) -> A2AContext {
+        let (sk, nu, co) = ppn_shape;
+        A2AContext::new(ProcGrid::new(Machine::custom("t", nodes, sk, nu, co)), s)
+    }
+
+    #[test]
+    fn hierarchical_single_leader_transposes() {
+        // ppn = 6, ppl = 6 -> classic hierarchical.
+        let c = ctx(3, (2, 1, 3), 8);
+        let algo = HierarchicalAlltoall::new(6, ExchangeKind::Pairwise);
+        run_and_verify(&AlgoSchedule::new(&algo, c), 8).unwrap();
+    }
+
+    #[test]
+    fn multileader_all_group_sizes_transpose() {
+        for nodes in [2usize, 3] {
+            for ppl in [1usize, 2, 3, 6] {
+                for inner in [
+                    ExchangeKind::Pairwise,
+                    ExchangeKind::Nonblocking,
+                    ExchangeKind::Bruck,
+                ] {
+                    let c = ctx(nodes, (2, 1, 3), 4);
+                    let algo = HierarchicalAlltoall::new(ppl, inner);
+                    run_and_verify(&AlgoSchedule::new(&algo, c), 4).unwrap_or_else(|e| {
+                        panic!("nodes={nodes} ppl={ppl} inner={inner}: {e}")
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_gather_variant_transposes() {
+        let c = ctx(2, (2, 2, 2), 8); // ppn = 8
+        for ppl in [4usize, 8] {
+            let algo = HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise)
+                .with_gather(GatherKind::Binomial);
+            run_and_verify(&AlgoSchedule::new(&algo, c.clone()), 8)
+                .unwrap_or_else(|e| panic!("ppl={ppl}: {e}"));
+        }
+    }
+
+    #[test]
+    fn only_leaders_touch_the_network() {
+        let c = ctx(2, (2, 1, 3), 8); // ppn=6
+        let algo = HierarchicalAlltoall::new(3, ExchangeKind::Pairwise);
+        let grid = c.grid.clone();
+        let sched = AlgoSchedule::new(&algo, c);
+        let stats = validate(&sched, &grid).unwrap();
+        // 4 leaders total (2 per node); each sends to the 2 leaders on the
+        // other node: 4*2 = 8 inter-node messages.
+        assert_eq!(stats.inter_node_msgs(), 8);
+        // Members never send inter-node.
+        let member_prog = sched.build_rank(1);
+        assert_eq!(member_prog.send_count(), 1); // gather send only
+    }
+
+    #[test]
+    fn hierarchical_minimizes_internode_messages() {
+        // Classic hierarchical: exactly one leader pair exchange per node
+        // pair, in both directions.
+        let c = ctx(3, (2, 1, 3), 8);
+        let algo = HierarchicalAlltoall::new(6, ExchangeKind::Pairwise);
+        let grid = c.grid.clone();
+        let stats = validate(&AlgoSchedule::new(&algo, c), &grid).unwrap();
+        assert_eq!(stats.inter_node_msgs(), 3 * 2); // nodes*(nodes-1)
+    }
+
+    #[test]
+    fn leader_buffer_sizes() {
+        let c = ctx(2, (2, 1, 3), 8); // n=12, total=96
+        let algo = HierarchicalAlltoall::new(3, ExchangeKind::Pairwise);
+        let leader = algo.buffers(&c, 0);
+        assert_eq!(leader[0], 96);
+        assert_eq!(leader[G.0 as usize], 3 * 96);
+        let member = algo.buffers(&c, 1);
+        assert_eq!(member[G.0 as usize], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_ppl_panics() {
+        let c = ctx(2, (2, 1, 3), 8); // ppn=6
+        HierarchicalAlltoall::new(4, ExchangeKind::Pairwise).build_rank(&c, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! All-to-all collective algorithms for emerging many-core systems.
+//!
+//! This crate is the reproduction of the paper's contribution: a family of
+//! all-to-all algorithms that compile to communication schedules
+//! (`a2a-sched`), parameterized by the machine topology (`a2a-topo`).
+//!
+//! ## Flat exchanges (paper §2)
+//! * [`PairwiseAlltoall`] — Algorithm 1: `p-1` blocking sendrecv steps.
+//! * [`NonblockingAlltoall`] — Algorithm 2: post everything, one waitall.
+//! * [`BatchedAlltoall`] — related work [16]: non-blocking in bounded batches.
+//! * [`BruckAlltoall`] — log-step exchange for small messages.
+//!
+//! ## Composed algorithms (paper §3)
+//! * [`HierarchicalAlltoall`] — Algorithm 3 with 1..k leaders per node
+//!   (1 leader = classic hierarchical; >1 = multi-leader).
+//! * [`NodeAwareAlltoall`] — Algorithm 4; with more than one aggregation
+//!   group per node it is the paper's **locality-aware** novel variant.
+//! * [`MultileaderNodeAwareAlltoall`] — Algorithm 5, the paper's second
+//!   novel contribution.
+//! * [`MpichShmAlltoall`] — the MPICH "node-aware multi-leaders" variant the
+//!   paper's §3.3 note describes.
+//! * [`SystemMpiAlltoall`] — the size-switched Bruck/pairwise policy
+//!   production MPIs default to; the paper's baseline.
+//!
+//! Every algorithm implements [`AlltoallAlgorithm`]; wrap one in
+//! [`AlgoSchedule`] to obtain an `a2a_sched::ScheduleSource` that any of the
+//! three executors (data, simulator, threaded runtime) can run.
+//!
+//! # Example
+//!
+//! ```
+//! use a2a_topo::{ProcGrid, Machine};
+//! use a2a_core::{AlgoSchedule, A2AContext, NodeAwareAlltoall, ExchangeKind};
+//! use a2a_sched::run_and_verify;
+//!
+//! let grid = ProcGrid::new(Machine::custom("mini", 3, 2, 2, 2)); // 24 ranks
+//! let algo = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+//! let sched = AlgoSchedule::new(&algo, A2AContext::new(grid, 8));
+//! run_and_verify(&sched, 8).expect("exact transpose");
+//! ```
+
+pub mod alltoallv;
+pub mod bruck;
+pub mod collectives;
+pub mod exchange;
+pub mod gather;
+
+mod direct;
+mod hier;
+mod mlna;
+mod mpich_shm;
+mod node_aware;
+mod selector;
+mod system;
+
+pub use bruck::BruckBufs;
+pub use direct::{BatchedAlltoall, BruckAlltoall, NonblockingAlltoall, PairwiseAlltoall};
+pub use exchange::{build_exchange, Contig, ExchangeKind};
+pub use gather::GatherKind;
+pub use hier::HierarchicalAlltoall;
+pub use mlna::MultileaderNodeAwareAlltoall;
+pub use mpich_shm::MpichShmAlltoall;
+pub use node_aware::NodeAwareAlltoall;
+pub use selector::{select_algorithm, SelectorTable};
+pub use system::SystemMpiAlltoall;
+
+use a2a_sched::{Bytes, RankProgram, ScheduleSource};
+use a2a_topo::{ProcGrid, Rank};
+
+/// Context shared by every algorithm build: the machine/rank layout and the
+/// per-process block size `s` (bytes each rank sends to each other rank).
+#[derive(Debug, Clone)]
+pub struct A2AContext {
+    pub grid: ProcGrid,
+    pub block_bytes: Bytes,
+}
+
+impl A2AContext {
+    pub fn new(grid: ProcGrid, block_bytes: Bytes) -> Self {
+        assert!(block_bytes > 0, "block size must be nonzero");
+        A2AContext { grid, block_bytes }
+    }
+
+    /// World size `n`.
+    pub fn n(&self) -> usize {
+        self.grid.world_size()
+    }
+
+    /// Bytes each rank sends in total (`n * s`).
+    pub fn total_bytes(&self) -> Bytes {
+        self.n() as Bytes * self.block_bytes
+    }
+}
+
+/// An all-to-all algorithm: compiles per-rank schedules for a given context.
+pub trait AlltoallAlgorithm: Send + Sync {
+    /// Short unique name, e.g. `"node-aware(g=112,pairwise)"`.
+    fn name(&self) -> String;
+
+    /// Phase labels used by this algorithm's ops (index = `Phase(i)`).
+    fn phase_names(&self) -> Vec<&'static str>;
+
+    /// Per-rank buffer sizes (index = `BufId`); entries 0 and 1 are the user
+    /// send/receive buffers of `n * s` bytes.
+    fn buffers(&self, ctx: &A2AContext, rank: Rank) -> Vec<Bytes>;
+
+    /// Compile rank `rank`'s program.
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram;
+}
+
+/// Adapter binding an algorithm to a context, yielding a `ScheduleSource`.
+pub struct AlgoSchedule<'a> {
+    algo: &'a dyn AlltoallAlgorithm,
+    ctx: A2AContext,
+}
+
+impl<'a> AlgoSchedule<'a> {
+    pub fn new(algo: &'a dyn AlltoallAlgorithm, ctx: A2AContext) -> Self {
+        AlgoSchedule { algo, ctx }
+    }
+
+    pub fn ctx(&self) -> &A2AContext {
+        &self.ctx
+    }
+
+    pub fn algo(&self) -> &dyn AlltoallAlgorithm {
+        self.algo
+    }
+}
+
+impl ScheduleSource for AlgoSchedule<'_> {
+    fn nranks(&self) -> usize {
+        self.ctx.n()
+    }
+
+    fn buffers(&self, rank: Rank) -> Vec<Bytes> {
+        self.algo.buffers(&self.ctx, rank)
+    }
+
+    fn build_rank(&self, rank: Rank) -> RankProgram {
+        self.algo.build_rank(&self.ctx, rank)
+    }
+
+    fn phase_names(&self) -> Vec<&'static str> {
+        self.algo.phase_names()
+    }
+}
+
+/// Message-tag bases, one per communication stage, so concurrent stages of
+/// composed algorithms can never cross-match. Bruck rounds consume
+/// `tag .. tag + 32`.
+pub mod tags {
+    pub const DIRECT: u32 = 0;
+    pub const GATHER: u32 = 64;
+    pub const INTER: u32 = 128;
+    pub const INTRA: u32 = 192;
+    pub const SCATTER: u32 = 256;
+}
+
+/// The full algorithm roster evaluated in the paper's figures, with the
+/// group sizes used there. Returns `(label, algorithm)` pairs; `ppl` values
+/// that do not divide `ppn` are skipped.
+pub fn paper_roster(ppn: usize) -> Vec<(String, Box<dyn AlltoallAlgorithm>)> {
+    let mut v: Vec<(String, Box<dyn AlltoallAlgorithm>)> = Vec::new();
+    for kind in [ExchangeKind::Pairwise, ExchangeKind::Nonblocking] {
+        v.push((
+            format!("hierarchical-{kind}"),
+            Box::new(HierarchicalAlltoall::new(ppn, kind)),
+        ));
+        for ppl in [4, 8, 16] {
+            if ppn % ppl == 0 {
+                v.push((
+                    format!("multileader(ppl={ppl})-{kind}"),
+                    Box::new(HierarchicalAlltoall::new(ppl, kind)),
+                ));
+            }
+        }
+        v.push((
+            format!("node-aware-{kind}"),
+            Box::new(NodeAwareAlltoall::node_aware(kind)),
+        ));
+        for ppg in [4, 8, 16] {
+            if ppn % ppg == 0 {
+                v.push((
+                    format!("locality-aware(ppg={ppg})-{kind}"),
+                    Box::new(NodeAwareAlltoall::locality_aware(ppg, kind)),
+                ));
+            }
+        }
+        for ppl in [4, 8, 16] {
+            if ppn % ppl == 0 {
+                v.push((
+                    format!("ml-node-aware(ppl={ppl})-{kind}"),
+                    Box::new(MultileaderNodeAwareAlltoall::new(ppl, kind)),
+                ));
+            }
+        }
+    }
+    v.push(("system-mpi".to_string(), Box::new(SystemMpiAlltoall::default())));
+    v
+}

@@ -1,0 +1,365 @@
+//! Paper Algorithm 5: multi-leader + node-aware all-to-all (the paper's
+//! second novel algorithm).
+//!
+//! Combines the multi-leader gather/scatter (fewer active ranks doing
+//! inter-node traffic than node-aware, cheaper gathers than hierarchical)
+//! with node-aware aggregation *between* leaders, so every leader sends only
+//! one message per remote node:
+//!
+//! 1. **Gather** — members send their send buffers to their subset leader.
+//! 2. **Pack** — by destination node, member-major.
+//! 3. **Inter-node all-to-all** among *corresponding* leaders (subset `q`
+//!    of every node): one `ppl*ppn*s`-byte message per remote node.
+//! 4. **Pack** — by destination leader within the node.
+//! 5. **Intra-node all-to-all** among the node's leaders redistributes data
+//!    to the leader that owns each destination member.
+//! 6. **Unpack** into per-member receive images; **scatter** to members.
+//!
+//! With one leader per node (`ppl = ppn`) this degenerates to hierarchical
+//! (the intra-node leader exchange is a self copy); with `ppl = 1` it
+//! degenerates to node-aware — exactly as the paper observes.
+
+use a2a_sched::{Block, BufId, Bytes, Phase, ProgBuilder, RankProgram, RBUF, SBUF};
+use a2a_topo::Rank;
+
+use crate::bruck::{bruck_buffer_sizes, BruckBufs};
+use crate::exchange::{build_exchange, Contig, ExchangeKind};
+use crate::gather::{build_gather, build_scatter, relay_chunks, GatherKind};
+use crate::{tags, A2AContext, AlltoallAlgorithm};
+
+const G: BufId = BufId(2); // gathered member images
+const P1: BufId = BufId(3); // packed by destination node
+const Q1: BufId = BufId(4); // received, source-node-major
+const P2: BufId = BufId(5); // packed by destination leader (same node)
+const Q2: BufId = BufId(6); // received, source-subset-major
+const S: BufId = BufId(7); // per-member receive images
+const RELAY: BufId = BufId(8);
+const BK_WORK: BufId = BufId(9);
+const BK_PACK: BufId = BufId(10);
+const BK_RECV: BufId = BufId(11);
+
+const PH_GATHER: Phase = Phase(0);
+const PH_PACK: Phase = Phase(1);
+const PH_INTER: Phase = Phase(2);
+const PH_INTRA: Phase = Phase(3);
+const PH_SCATTER: Phase = Phase(4);
+
+/// Multi-leader + node-aware all-to-all (Algorithm 5).
+#[derive(Debug, Clone, Copy)]
+pub struct MultileaderNodeAwareAlltoall {
+    /// Processes per leader.
+    pub ppl: usize,
+    /// Underlying pattern for both inner all-to-alls.
+    pub inner: ExchangeKind,
+    /// Gather/scatter flavor.
+    pub gather: GatherKind,
+}
+
+impl MultileaderNodeAwareAlltoall {
+    pub fn new(ppl: usize, inner: ExchangeKind) -> Self {
+        assert!(ppl > 0, "ppl must be nonzero");
+        MultileaderNodeAwareAlltoall {
+            ppl,
+            inner,
+            gather: GatherKind::Linear,
+        }
+    }
+
+    pub fn with_gather(mut self, gather: GatherKind) -> Self {
+        self.gather = gather;
+        self
+    }
+
+    fn is_leader(&self, ctx: &A2AContext, rank: Rank) -> bool {
+        ctx.grid.subset_offset(rank, self.ppl) == 0
+    }
+}
+
+impl AlltoallAlgorithm for MultileaderNodeAwareAlltoall {
+    fn name(&self) -> String {
+        format!("mlna(ppl={},{},{})", self.ppl, self.inner, self.gather)
+    }
+
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["gather", "pack", "inter-a2a", "intra-a2a", "scatter"]
+    }
+
+    fn buffers(&self, ctx: &A2AContext, rank: Rank) -> Vec<Bytes> {
+        let s = ctx.block_bytes;
+        let total = ctx.total_bytes();
+        let g = self.ppl as Bytes;
+        let mut bufs = vec![total, total, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let o = ctx.grid.subset_offset(rank, self.ppl);
+        bufs[RELAY.0 as usize] = relay_chunks(self.gather, o, self.ppl) as Bytes * total;
+        if self.is_leader(ctx, rank) {
+            let leader_bytes = g * total;
+            for id in [G, P1, Q1, P2, Q2, S] {
+                bufs[id.0 as usize] = leader_bytes;
+            }
+            if matches!(self.inner, ExchangeKind::Bruck) {
+                let grid = &ctx.grid;
+                let ppn = grid.machine().ppn() as Bytes;
+                let nodes = grid.machine().nodes;
+                let lpn = grid.groups_per_node(self.ppl);
+                let (w1, p1, r1) = bruck_buffer_sizes(nodes, g * ppn * s);
+                let (w2, p2, r2) = bruck_buffer_sizes(lpn, nodes as Bytes * g * g * s);
+                bufs[BK_WORK.0 as usize] = w1.max(w2);
+                bufs[BK_PACK.0 as usize] = p1.max(p2);
+                bufs[BK_RECV.0 as usize] = r1.max(r2);
+            }
+        }
+        bufs
+    }
+
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        let grid = &ctx.grid;
+        let ppn = grid.machine().ppn();
+        assert!(
+            self.ppl <= ppn && ppn % self.ppl == 0,
+            "ppl {} must divide ppn {ppn}",
+            self.ppl
+        );
+        let g = self.ppl;
+        let gb = g as Bytes;
+        let s = ctx.block_bytes;
+        let n = ctx.n() as Bytes;
+        let total = n * s;
+        let ppnb = ppn as Bytes;
+        let nodes = grid.machine().nodes;
+        let lpn = grid.groups_per_node(g);
+        let subset = grid.subset_comm(rank, g);
+        let o = grid.subset_offset(rank, g);
+        let mut b = ProgBuilder::new(PH_GATHER);
+
+        // 1. Gather member send buffers to the leader.
+        build_gather(
+            self.gather,
+            &mut b,
+            &subset,
+            o,
+            Block::new(SBUF, 0, total),
+            (G, 0),
+            RELAY,
+            total,
+            tags::GATHER,
+        );
+
+        if self.is_leader(ctx, rank) {
+            let d = grid.node_of(rank);
+            let q = grid.subset_index(rank, g);
+            let node_seg = gb * ppnb * s; // per destination node
+            let leader_seg = nodes as Bytes * gb * gb * s; // per destination leader
+
+            // 2. Pack by destination node: P1[d'][o][l'] = G[o][d'*ppn + l'].
+            b.set_phase(PH_PACK);
+            for d2 in 0..nodes as Bytes {
+                for om in 0..gb {
+                    b.copy(
+                        Block::new(G, om * total + d2 * ppnb * s, ppnb * s),
+                        Block::new(P1, d2 * node_seg + om * ppnb * s, ppnb * s),
+                    );
+                }
+            }
+
+            // 3. Inter-node all-to-all among corresponding leaders.
+            b.set_phase(PH_INTER);
+            let corr = grid.corresponding_leader_comm(rank, g);
+            debug_assert_eq!(corr.local_of(rank), Some(d));
+            let bruck = BruckBufs {
+                work: BK_WORK,
+                pack: BK_PACK,
+                recv: BK_RECV,
+            };
+            build_exchange(
+                self.inner,
+                &mut b,
+                &corr,
+                d,
+                Contig::new(P1, 0, Q1, 0, node_seg),
+                tags::INTER,
+                Some(&bruck),
+            );
+
+            // 4. Pack by destination leader within my node:
+            //    P2[q''][d_src][o_src][o''] = Q1[d_src][o_src][q''*g + o''].
+            b.set_phase(PH_PACK);
+            for q2 in 0..lpn as Bytes {
+                for d2 in 0..nodes as Bytes {
+                    for o2 in 0..gb {
+                        b.copy(
+                            Block::new(Q1, d2 * node_seg + o2 * ppnb * s + q2 * gb * s, gb * s),
+                            Block::new(
+                                P2,
+                                q2 * leader_seg + d2 * gb * gb * s + o2 * gb * s,
+                                gb * s,
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // 5. Intra-node all-to-all among this node's leaders.
+            b.set_phase(PH_INTRA);
+            let node_leaders = grid.node_leaders_comm(rank, g);
+            debug_assert_eq!(node_leaders.local_of(rank), Some(q));
+            build_exchange(
+                self.inner,
+                &mut b,
+                &node_leaders,
+                q,
+                Contig::new(P2, 0, Q2, 0, leader_seg),
+                tags::INTRA,
+                Some(&bruck),
+            );
+
+            // 6. Unpack into per-member receive images ordered by source
+            //    world rank: source (d2, q2, o2) has world rank
+            //    d2*ppn + q2*g + o2.
+            b.set_phase(PH_PACK);
+            for om in 0..gb {
+                for q2 in 0..lpn as Bytes {
+                    for d2 in 0..nodes as Bytes {
+                        for o2 in 0..gb {
+                            let src_world = d2 * ppnb + q2 * gb + o2;
+                            b.copy(
+                                Block::new(
+                                    Q2,
+                                    q2 * leader_seg + d2 * gb * gb * s + o2 * gb * s + om * s,
+                                    s,
+                                ),
+                                Block::new(S, om * total + src_world * s, s),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // 7. Scatter receive images to members.
+            b.set_phase(PH_SCATTER);
+            build_scatter(
+                self.gather,
+                &mut b,
+                &subset,
+                0,
+                (S, 0),
+                Block::new(RBUF, 0, total),
+                RELAY,
+                total,
+                tags::SCATTER,
+            );
+        } else {
+            b.set_phase(PH_SCATTER);
+            build_scatter(
+                self.gather,
+                &mut b,
+                &subset,
+                o,
+                (S, 0),
+                Block::new(RBUF, 0, total),
+                RELAY,
+                total,
+                tags::SCATTER,
+            );
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgoSchedule;
+    use a2a_sched::{run_and_verify, validate};
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn ctx(nodes: usize, s: Bytes) -> A2AContext {
+        // ppn = 6.
+        A2AContext::new(ProcGrid::new(Machine::custom("t", nodes, 2, 1, 3)), s)
+    }
+
+    #[test]
+    fn mlna_transposes_all_group_sizes() {
+        for nodes in [1usize, 2, 3] {
+            for ppl in [1usize, 2, 3, 6] {
+                for inner in [
+                    ExchangeKind::Pairwise,
+                    ExchangeKind::Nonblocking,
+                    ExchangeKind::Bruck,
+                ] {
+                    let algo = MultileaderNodeAwareAlltoall::new(ppl, inner);
+                    run_and_verify(&AlgoSchedule::new(&algo, ctx(nodes, 4)), 4).unwrap_or_else(
+                        |e| panic!("nodes={nodes} ppl={ppl} inner={inner}: {e}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_gather_variant_transposes() {
+        let algo = MultileaderNodeAwareAlltoall::new(3, ExchangeKind::Pairwise)
+            .with_gather(GatherKind::Binomial);
+        run_and_verify(&AlgoSchedule::new(&algo, ctx(2, 8)), 8).unwrap();
+    }
+
+    #[test]
+    fn each_leader_sends_one_message_per_remote_node() {
+        // The headline property vs plain multi-leader: inter-node message
+        // count per leader = nodes - 1, independent of leader count.
+        let nodes = 3;
+        let c = ctx(nodes, 8);
+        let grid = c.grid.clone();
+        let algo = MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise); // 3 leaders/node
+        let stats = validate(&AlgoSchedule::new(&algo, c.clone()), &grid).unwrap();
+        assert_eq!(stats.max_internode_sends_per_rank, nodes - 1);
+        // Total inter-node messages: leaders * (nodes-1).
+        let leaders = nodes * 3;
+        assert_eq!(stats.inter_node_msgs(), leaders * (nodes - 1));
+        // Compare with plain multi-leader (hierarchical with same ppl):
+        // each leader talks to *every* leader on remote nodes.
+        let ml = crate::HierarchicalAlltoall::new(2, ExchangeKind::Pairwise);
+        let ml_stats = validate(&AlgoSchedule::new(&ml, c), &grid).unwrap();
+        assert!(ml_stats.inter_node_msgs() > stats.inter_node_msgs());
+    }
+
+    #[test]
+    fn members_do_not_touch_network() {
+        let c = ctx(2, 8);
+        let algo = MultileaderNodeAwareAlltoall::new(3, ExchangeKind::Pairwise);
+        let member = algo.build_rank(&c, 1);
+        assert_eq!(member.send_count(), 1); // gather only
+    }
+
+    #[test]
+    fn internode_volume_is_minimal() {
+        // Like node-aware, every byte crosses the network exactly once.
+        let c = ctx(2, 8);
+        let grid = c.grid.clone();
+        let algo = MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise);
+        let stats = validate(&AlgoSchedule::new(&algo, c), &grid).unwrap();
+        assert_eq!(stats.inter_node_bytes(), 2 * (6u64 * 6) * 8);
+    }
+
+    #[test]
+    fn degenerate_ppl_equals_ppn_matches_hierarchical_network_shape() {
+        let c = ctx(3, 8);
+        let grid = c.grid.clone();
+        let mlna = MultileaderNodeAwareAlltoall::new(6, ExchangeKind::Pairwise);
+        let hier = crate::HierarchicalAlltoall::new(6, ExchangeKind::Pairwise);
+        let s1 = validate(&AlgoSchedule::new(&mlna, c.clone()), &grid).unwrap();
+        let s2 = validate(&AlgoSchedule::new(&hier, c), &grid).unwrap();
+        assert_eq!(s1.inter_node_msgs(), s2.inter_node_msgs());
+        assert_eq!(s1.inter_node_bytes(), s2.inter_node_bytes());
+    }
+
+    #[test]
+    fn leader_buffers_sized_member_buffers_zero() {
+        let c = ctx(2, 8);
+        let algo = MultileaderNodeAwareAlltoall::new(3, ExchangeKind::Pairwise);
+        let leader = algo.buffers(&c, 0);
+        let member = algo.buffers(&c, 2);
+        assert_eq!(leader[G.0 as usize], 3 * 12 * 8);
+        assert_eq!(member[G.0 as usize], 0);
+        assert_eq!(member[S.0 as usize], 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The MPICH "node-aware multi-leaders" variant described in the paper's
+//! §3.3 note: *"Each rank on a node places the data for ranks sitting on
+//! other nodes into a shared memory buffer. Next each rank participates as
+//! a leader in inter-node Alltoall."*
+//!
+//! Our rendering: an intra-node redistribution stages, at each rank `l`,
+//! the data from *all* node members destined to local rank `l` of every
+//! other node (the "shared memory buffer" fill — here explicit node-local
+//! messages, which the simulator prices at intra-node cost); then every
+//! rank leads one inter-node all-to-all message per remote node, received
+//! directly into the final receive-buffer layout (no scatter needed).
+//!
+//! Structurally this is Algorithm 4 with the intra- and inter-node phases
+//! swapped: redistribute first, then exchange. All ranks participate in
+//! inter-node communication, as the MPICH documentation states.
+
+use a2a_sched::{Block, BufId, Bytes, Phase, ProgBuilder, RankProgram, RBUF, SBUF};
+use a2a_topo::Rank;
+
+use crate::bruck::{bruck_buffer_sizes, BruckBufs};
+use crate::exchange::{build_exchange, Contig, ExchangeKind};
+use crate::{tags, A2AContext, AlltoallAlgorithm};
+
+const P: BufId = BufId(2); // packed for intra phase: ppn segments of N*s
+const T: BufId = BufId(3); // staged "shared" buffer: ppn segments of N*s
+const P2: BufId = BufId(4); // packed for inter phase: N segments of ppn*s
+const BK_WORK: BufId = BufId(5);
+const BK_PACK: BufId = BufId(6);
+const BK_RECV: BufId = BufId(7);
+
+const PH_INTRA: Phase = Phase(0);
+const PH_PACK: Phase = Phase(1);
+const PH_INTER: Phase = Phase(2);
+
+/// MPICH-style shared-memory staging all-to-all: every rank leads.
+#[derive(Debug, Clone, Copy)]
+pub struct MpichShmAlltoall {
+    pub inner: ExchangeKind,
+}
+
+impl MpichShmAlltoall {
+    pub fn new(inner: ExchangeKind) -> Self {
+        MpichShmAlltoall { inner }
+    }
+}
+
+impl Default for MpichShmAlltoall {
+    fn default() -> Self {
+        MpichShmAlltoall::new(ExchangeKind::Pairwise)
+    }
+}
+
+impl AlltoallAlgorithm for MpichShmAlltoall {
+    fn name(&self) -> String {
+        format!("mpich-shm({})", self.inner)
+    }
+
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["intra-a2a", "pack", "inter-a2a"]
+    }
+
+    fn buffers(&self, ctx: &A2AContext, _rank: Rank) -> Vec<Bytes> {
+        let total = ctx.total_bytes();
+        let mut bufs = vec![total, total, total, total, total, 0, 0, 0];
+        if matches!(self.inner, ExchangeKind::Bruck) {
+            let ppn = ctx.grid.machine().ppn();
+            let nodes = ctx.grid.machine().nodes;
+            let s = ctx.block_bytes;
+            let (w1, p1, r1) = bruck_buffer_sizes(ppn, nodes as Bytes * s);
+            let (w2, p2, r2) = bruck_buffer_sizes(nodes, ppn as Bytes * s);
+            bufs[BK_WORK.0 as usize] = w1.max(w2);
+            bufs[BK_PACK.0 as usize] = p1.max(p2);
+            bufs[BK_RECV.0 as usize] = r1.max(r2);
+        }
+        bufs
+    }
+
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        let grid = &ctx.grid;
+        let ppn = grid.machine().ppn() as Bytes;
+        let nodes = grid.machine().nodes as Bytes;
+        let s = ctx.block_bytes;
+        let d = grid.node_of(rank);
+        let l = grid.local_rank(rank);
+        let bruck = BruckBufs {
+            work: BK_WORK,
+            pack: BK_PACK,
+            recv: BK_RECV,
+        };
+        let mut b = ProgBuilder::new(PH_PACK);
+
+        // Stage 1 pack: P[l''][d'] = my block for rank (d', l'').
+        for l2 in 0..ppn {
+            for d2 in 0..nodes {
+                b.copy(
+                    Block::new(SBUF, (d2 * ppn + l2) * s, s),
+                    Block::new(P, l2 * nodes * s + d2 * s, s),
+                );
+            }
+        }
+
+        // Stage 1 exchange: node-local redistribution ("shared memory" fill).
+        b.set_phase(PH_INTRA);
+        let node = grid.node_comm(rank);
+        build_exchange(
+            self.inner,
+            &mut b,
+            &node,
+            l,
+            Contig::new(P, 0, T, 0, nodes * s),
+            tags::INTRA,
+            Some(&bruck),
+        );
+
+        // Stage 2 pack: P2[d'][l_src] = T[l_src][d'].
+        b.set_phase(PH_PACK);
+        for d2 in 0..nodes {
+            for l2 in 0..ppn {
+                b.copy(
+                    Block::new(T, l2 * nodes * s + d2 * s, s),
+                    Block::new(P2, d2 * ppn * s + l2 * s, s),
+                );
+            }
+        }
+
+        // Stage 2 exchange: every rank leads; receives land directly in the
+        // final receive-buffer layout (source ranks of node d' are
+        // contiguous there).
+        b.set_phase(PH_INTER);
+        let cross = grid.cross_region_comm(rank, grid.machine().ppn());
+        build_exchange(
+            self.inner,
+            &mut b,
+            &cross,
+            d,
+            Contig::new(P2, 0, RBUF, 0, ppn * s),
+            tags::INTER,
+            Some(&bruck),
+        );
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgoSchedule;
+    use a2a_sched::{run_and_verify, validate};
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn ctx(nodes: usize, s: Bytes) -> A2AContext {
+        A2AContext::new(ProcGrid::new(Machine::custom("t", nodes, 2, 1, 3)), s)
+    }
+
+    #[test]
+    fn mpich_shm_transposes() {
+        for nodes in [1usize, 2, 3, 4] {
+            for inner in [
+                ExchangeKind::Pairwise,
+                ExchangeKind::Nonblocking,
+                ExchangeKind::Bruck,
+            ] {
+                let algo = MpichShmAlltoall::new(inner);
+                run_and_verify(&AlgoSchedule::new(&algo, ctx(nodes, 4)), 4)
+                    .unwrap_or_else(|e| panic!("nodes={nodes} inner={inner}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_rank_leads_internode() {
+        let c = ctx(3, 8);
+        let grid = c.grid.clone();
+        let algo = MpichShmAlltoall::default();
+        let stats = validate(&AlgoSchedule::new(&algo, c), &grid).unwrap();
+        // All 18 ranks send to their counterpart on both other nodes.
+        assert_eq!(stats.inter_node_msgs(), 18 * 2);
+        assert_eq!(stats.max_internode_sends_per_rank, 2);
+    }
+
+    #[test]
+    fn same_network_shape_as_node_aware() {
+        // The MPICH variant and Algorithm 4 differ in phase order, not in
+        // what crosses the network.
+        let c = ctx(2, 8);
+        let grid = c.grid.clone();
+        let shm = MpichShmAlltoall::default();
+        let na = crate::NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+        let s1 = validate(&AlgoSchedule::new(&shm, c.clone()), &grid).unwrap();
+        let s2 = validate(&AlgoSchedule::new(&na, c), &grid).unwrap();
+        assert_eq!(s1.inter_node_msgs(), s2.inter_node_msgs());
+        assert_eq!(s1.inter_node_bytes(), s2.inter_node_bytes());
+    }
+
+    #[test]
+    fn receives_land_directly_no_final_unpack() {
+        // The inter phase writes straight into RBUF: the program's last op
+        // is part of the inter exchange, not a copy loop.
+        let c = ctx(2, 8);
+        let algo = MpichShmAlltoall::default();
+        let prog = algo.build_rank(&c, 0);
+        let last = prog.ops.last().unwrap();
+        assert_eq!(last.phase, PH_INTER);
+    }
+}

@@ -1,0 +1,280 @@
+//! Paper Algorithm 4: node-aware aggregation, and its locality-aware
+//! generalization (one of the paper's two novel algorithms).
+//!
+//! Each node is split into aggregation regions of `ppg` consecutive ranks
+//! (`ppg = ppn` is classic node-aware: one region per node). Stages:
+//!
+//! 1. **Inter-region all-to-all** on the cross-region communicator (the
+//!    ranks sharing this rank's offset, one per region): rank `(region,
+//!    o)` sends to `(region', o)` the `ppg` blocks of its *own* send buffer
+//!    destined to `region'`'s members. No packing is needed — the send
+//!    buffer is already laid out contiguously by destination region. Every
+//!    rank participates, so data crosses the network evenly.
+//! 2. **Pack** — transpose the received data by destination member.
+//! 3. **Intra-region all-to-all** on the region: member `o` hands member
+//!    `o''` the blocks destined to `o''` from every same-offset sender.
+//! 4. **Unpack** into the receive buffer by source world rank.
+//!
+//! With multiple regions per node (locality-aware), the local
+//! redistribution in step 3 spans only `ppg` ranks instead of all `ppn`,
+//! trading slightly more inter-node messages for cheaper local traffic —
+//! the paper's explanation for its win at the largest message sizes.
+
+use a2a_sched::{Block, BufId, Bytes, Phase, ProgBuilder, RankProgram, RBUF, SBUF};
+use a2a_topo::Rank;
+
+use crate::bruck::{bruck_buffer_sizes, BruckBufs};
+use crate::exchange::{build_exchange, Contig, ExchangeKind};
+use crate::{tags, A2AContext, AlltoallAlgorithm};
+
+const T0: BufId = BufId(2); // inter-phase receive: R segments of ppg*s
+const P: BufId = BufId(3); // packed for intra phase: ppg segments of R*s
+const T1: BufId = BufId(4); // intra-phase receive: ppg segments of R*s
+const BK_WORK: BufId = BufId(5);
+const BK_PACK: BufId = BufId(6);
+const BK_RECV: BufId = BufId(7);
+
+const PH_INTER: Phase = Phase(0);
+const PH_PACK: Phase = Phase(1);
+const PH_INTRA: Phase = Phase(2);
+
+/// Node-aware (`ppg = ppn`) / locality-aware (`ppg < ppn`) all-to-all.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeAwareAlltoall {
+    /// Processes per aggregation group; `None` = whole node (node-aware).
+    ppg: Option<usize>,
+    /// Underlying pattern for both inner all-to-alls.
+    pub inner: ExchangeKind,
+}
+
+impl NodeAwareAlltoall {
+    /// Classic node-aware aggregation: one region per node.
+    pub fn node_aware(inner: ExchangeKind) -> Self {
+        NodeAwareAlltoall { ppg: None, inner }
+    }
+
+    /// Locality-aware aggregation with `ppg` processes per group.
+    pub fn locality_aware(ppg: usize, inner: ExchangeKind) -> Self {
+        assert!(ppg > 0, "ppg must be nonzero");
+        NodeAwareAlltoall {
+            ppg: Some(ppg),
+            inner,
+        }
+    }
+
+    fn group(&self, ctx: &A2AContext) -> usize {
+        let ppn = ctx.grid.machine().ppn();
+        let g = self.ppg.unwrap_or(ppn);
+        assert!(
+            g <= ppn && ppn % g == 0,
+            "ppg {g} must divide ppn {ppn}"
+        );
+        g
+    }
+}
+
+impl AlltoallAlgorithm for NodeAwareAlltoall {
+    fn name(&self) -> String {
+        match self.ppg {
+            None => format!("node-aware({})", self.inner),
+            Some(g) => format!("locality-aware(ppg={g},{})", self.inner),
+        }
+    }
+
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["inter-a2a", "pack", "intra-a2a"]
+    }
+
+    fn buffers(&self, ctx: &A2AContext, _rank: Rank) -> Vec<Bytes> {
+        let g = self.group(ctx);
+        let s = ctx.block_bytes;
+        let total = ctx.total_bytes();
+        let mut bufs = vec![total, total, total, total, total, 0, 0, 0];
+        if matches!(self.inner, ExchangeKind::Bruck) {
+            let r = ctx.grid.region_count(g);
+            let (w1, p1, q1) = bruck_buffer_sizes(r, g as Bytes * s);
+            let (w2, p2, q2) = bruck_buffer_sizes(g, r as Bytes * s);
+            bufs[BK_WORK.0 as usize] = w1.max(w2);
+            bufs[BK_PACK.0 as usize] = p1.max(p2);
+            bufs[BK_RECV.0 as usize] = q1.max(q2);
+        }
+        bufs
+    }
+
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        let grid = &ctx.grid;
+        let g = self.group(ctx);
+        let s = ctx.block_bytes;
+        let nregions = grid.region_count(g);
+        let rb = nregions as Bytes;
+        let gb = g as Bytes;
+        let rho = grid.region_index(rank, g);
+        let o = grid.subset_offset(rank, g) as Bytes;
+        let bruck = BruckBufs {
+            work: BK_WORK,
+            pack: BK_PACK,
+            recv: BK_RECV,
+        };
+        let mut b = ProgBuilder::new(PH_INTER);
+
+        // 1. Inter-region all-to-all straight out of the send buffer: the
+        //    send buffer is contiguous segments of g blocks per region.
+        let cross = grid.cross_region_comm(rank, g);
+        debug_assert_eq!(cross.local_of(rank), Some(rho));
+        build_exchange(
+            self.inner,
+            &mut b,
+            &cross,
+            rho,
+            Contig::new(SBUF, 0, T0, 0, gb * s),
+            tags::INTER,
+            Some(&bruck),
+        );
+
+        // 2. Transpose by destination member: P[o''][region] = T0[region][o''].
+        b.set_phase(PH_PACK);
+        for o2 in 0..gb {
+            for m2 in 0..rb {
+                b.copy(
+                    Block::new(T0, m2 * gb * s + o2 * s, s),
+                    Block::new(P, o2 * rb * s + m2 * s, s),
+                );
+            }
+        }
+
+        // 3. Intra-region all-to-all.
+        b.set_phase(PH_INTRA);
+        let subset = grid.subset_comm(rank, g);
+        build_exchange(
+            self.inner,
+            &mut b,
+            &subset,
+            o as usize,
+            Contig::new(P, 0, T1, 0, rb * s),
+            tags::INTRA,
+            Some(&bruck),
+        );
+
+        // 4. Unpack by source world rank: the block from region m2's member
+        //    o2 came through region-mate o2.
+        b.set_phase(PH_PACK);
+        for o2 in 0..gb {
+            for m2 in 0..nregions {
+                let src_world = grid.region_base(m2, g) as Bytes + o2;
+                b.copy(
+                    Block::new(T1, o2 * rb * s + m2 as Bytes * s, s),
+                    Block::new(RBUF, src_world * s, s),
+                );
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgoSchedule;
+    use a2a_sched::{run_and_verify, validate};
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn ctx(nodes: usize, s: Bytes) -> A2AContext {
+        // ppn = 6: 2 sockets x 1 NUMA x 3 cores.
+        A2AContext::new(ProcGrid::new(Machine::custom("t", nodes, 2, 1, 3)), s)
+    }
+
+    #[test]
+    fn node_aware_transposes() {
+        for nodes in [1usize, 2, 3, 4] {
+            for inner in [
+                ExchangeKind::Pairwise,
+                ExchangeKind::Nonblocking,
+                ExchangeKind::Bruck,
+                ExchangeKind::Batched { batch: 3 },
+            ] {
+                let algo = NodeAwareAlltoall::node_aware(inner);
+                run_and_verify(&AlgoSchedule::new(&algo, ctx(nodes, 8)), 8)
+                    .unwrap_or_else(|e| panic!("nodes={nodes} inner={inner}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn locality_aware_all_group_sizes_transpose() {
+        for ppg in [1usize, 2, 3, 6] {
+            for inner in [ExchangeKind::Pairwise, ExchangeKind::Nonblocking] {
+                let algo = NodeAwareAlltoall::locality_aware(ppg, inner);
+                run_and_verify(&AlgoSchedule::new(&algo, ctx(3, 4)), 4)
+                    .unwrap_or_else(|e| panic!("ppg={ppg} inner={inner}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_rank_sends_internode() {
+        // Node-aware distributes network traffic across all ranks: each
+        // rank exchanges with its counterpart on every other node.
+        let c = ctx(3, 8);
+        let grid = c.grid.clone();
+        let algo = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+        let stats = validate(&AlgoSchedule::new(&algo, c), &grid).unwrap();
+        // 18 ranks x 2 other nodes.
+        assert_eq!(stats.inter_node_msgs(), 18 * 2);
+        assert_eq!(stats.max_internode_sends_per_rank, 2);
+    }
+
+    #[test]
+    fn internode_volume_is_minimal() {
+        // Aggregation sends each byte across the network exactly once.
+        let c = ctx(2, 8);
+        let grid = c.grid.clone();
+        let algo = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+        let stats = validate(&AlgoSchedule::new(&algo, c), &grid).unwrap();
+        // Bytes that must cross: per ordered node pair, ppn*ppn blocks.
+        let expect = 2 * (6u64 * 6) * 8;
+        assert_eq!(stats.inter_node_bytes(), expect);
+    }
+
+    #[test]
+    fn locality_aware_reduces_intra_messages_increases_inter() {
+        let c = ctx(4, 8);
+        let grid = c.grid.clone();
+        let na = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+        let la = NodeAwareAlltoall::locality_aware(2, ExchangeKind::Pairwise);
+        let sna = validate(&AlgoSchedule::new(&na, c.clone()), &grid).unwrap();
+        let sla = validate(&AlgoSchedule::new(&la, c), &grid).unwrap();
+        assert!(
+            sla.intra_node_msgs() < sna.intra_node_msgs(),
+            "locality-aware should shrink local redistribution: {} vs {}",
+            sla.intra_node_msgs(),
+            sna.intra_node_msgs()
+        );
+        assert!(
+            sla.inter_node_msgs() > sna.inter_node_msgs(),
+            "locality-aware pays with more network messages"
+        );
+        // Both keep minimal inter-node volume.
+        assert_eq!(sla.inter_node_bytes(), sna.inter_node_bytes());
+    }
+
+    #[test]
+    fn ppg_one_degenerates_to_direct() {
+        // One process per group: the "intra" phase is a self copy and the
+        // inter phase is a flat exchange over the world.
+        let c = ctx(2, 8);
+        let grid = c.grid.clone();
+        let algo = NodeAwareAlltoall::locality_aware(1, ExchangeKind::Pairwise);
+        let stats = validate(&AlgoSchedule::new(&algo, c), &grid).unwrap();
+        let n = 12u64;
+        // Every pair exchanges once.
+        let total_msgs: usize = stats.msgs.iter().sum();
+        assert_eq!(total_msgs as u64, n * (n - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_ppg_panics() {
+        let algo = NodeAwareAlltoall::locality_aware(4, ExchangeKind::Pairwise);
+        algo.build_rank(&ctx(2, 8), 0);
+    }
+}

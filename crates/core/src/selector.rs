@@ -1,0 +1,110 @@
+//! Dynamic algorithm selection (the paper's §5 future work: "explore how
+//! the optimal algorithm can be dynamically selected for a given computer,
+//! system MPI, process count, and data size").
+//!
+//! The default thresholds encode the paper's measured regimes on Dane
+//! (Figures 10–12): multi-leader + node-aware for latency-bound small
+//! messages, node-aware for the broad middle, locality-aware for the very
+//! largest exchanges. A [`SelectorTable`] can be re-derived for another
+//! machine from simulator sweeps (see the bench harness's `tune` command).
+
+use a2a_sched::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::exchange::ExchangeKind;
+use crate::mlna::MultileaderNodeAwareAlltoall;
+use crate::node_aware::NodeAwareAlltoall;
+use crate::AlltoallAlgorithm;
+
+/// Size thresholds and group sizes for dynamic selection.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SelectorTable {
+    /// Block sizes at or below this use multi-leader + node-aware.
+    pub small_threshold: Bytes,
+    /// Block sizes at or above this use locality-aware aggregation.
+    pub large_threshold: Bytes,
+    /// Processes per leader for the small-message algorithm.
+    pub ppl: usize,
+    /// Processes per group for the large-message algorithm.
+    pub ppg: usize,
+    /// Underlying exchange for the inner all-to-alls.
+    pub inner: ExchangeKind,
+}
+
+impl Default for SelectorTable {
+    fn default() -> Self {
+        SelectorTable {
+            small_threshold: 256,
+            large_threshold: 4096,
+            ppl: 4,
+            ppg: 4,
+            inner: ExchangeKind::Pairwise,
+        }
+    }
+}
+
+/// Largest divisor of `ppn` that is `<= want` (so configured group sizes
+/// degrade gracefully on machines whose ppn they don't divide).
+fn fit_group(want: usize, ppn: usize) -> usize {
+    (1..=want.min(ppn)).rev().find(|g| ppn % g == 0).unwrap_or(1)
+}
+
+/// Pick an algorithm for one exchange: `ppn` processes per node, blocks of
+/// `block_bytes` per process pair.
+pub fn select_algorithm(
+    table: &SelectorTable,
+    ppn: usize,
+    block_bytes: Bytes,
+) -> Box<dyn AlltoallAlgorithm> {
+    if block_bytes <= table.small_threshold {
+        Box::new(MultileaderNodeAwareAlltoall::new(
+            fit_group(table.ppl, ppn),
+            table.inner,
+        ))
+    } else if block_bytes >= table.large_threshold {
+        Box::new(NodeAwareAlltoall::locality_aware(
+            fit_group(table.ppg, ppn),
+            table.inner,
+        ))
+    } else {
+        Box::new(NodeAwareAlltoall::node_aware(table.inner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_match_paper_findings() {
+        let t = SelectorTable::default();
+        assert!(select_algorithm(&t, 112, 4).name().starts_with("mlna"));
+        assert!(select_algorithm(&t, 112, 1024)
+            .name()
+            .starts_with("node-aware"));
+        assert!(select_algorithm(&t, 112, 8192)
+            .name()
+            .starts_with("locality-aware"));
+    }
+
+    #[test]
+    fn group_sizes_degrade_to_divisors() {
+        assert_eq!(fit_group(4, 112), 4);
+        assert_eq!(fit_group(4, 6), 3);
+        assert_eq!(fit_group(5, 7), 1);
+        assert_eq!(fit_group(100, 96), 96);
+    }
+
+    #[test]
+    fn selected_algorithms_are_buildable() {
+        use crate::{A2AContext, AlgoSchedule};
+        use a2a_topo::{Machine, ProcGrid};
+        let t = SelectorTable::default();
+        for s in [4u64, 1024, 8192] {
+            let grid = ProcGrid::new(Machine::custom("t", 2, 2, 1, 3));
+            let algo = select_algorithm(&t, grid.machine().ppn(), s);
+            let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid, s));
+            a2a_sched::run_and_verify(&sched, s).unwrap();
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The "system MPI" baseline: the size-switched policy production MPI
+//! libraries (MPICH, Intel MPI, Open MPI) default to — Bruck for small
+//! messages, direct pairwise exchange for large ones. The paper plots
+//! system MPI in every figure and observes it "is likely using the Bruck
+//! algorithm" at small sizes.
+
+use a2a_sched::{Bytes, RankProgram};
+use a2a_topo::Rank;
+
+use crate::direct::{BruckAlltoall, PairwiseAlltoall};
+use crate::{A2AContext, AlltoallAlgorithm};
+
+/// Size-switched Bruck / pairwise baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemMpiAlltoall {
+    /// Per-process block sizes at or below this use Bruck.
+    pub bruck_threshold: Bytes,
+}
+
+impl SystemMpiAlltoall {
+    pub fn new(bruck_threshold: Bytes) -> Self {
+        SystemMpiAlltoall { bruck_threshold }
+    }
+
+    fn delegate(&self, ctx: &A2AContext) -> &'static dyn AlltoallAlgorithm {
+        if ctx.block_bytes <= self.bruck_threshold {
+            &BruckAlltoall
+        } else {
+            &PairwiseAlltoall
+        }
+    }
+}
+
+impl Default for SystemMpiAlltoall {
+    /// MPICH's default short-message cutoff for Bruck is 256 bytes.
+    fn default() -> Self {
+        SystemMpiAlltoall::new(256)
+    }
+}
+
+impl AlltoallAlgorithm for SystemMpiAlltoall {
+    fn name(&self) -> String {
+        "system-mpi".into()
+    }
+
+    fn phase_names(&self) -> Vec<&'static str> {
+        vec!["exchange"]
+    }
+
+    fn buffers(&self, ctx: &A2AContext, rank: Rank) -> Vec<Bytes> {
+        self.delegate(ctx).buffers(ctx, rank)
+    }
+
+    fn build_rank(&self, ctx: &A2AContext, rank: Rank) -> RankProgram {
+        self.delegate(ctx).build_rank(ctx, rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgoSchedule;
+    use a2a_sched::run_and_verify;
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn ctx(s: Bytes) -> A2AContext {
+        A2AContext::new(ProcGrid::new(Machine::custom("t", 2, 2, 1, 3)), s)
+    }
+
+    #[test]
+    fn switches_on_threshold() {
+        let sys = SystemMpiAlltoall::default();
+        // Small -> Bruck: log message count.
+        let small = sys.build_rank(&ctx(64), 0);
+        assert_eq!(small.send_count(), 4); // ceil(log2 12)
+        // Large -> pairwise: n-1 messages.
+        let large = sys.build_rank(&ctx(1024), 0);
+        assert_eq!(large.send_count(), 11);
+    }
+
+    #[test]
+    fn both_paths_transpose() {
+        for s in [64u64, 1024] {
+            let sys = SystemMpiAlltoall::default();
+            run_and_verify(&AlgoSchedule::new(&sys, ctx(s)), s).unwrap();
+        }
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let sys = SystemMpiAlltoall::new(256);
+        assert_eq!(sys.build_rank(&ctx(256), 0).send_count(), 4);
+        assert_eq!(sys.build_rank(&ctx(257), 0).send_count(), 11);
+    }
+}

@@ -1,0 +1,272 @@
+//! Closed-form cost estimates (the paper's §5 "develop a model to evaluate
+//! these impacts at capability-scale" future work).
+//!
+//! [`lower_bound_from_stats`] turns a schedule's static traffic statistics
+//! into a machine-model lower bound: the collective can finish no earlier
+//! than its most-loaded bottleneck resource — per-rank CPU posting, per-node
+//! NIC injection, per-node memory bus, or per-rank copy work. The simulator
+//! must always report at least this value (a property test enforces it),
+//! and for bandwidth-bound direct exchanges it lands within a small factor.
+
+use a2a_sched::ScheduleStats;
+use a2a_topo::{Level, ProcGrid};
+
+use crate::model::CostModel;
+
+/// Machine-model lower bound on a schedule's completion time (µs).
+pub fn lower_bound_from_stats(
+    stats: &ScheduleStats,
+    grid: &ProcGrid,
+    model: &CostModel,
+) -> f64 {
+    let nodes = grid.machine().nodes as f64;
+    let n = grid.world_size() as f64;
+
+    // CPU: the busiest rank must post all its sends (and symmetric recvs).
+    let cpu = stats.max_sends_per_rank as f64 * (model.o_send + model.o_recv + model.match_base);
+
+    // NIC: a node's inter-node traffic is serialized through its NIC. Both
+    // message and byte counts are symmetric for all-to-all patterns, so the
+    // average per node is also the per-node load.
+    let nic = (stats.inter_node_msgs() as f64 / nodes) * model.nic_per_msg
+        + (stats.inter_node_bytes() as f64 / nodes) * model.nic_per_byte;
+
+    // Intra-node shared paths: NUMA-local bytes spread across all NUMA
+    // domains, socket-local across sockets, socket-crossing through one
+    // UPI per node. The binding one lower-bounds the intra phase.
+    let m = grid.machine();
+    let numas = (nodes as usize * m.sockets_per_node * m.numa_per_socket) as f64;
+    let sockets = (nodes as usize * m.sockets_per_node) as f64;
+    let bus = (stats.bytes[0] as f64 / numas * model.mem_per_byte)
+        .max(stats.bytes[1] as f64 / sockets * model.mem_per_byte)
+        .max(stats.bytes[2] as f64 / nodes * model.upi_per_byte);
+
+    // Copies: repack work per rank (average; packing is evenly spread in
+    // the node/locality-aware algorithms, concentrated on leaders in the
+    // hierarchical ones, where CPU/NIC dominate anyway).
+    let copies = (stats.copy_bytes as f64 / n) * model.copy_per_byte;
+
+    // One network traversal of latency is unavoidable if anything crosses.
+    let alpha = if stats.inter_node_msgs() > 0 {
+        model.level(Level::InterNode).alpha
+    } else {
+        0.0
+    };
+
+    cpu.max(nic).max(bus).max(copies) + alpha
+}
+
+/// Closed-form estimate for the flat direct exchange (pairwise or
+/// non-blocking): per-rank posting plus per-node NIC serialization plus one
+/// wire traversal.
+pub fn predict_direct(grid: &ProcGrid, model: &CostModel, s: u64) -> f64 {
+    let n = grid.world_size() as f64;
+    let ppn = grid.machine().ppn() as f64;
+    let sf = s as f64;
+    let cpu = (n - 1.0) * (model.o_send + model.o_recv + model.match_base);
+    let inter_msgs = ppn * (n - ppn);
+    let nic = inter_msgs * (model.nic_per_msg + sf * model.nic_per_byte);
+    let net = model.level(Level::InterNode);
+    cpu.max(nic) + net.alpha + sf * net.beta
+}
+
+/// Closed-form estimate for Bruck: `ceil(log2 n)` rounds, each moving
+/// `n*s/2` bytes per rank (packing both ways) with every node's ranks
+/// sharing the NIC.
+pub fn predict_bruck(grid: &ProcGrid, model: &CostModel, s: u64) -> f64 {
+    let n = grid.world_size() as f64;
+    let ppn = grid.machine().ppn() as f64;
+    let rounds = (grid.world_size() as f64).log2().ceil();
+    let per_round_bytes = n * s as f64 / 2.0;
+    let net = model.level(Level::InterNode);
+    let per_round = model.o_send
+        + model.o_recv
+        + net.alpha
+        + per_round_bytes * net.beta
+        + ppn * per_round_bytes * model.nic_per_byte // node NIC share
+        + 2.0 * per_round_bytes * model.copy_per_byte; // pack + unpack
+    rounds * per_round
+}
+
+/// Closed-form estimate for hierarchical / multi-leader (Algorithm 3) with
+/// `ppl` processes per leader: gather to leaders, leader exchange, scatter.
+pub fn predict_hierarchical(grid: &ProcGrid, model: &CostModel, s: u64, ppl: usize) -> f64 {
+    let n = grid.world_size() as f64;
+    let nodes = grid.machine().nodes as f64;
+    let ppn = grid.machine().ppn() as f64;
+    let g = ppl as f64;
+    let leaders_per_node = ppn / g;
+    let m = nodes * leaders_per_node; // leader count
+    let total = n * s as f64; // one rank's full buffer
+    let local = model.level(Level::IntraSocket);
+
+    // Gather: the leader serializes g-1 member images of n*s bytes.
+    let gather = (g - 1.0) * (model.o_recv + local.alpha + total * local.beta);
+    // Packing on the leader: everything is copied twice per direction.
+    let pack = 4.0 * g * total * model.copy_per_byte;
+    // Leader exchange: each leader sends m-1 segments of g^2*s bytes; per
+    // node, `leaders_per_node` leaders share the NIC.
+    let seg = g * g * s as f64;
+    let nic = leaders_per_node * (m - 1.0) * (model.nic_per_msg + seg * model.nic_per_byte);
+    let cpu = (m - 1.0) * (model.o_send + model.o_recv + model.match_base);
+    let net = model.level(Level::InterNode);
+    let inter = nic.max(cpu) + net.alpha + seg * net.beta;
+    gather + pack + inter + gather // scatter mirrors the gather
+}
+
+/// Closed-form estimate for node-/locality-aware (Algorithm 4) with `ppg`
+/// processes per group.
+pub fn predict_node_aware(grid: &ProcGrid, model: &CostModel, s: u64, ppg: usize) -> f64 {
+    let nodes = grid.machine().nodes as f64;
+    let ppn = grid.machine().ppn() as f64;
+    let g = ppg as f64;
+    let regions = nodes * (ppn / g);
+    let n = grid.world_size() as f64;
+    let net = model.level(Level::InterNode);
+
+    // Inter phase: every rank sends g*s to one counterpart per region.
+    // Off-node peers per rank: all regions except the ppn/g on my node;
+    // the node's ppn ranks share the NIC for that traffic.
+    let off_node_regions = regions - ppn / g;
+    let inter_msgs_per_node = ppn * off_node_regions;
+    let seg = g * s as f64;
+    let nic = inter_msgs_per_node * (model.nic_per_msg + seg * model.nic_per_byte);
+    let cpu = (regions - 1.0) * (model.o_send + model.o_recv + model.match_base);
+    let inter = nic.max(cpu) + net.alpha + seg * net.beta;
+
+    // Intra phase: each rank exchanges (g-1) segments of regions*s bytes;
+    // aligned groups ride per-NUMA bandwidth, so use the socket tier as a
+    // middle estimate.
+    let local = model.level(Level::IntraSocket);
+    let intra_bytes = (g - 1.0) * regions * s as f64;
+    let intra = (g - 1.0) * (model.o_send + model.o_recv + local.alpha) + intra_bytes * local.beta;
+
+    // Packing: two transposes of the full n*s image.
+    let pack = 2.0 * n * s as f64 * model.copy_per_byte;
+    inter + intra + pack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimOptions};
+    use crate::models;
+    use a2a_core::{A2AContext, AlgoSchedule, AlltoallAlgorithm};
+    use a2a_sched::validate;
+    use a2a_topo::{presets, ProcGrid};
+
+    fn grid() -> ProcGrid {
+        ProcGrid::new(presets::scaled_many_core(4, 1)) // 4 nodes x 8 ppn
+    }
+
+    fn check_bound(algo: &dyn AlltoallAlgorithm, s: u64) {
+        let grid = grid();
+        let ctx = A2AContext::new(grid.clone(), s);
+        let sched = AlgoSchedule::new(algo, ctx);
+        let stats = validate(&sched, &grid).unwrap();
+        let model = models::dane();
+        let bound = lower_bound_from_stats(&stats, &grid, &model);
+        let rep = simulate(&sched, &grid, &model, &SimOptions::default()).unwrap();
+        assert!(
+            rep.total_us >= bound * 0.999,
+            "{}: simulated {} below analytic bound {}",
+            algo.name(),
+            rep.total_us,
+            bound
+        );
+    }
+
+    #[test]
+    fn simulation_respects_lower_bound_for_all_algorithms() {
+        use a2a_core::*;
+        let algos: Vec<Box<dyn AlltoallAlgorithm>> = vec![
+            Box::new(PairwiseAlltoall),
+            Box::new(NonblockingAlltoall),
+            Box::new(BruckAlltoall),
+            Box::new(HierarchicalAlltoall::new(8, ExchangeKind::Pairwise)),
+            Box::new(HierarchicalAlltoall::new(4, ExchangeKind::Pairwise)),
+            Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+            Box::new(NodeAwareAlltoall::locality_aware(4, ExchangeKind::Nonblocking)),
+            Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
+            Box::new(MpichShmAlltoall::default()),
+        ];
+        for algo in &algos {
+            for s in [16u64, 1024] {
+                check_bound(algo.as_ref(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_prediction_within_factor_of_simulation() {
+        let grid = grid();
+        let model = models::dane();
+        for s in [64u64, 4096] {
+            let ctx = A2AContext::new(grid.clone(), s);
+            let algo = a2a_core::NonblockingAlltoall;
+            let sched = AlgoSchedule::new(&algo, ctx);
+            let sim = simulate(&sched, &grid, &model, &SimOptions::default())
+                .unwrap()
+                .total_us;
+            let pred = predict_direct(&grid, &model, s);
+            let ratio = sim / pred;
+            assert!(
+                (0.2..8.0).contains(&ratio),
+                "s={s}: sim {sim} vs predicted {pred} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn bruck_prediction_scales_with_size() {
+        let grid = grid();
+        let model = models::dane();
+        assert!(predict_bruck(&grid, &model, 4096) > predict_bruck(&grid, &model, 4));
+    }
+
+    #[test]
+    fn hierarchical_prediction_tracks_simulation_trends() {
+        let grid = grid();
+        let model = models::dane();
+        // Single-leader hierarchical gets worse than multi-leader at large
+        // sizes — in both the closed form and the simulator.
+        let ph_1 = predict_hierarchical(&grid, &model, 4096, grid.machine().ppn());
+        let ph_4 = predict_hierarchical(&grid, &model, 4096, 4);
+        assert!(ph_1 > ph_4, "closed form: {ph_1} vs {ph_4}");
+        for (ppl, pred) in [(grid.machine().ppn(), ph_1), (4, ph_4)] {
+            let algo = a2a_core::HierarchicalAlltoall::new(ppl, a2a_core::ExchangeKind::Pairwise);
+            let sched = AlgoSchedule::new(&algo, A2AContext::new(grid.clone(), 4096));
+            let sim = simulate(&sched, &grid, &model, &SimOptions::default())
+                .unwrap()
+                .total_us;
+            let ratio = sim / pred;
+            assert!(
+                (0.1..10.0).contains(&ratio),
+                "ppl={ppl}: sim {sim} vs pred {pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_aware_prediction_within_band_of_simulation() {
+        let grid = grid();
+        let model = models::dane();
+        for (ppg, s) in [(8usize, 64u64), (8, 4096), (4, 4096)] {
+            let pred = predict_node_aware(&grid, &model, s, ppg);
+            let algo = if ppg == grid.machine().ppn() {
+                a2a_core::NodeAwareAlltoall::node_aware(a2a_core::ExchangeKind::Pairwise)
+            } else {
+                a2a_core::NodeAwareAlltoall::locality_aware(ppg, a2a_core::ExchangeKind::Pairwise)
+            };
+            let sched = AlgoSchedule::new(&algo, A2AContext::new(grid.clone(), s));
+            let sim = simulate(&sched, &grid, &model, &SimOptions::default())
+                .unwrap()
+                .total_us;
+            let ratio = sim / pred;
+            assert!(
+                (0.1..10.0).contains(&ratio),
+                "ppg={ppg} s={s}: sim {sim} vs pred {pred} (ratio {ratio})"
+            );
+        }
+    }
+}

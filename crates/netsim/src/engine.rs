@@ -1,0 +1,957 @@
+//! The discrete-event engine.
+//!
+//! Execution model: every rank owns a virtual clock and a program cursor.
+//! The scheduler repeatedly advances the runnable rank with the smallest
+//! clock by one operation. Ranks park at an unsatisfied `WaitAll` and wake
+//! when the last awaited request completes. Message transport reserves the
+//! shared resources (per-node NIC injection/ejection, per-node memory bus)
+//! in event order, which keeps the simulation deterministic for a fixed
+//! seed.
+//!
+//! Protocol semantics:
+//! * **Eager** (`bytes <= eager_threshold`): the send request completes as
+//!   soon as it is posted (the library buffers the payload); the payload
+//!   travels immediately and waits in the receiver's unexpected queue if no
+//!   receive is posted.
+//! * **Rendezvous**: the payload may not travel until the matching receive
+//!   is posted (plus a handshake latency); the send request completes only
+//!   when the payload has left the sender (NIC injection end).
+//! * Receives pay a queue-search cost proportional to the unexpected-queue
+//!   depth when posted, and arrivals pay one proportional to the
+//!   posted-queue depth — the costs that penalize huge non-blocking
+//!   windows at scale.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use a2a_sched::{Op, ScheduleSource, TimedOp};
+use a2a_topo::{Level, ProcGrid, Rank};
+
+use crate::model::CostModel;
+use crate::report::SimReport;
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Multiplicative noise amplitude on CPU-side costs (0.0 = exact).
+    pub jitter: f64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Ranks remained blocked with no pending events (schedule bug).
+    Deadlock { unfinished: usize },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { unfinished } => {
+                write!(f, "simulation deadlock: {unfinished} ranks unfinished")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Heap key: earliest clock first, rank id tiebreak (determinism).
+#[derive(PartialEq)]
+struct Key(f64, Rank);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+struct PostedRecv {
+    len: u64,
+    post_time: f64,
+    req: u32,
+}
+
+struct UnexpectedMsg {
+    len: u64,
+    arrival: f64,
+}
+
+struct RdvSend {
+    len: u64,
+    ready: f64,
+    send_req: u32,
+}
+
+const PENDING: f64 = f64::NAN;
+
+struct RankSim {
+    ops: Vec<TimedOp>,
+    pc: usize,
+    clock: f64,
+    req_time: Vec<f64>,
+    /// Parked `WaitAll` range, if blocked.
+    parked: Option<(u32, u32)>,
+    posted: HashMap<(Rank, u32), VecDeque<PostedRecv>>,
+    unexpected: HashMap<(Rank, u32), VecDeque<UnexpectedMsg>>,
+    rdv: HashMap<(Rank, u32), VecDeque<RdvSend>>,
+    posted_len: usize,
+    unexpected_len: usize,
+    phase_time: Vec<f64>,
+    rng: u64,
+}
+
+impl RankSim {
+    fn done(&self) -> bool {
+        self.pc >= self.ops.len() && self.parked.is_none()
+    }
+}
+
+struct Engine<'a> {
+    grid: &'a ProcGrid,
+    model: &'a CostModel,
+    jitter: f64,
+    ranks: Vec<RankSim>,
+    heap: BinaryHeap<Reverse<Key>>,
+    nic_tx: Vec<f64>,
+    nic_rx: Vec<f64>,
+    msgs_per_level: [usize; 4],
+    bytes_per_level: [u64; 4],
+    /// Busy-until per NUMA domain (intra-NUMA transfers).
+    numa_bus: Vec<f64>,
+    /// Busy-until per socket (cross-NUMA, same-socket transfers).
+    socket_bus: Vec<f64>,
+    /// Busy-until per node for socket-crossing (UPI) transfers.
+    upi_bus: Vec<f64>,
+}
+
+impl Engine<'_> {
+    /// Deterministic per-rank noise factor in `[1-j, 1+j]` (xorshift64*).
+    fn noise(&mut self, rank: Rank) -> f64 {
+        if self.jitter == 0.0 {
+            return 1.0;
+        }
+        let st = &mut self.ranks[rank as usize];
+        let mut x = st.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        st.rng = x;
+        let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + self.jitter * (2.0 * u - 1.0)
+    }
+
+    /// Reserve resources for a message and return `(arrival, tx_end)`.
+    /// `tx_end` is when the sender's buffer is free (rendezvous send
+    /// completion); for intra-node transfers it equals arrival.
+    fn transport(&mut self, from: Rank, to: Rank, bytes: u64, t0: f64) -> (f64, f64) {
+        let level = self.grid.level(from, to);
+        let li = match level {
+            Level::IntraNuma => 0,
+            Level::IntraSocket => 1,
+            Level::InterSocket => 2,
+            _ => 3,
+        };
+        self.msgs_per_level[li] += 1;
+        self.bytes_per_level[li] += bytes;
+        let lc = self.model.level(level);
+        if level == Level::InterNode {
+            let sn = self.grid.node_of(from);
+            let dn = self.grid.node_of(to);
+            let occ = self.model.nic_occupancy(bytes);
+            let tx_start = t0.max(self.nic_tx[sn]);
+            let tx_end = tx_start + occ;
+            self.nic_tx[sn] = tx_end;
+            let wire_arrive = tx_end + lc.wire(bytes);
+            let rx_start = wire_arrive.max(self.nic_rx[dn]);
+            let rx_end = rx_start + occ;
+            self.nic_rx[dn] = rx_end;
+            (rx_end, tx_end)
+        } else {
+            // Intra-node: charge the tightest shared path the transfer
+            // crosses — its NUMA domain, its socket, or the cross-socket
+            // link — so NUMA-aligned traffic from different domains
+            // proceeds in parallel while socket-crossing traffic funnels.
+            let loc = self.grid.location(from);
+            let m = self.grid.machine();
+            let (bus, rate) = match level {
+                Level::IntraNuma => {
+                    let idx = (loc.node * m.sockets_per_node + loc.socket) * m.numa_per_socket
+                        + loc.numa;
+                    (&mut self.numa_bus[idx], self.model.mem_per_byte)
+                }
+                Level::IntraSocket => {
+                    let idx = loc.node * m.sockets_per_node + loc.socket;
+                    (&mut self.socket_bus[idx], self.model.mem_per_byte)
+                }
+                _ => (&mut self.upi_bus[loc.node], self.model.upi_per_byte),
+            };
+            let bus_start = t0.max(*bus);
+            *bus = bus_start + bytes as f64 * rate;
+            let arrival = bus_start + lc.wire(bytes);
+            (arrival, arrival)
+        }
+    }
+
+    /// Record request `req` of `rank` completing at `time`; wake the rank
+    /// if that satisfies its parked wait.
+    fn complete_req(&mut self, rank: Rank, req: u32, time: f64) {
+        let wake = {
+            let st = &mut self.ranks[rank as usize];
+            debug_assert!(
+                st.req_time[req as usize].is_nan(),
+                "request completed twice"
+            );
+            st.req_time[req as usize] = time;
+            match st.parked {
+                Some((first, count)) => {
+                    let mut latest = st.clock;
+                    let mut ready = true;
+                    for r in first..first + count {
+                        let t = st.req_time[r as usize];
+                        if t.is_nan() {
+                            ready = false;
+                            break;
+                        }
+                        latest = latest.max(t);
+                    }
+                    if ready {
+                        // Consume the WaitAll; idle time accrues to its phase.
+                        let phase = st.ops[st.pc].phase.0 as usize;
+                        st.phase_time[phase] += latest - st.clock;
+                        st.clock = latest;
+                        st.pc += 1;
+                        st.parked = None;
+                        if st.pc < st.ops.len() {
+                            Some(st.clock)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            }
+        };
+        if let Some(clock) = wake {
+            self.heap.push(Reverse(Key(clock, rank)));
+        }
+    }
+
+    /// Deliver an (eager) message arriving at `to`: match a posted receive
+    /// or enqueue as unexpected.
+    fn deliver(&mut self, from: Rank, to: Rank, tag: u32, len: u64, arrival: f64) {
+        let matched = {
+            let st = &mut self.ranks[to as usize];
+            match st.posted.get_mut(&(from, tag)).and_then(|q| q.pop_front()) {
+                Some(pr) => {
+                    debug_assert_eq!(pr.len, len, "message/receive length mismatch");
+                    st.posted_len -= 1;
+                    let cost =
+                        self.model.match_base + self.model.queue_search * st.posted_len as f64;
+                    Some((pr.req, arrival.max(pr.post_time) + cost))
+                }
+                None => {
+                    st.unexpected
+                        .entry((from, tag))
+                        .or_default()
+                        .push_back(UnexpectedMsg { len, arrival });
+                    st.unexpected_len += 1;
+                    None
+                }
+            }
+        };
+        if let Some((req, done)) = matched {
+            self.complete_req(to, req, done);
+        }
+    }
+
+    /// Advance `rank` by one op, then reschedule it if still runnable.
+    fn step(&mut self, rank: Rank) {
+        let (top, old_clock) = {
+            let st = &self.ranks[rank as usize];
+            (st.ops[st.pc], st.clock)
+        };
+        let phase = top.phase.0 as usize;
+        match top.op {
+            Op::Copy { src, .. } => {
+                let jf = self.noise(rank);
+                let cost = self.model.copy_cost(src.len) * jf;
+                let st = &mut self.ranks[rank as usize];
+                st.clock += cost;
+                st.pc += 1;
+            }
+            Op::Isend {
+                to,
+                block,
+                tag,
+                req,
+            } => {
+                let jf = self.noise(rank);
+                let ready = {
+                    let st = &mut self.ranks[rank as usize];
+                    st.clock += self.model.o_send * jf;
+                    st.pc += 1;
+                    st.clock
+                };
+                let len = block.len;
+                let level = self.grid.level(rank, to);
+                if self.model.is_rendezvous(len, level) {
+                    // Data can't move before the matching receive posts.
+                    let alpha = self.model.level(level).alpha;
+                    let recv = self.ranks[to as usize]
+                        .posted
+                        .get_mut(&(rank, tag))
+                        .and_then(|q| q.pop_front());
+                    if let Some(pr) = recv {
+                        self.ranks[to as usize].posted_len -= 1;
+                        let t0 = ready.max(pr.post_time + alpha);
+                        let (arrival, tx_end) = self.transport(rank, to, len, t0);
+                        self.complete_req(rank, req, tx_end);
+                        self.complete_req(to, pr.req, arrival + self.model.match_base);
+                    } else {
+                        self.ranks[to as usize]
+                            .rdv
+                            .entry((rank, tag))
+                            .or_default()
+                            .push_back(RdvSend {
+                                len,
+                                ready,
+                                send_req: req,
+                            });
+                    }
+                } else {
+                    // Eager: send completes locally; payload travels now.
+                    let (arrival, _) = self.transport(rank, to, len, ready);
+                    self.complete_req(rank, req, ready);
+                    self.deliver(rank, to, tag, len, arrival);
+                }
+            }
+            Op::Irecv {
+                from,
+                block,
+                tag,
+                req,
+            } => {
+                let jf = self.noise(rank);
+                let len = block.len;
+                enum Matched {
+                    Unexpected(f64),
+                    Rdv(RdvSend),
+                    Posted,
+                }
+                let (post_time, matched) = {
+                    let st = &mut self.ranks[rank as usize];
+                    st.clock += (self.model.o_recv
+                        + self.model.queue_search * st.unexpected_len as f64)
+                        * jf;
+                    st.pc += 1;
+                    let post_time = st.clock;
+                    let m = if let Some(msg) = st
+                        .unexpected
+                        .get_mut(&(from, tag))
+                        .and_then(|q| q.pop_front())
+                    {
+                        debug_assert_eq!(msg.len, len);
+                        st.unexpected_len -= 1;
+                        Matched::Unexpected(msg.arrival)
+                    } else if let Some(rs) =
+                        st.rdv.get_mut(&(from, tag)).and_then(|q| q.pop_front())
+                    {
+                        debug_assert_eq!(rs.len, len);
+                        Matched::Rdv(rs)
+                    } else {
+                        st.posted.entry((from, tag)).or_default().push_back(PostedRecv {
+                            len,
+                            post_time,
+                            req,
+                        });
+                        st.posted_len += 1;
+                        Matched::Posted
+                    };
+                    (post_time, m)
+                };
+                match matched {
+                    Matched::Unexpected(arrival) => {
+                        let done = post_time.max(arrival) + self.model.match_base;
+                        self.complete_req(rank, req, done);
+                    }
+                    Matched::Rdv(rs) => {
+                        let alpha = self.model.level(self.grid.level(from, rank)).alpha;
+                        let t0 = rs.ready.max(post_time + alpha);
+                        let (arrival, tx_end) = self.transport(from, rank, len, t0);
+                        self.complete_req(from, rs.send_req, tx_end);
+                        self.complete_req(rank, req, arrival + self.model.match_base);
+                    }
+                    Matched::Posted => {}
+                }
+            }
+            Op::WaitAll { first_req, count } => {
+                let st = &mut self.ranks[rank as usize];
+                let mut latest = st.clock;
+                let mut ready = true;
+                for r in first_req..first_req + count {
+                    let t = st.req_time[r as usize];
+                    if t.is_nan() {
+                        ready = false;
+                        break;
+                    }
+                    latest = latest.max(t);
+                }
+                if ready {
+                    st.clock = latest;
+                    st.pc += 1;
+                } else {
+                    st.parked = Some((first_req, count));
+                }
+            }
+        }
+        // Attribute elapsed time to the op's phase and reschedule.
+        let push = {
+            let st = &mut self.ranks[rank as usize];
+            st.phase_time[phase] += st.clock - old_clock;
+            if st.parked.is_none() && st.pc < st.ops.len() {
+                Some(st.clock)
+            } else {
+                None
+            }
+        };
+        if let Some(clock) = push {
+            self.heap.push(Reverse(Key(clock, rank)));
+        }
+    }
+}
+
+/// Simulate `source` on `grid` under `model`. Returns per-rank completion
+/// times and per-phase breakdowns in a [`SimReport`].
+pub fn simulate(
+    source: &dyn ScheduleSource,
+    grid: &ProcGrid,
+    model: &CostModel,
+    opts: &SimOptions,
+) -> Result<SimReport, SimError> {
+    let n = source.nranks();
+    assert_eq!(n, grid.world_size(), "schedule/grid world size mismatch");
+    let phase_names: Vec<String> = source.phase_names().iter().map(|s| s.to_string()).collect();
+    let nphases = phase_names.len().max(1);
+
+    let mut ranks = Vec::with_capacity(n);
+    for r in 0..n as Rank {
+        let prog = source.build_rank(r);
+        let n_reqs = prog.n_reqs as usize;
+        ranks.push(RankSim {
+            ops: prog.ops,
+            pc: 0,
+            clock: 0.0,
+            req_time: vec![PENDING; n_reqs],
+            parked: None,
+            posted: HashMap::new(),
+            unexpected: HashMap::new(),
+            rdv: HashMap::new(),
+            posted_len: 0,
+            unexpected_len: 0,
+            phase_time: vec![0.0; nphases],
+            rng: opts
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((r as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95))
+                | 1,
+        });
+    }
+
+    let m = grid.machine();
+    let nodes = m.nodes;
+    let sockets = nodes * m.sockets_per_node;
+    let numas = sockets * m.numa_per_socket;
+    let mut engine = Engine {
+        grid,
+        model,
+        jitter: opts.jitter,
+        ranks,
+        heap: BinaryHeap::with_capacity(n),
+        nic_tx: vec![0.0; nodes],
+        nic_rx: vec![0.0; nodes],
+        msgs_per_level: [0; 4],
+        bytes_per_level: [0; 4],
+        numa_bus: vec![0.0; numas],
+        socket_bus: vec![0.0; sockets],
+        upi_bus: vec![0.0; nodes],
+    };
+    for r in 0..n as Rank {
+        if !engine.ranks[r as usize].ops.is_empty() {
+            engine.heap.push(Reverse(Key(0.0, r)));
+        }
+    }
+
+    while let Some(Reverse(Key(_, rank))) = engine.heap.pop() {
+        engine.step(rank);
+    }
+
+    let unfinished = engine.ranks.iter().filter(|s| !s.done()).count();
+    if unfinished > 0 {
+        return Err(SimError::Deadlock { unfinished });
+    }
+
+    let rank_finish: Vec<f64> = engine.ranks.iter().map(|s| s.clock).collect();
+    let total_us = rank_finish.iter().cloned().fold(0.0, f64::max);
+    let mut phase_max = vec![0.0f64; nphases];
+    let mut phase_sum = vec![0.0f64; nphases];
+    for st in &engine.ranks {
+        for (p, &t) in st.phase_time.iter().enumerate() {
+            phase_max[p] = phase_max[p].max(t);
+            phase_sum[p] += t;
+        }
+    }
+    let phase_mean: Vec<f64> = phase_sum.iter().map(|s| s / n as f64).collect();
+    let phase_rank0 = engine.ranks[0].phase_time.clone();
+    Ok(SimReport {
+        total_us,
+        rank_finish,
+        phase_names,
+        phase_max_us: phase_max,
+        phase_mean_us: phase_mean,
+        phase_rank0_us: phase_rank0,
+        msgs_per_level: engine.msgs_per_level,
+        bytes_per_level: engine.bytes_per_level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_sched::{Block, Bytes, Phase, ProgBuilder, RankProgram, RBUF, SBUF};
+    use a2a_topo::Machine;
+
+    /// Two ranks exchanging one message each; configurable size and shape.
+    struct Swap {
+        s: Bytes,
+        grid: ProcGrid,
+    }
+
+    impl Swap {
+        fn internode(s: Bytes) -> Self {
+            Swap {
+                s,
+                grid: ProcGrid::new(Machine::custom("t", 2, 1, 1, 1)),
+            }
+        }
+        fn intranode(s: Bytes) -> Self {
+            Swap {
+                s,
+                grid: ProcGrid::new(Machine::custom("t", 1, 1, 1, 2)),
+            }
+        }
+    }
+
+    impl ScheduleSource for Swap {
+        fn nranks(&self) -> usize {
+            2
+        }
+        fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+            vec![self.s, self.s]
+        }
+        fn build_rank(&self, r: Rank) -> RankProgram {
+            let peer = 1 - r;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, 0, self.s),
+                0,
+                peer,
+                Block::new(RBUF, 0, self.s),
+                0,
+            );
+            b.finish()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            vec!["exchange"]
+        }
+    }
+
+    fn sim(src: &Swap) -> SimReport {
+        simulate(
+            src,
+            &src.grid.clone(),
+            &crate::models::dane(),
+            &SimOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn internode_swap_has_sane_time() {
+        let src = Swap::internode(1024);
+        let rep = sim(&src);
+        let m = crate::models::dane();
+        // Must at least pay posting + NIC + wire + match.
+        let lower = m.o_send + m.nic_occupancy(1024) + m.level(Level::InterNode).wire(1024);
+        assert!(rep.total_us > lower, "{} <= {lower}", rep.total_us);
+        assert!(rep.total_us < 100.0, "unreasonably slow: {}", rep.total_us);
+    }
+
+    #[test]
+    fn intranode_cheaper_than_internode() {
+        let a = sim(&Swap::intranode(4096)).total_us;
+        let b = sim(&Swap::internode(4096)).total_us;
+        assert!(a < b, "intra {a} >= inter {b}");
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let a = sim(&Swap::internode(64)).total_us;
+        let b = sim(&Swap::internode(65536)).total_us;
+        assert!(a < b);
+    }
+
+    #[test]
+    fn rendezvous_kicks_in_above_threshold() {
+        let m = crate::models::dane();
+        let small = sim(&Swap::internode(m.eager_threshold)).total_us;
+        let big = sim(&Swap::internode(m.eager_threshold + 1)).total_us;
+        assert!(big > small);
+    }
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let src = Swap::internode(512);
+        let a = sim(&src);
+        let b = sim(&src);
+        assert_eq!(a.total_us, b.total_us);
+        assert_eq!(a.rank_finish, b.rank_finish);
+    }
+
+    #[test]
+    fn jitter_changes_times_but_same_seed_reproduces() {
+        let src = Swap::internode(512);
+        let opts1 = SimOptions {
+            jitter: 0.05,
+            seed: 7,
+        };
+        let opts2 = SimOptions {
+            jitter: 0.05,
+            seed: 8,
+        };
+        let m = crate::models::dane();
+        let a = simulate(&src, &src.grid, &m, &opts1).unwrap().total_us;
+        let a2 = simulate(&src, &src.grid, &m, &opts1).unwrap().total_us;
+        let b = simulate(&src, &src.grid, &m, &opts2).unwrap().total_us;
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn phase_times_cover_rank_finish() {
+        let src = Swap::internode(512);
+        let rep = sim(&src);
+        let finish = rep.rank_finish.iter().cloned().fold(0.0, f64::max);
+        assert!((rep.phase_max_us[0] - finish).abs() < 1e-9);
+    }
+
+    /// A deadlocking schedule must be reported, not hang.
+    struct DeadSwap;
+
+    impl ScheduleSource for DeadSwap {
+        fn nranks(&self) -> usize {
+            2
+        }
+        fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+            vec![8, 8]
+        }
+        fn build_rank(&self, r: Rank) -> RankProgram {
+            let mut b = ProgBuilder::new(Phase(0));
+            // Recv that nobody sends.
+            b.recv(1 - r, Block::new(RBUF, 0, 8), 9);
+            b.finish()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            vec!["x"]
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let grid = ProcGrid::new(Machine::custom("t", 1, 1, 1, 2));
+        let err = simulate(
+            &DeadSwap,
+            &grid,
+            &crate::models::dane(),
+            &SimOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::Deadlock { unfinished: 2 });
+    }
+
+    #[test]
+    fn nic_serializes_node_traffic() {
+        // 2 ranks on node 0 each sending to their counterpart on node 1:
+        // with a shared NIC the second message arrives later than a single
+        // message would.
+        struct TwoSenders;
+        impl ScheduleSource for TwoSenders {
+            fn nranks(&self) -> usize {
+                4
+            }
+            fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+                vec![4096, 4096]
+            }
+            fn build_rank(&self, r: Rank) -> RankProgram {
+                let mut b = ProgBuilder::new(Phase(0));
+                match r {
+                    0 | 1 => b.send(r + 2, Block::new(SBUF, 0, 4096), 0),
+                    _ => b.recv(r - 2, Block::new(RBUF, 0, 4096), 0),
+                }
+                b.finish()
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["x"]
+            }
+        }
+        let grid = ProcGrid::new(Machine::custom("t", 2, 1, 1, 2));
+        let m = crate::models::dane();
+        let rep = simulate(&TwoSenders, &grid, &m, &SimOptions::default()).unwrap();
+        let d = (rep.rank_finish[2] - rep.rank_finish[3]).abs();
+        assert!(
+            d >= m.nic_occupancy(4096) * 0.9,
+            "NIC serialization not visible: delta {d}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_sender_blocks_until_receiver_posts() {
+        // Sender posts a big send immediately; receiver dawdles with local
+        // copies first. The sender's finish time must track the receiver.
+        struct LateRecv {
+            s: Bytes,
+            delay_copies: usize,
+        }
+        impl ScheduleSource for LateRecv {
+            fn nranks(&self) -> usize {
+                2
+            }
+            fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+                vec![self.s, self.s]
+            }
+            fn build_rank(&self, r: Rank) -> RankProgram {
+                let mut b = ProgBuilder::new(Phase(0));
+                if r == 0 {
+                    b.send(1, Block::new(SBUF, 0, self.s), 0);
+                } else {
+                    for _ in 0..self.delay_copies {
+                        b.copy(Block::new(SBUF, 0, self.s), Block::new(RBUF, 0, self.s));
+                    }
+                    b.recv(0, Block::new(RBUF, 0, self.s), 0);
+                }
+                b.finish()
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["x"]
+            }
+        }
+        let grid = ProcGrid::new(Machine::custom("t", 2, 1, 1, 1));
+        let m = crate::models::dane();
+        let big = m.eager_threshold * 4;
+        let fast = simulate(
+            &LateRecv {
+                s: big,
+                delay_copies: 0,
+            },
+            &grid,
+            &m,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let slow = simulate(
+            &LateRecv {
+                s: big,
+                delay_copies: 50,
+            },
+            &grid,
+            &m,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            slow.rank_finish[0] > fast.rank_finish[0] + 1.0,
+            "sender did not block on rendezvous: {} vs {}",
+            slow.rank_finish[0],
+            fast.rank_finish[0]
+        );
+    }
+
+    #[test]
+    fn numa_domains_are_parallel_but_upi_serializes() {
+        // Two big transfer pairs: staying in their own NUMA domains they
+        // proceed in parallel; both crossing sockets they share the node's
+        // UPI and serialize.
+        struct Pairs {
+            cross_socket: bool,
+        }
+        impl ScheduleSource for Pairs {
+            fn nranks(&self) -> usize {
+                8 // 2 sockets x 2 NUMA x 2 cores
+            }
+            fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+                vec![1 << 20, 1 << 20]
+            }
+            fn build_rank(&self, r: Rank) -> RankProgram {
+                // Aligned: 0->1 (NUMA 0), 2->3 (NUMA 1).
+                // Crossing: 0->4, 2->6 (both socket 0 -> socket 1).
+                let mut b = ProgBuilder::new(Phase(0));
+                let big = 1u64 << 20;
+                let peer_off: Rank = if self.cross_socket { 4 } else { 1 };
+                if r == 0 || r == 2 {
+                    b.send(r + peer_off, Block::new(SBUF, 0, big), 0);
+                } else if r >= peer_off && (r - peer_off == 0 || r - peer_off == 2) {
+                    b.recv(r - peer_off, Block::new(RBUF, 0, big), 0);
+                }
+                b.finish()
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["x"]
+            }
+        }
+        let grid = ProcGrid::new(Machine::custom("t", 1, 2, 2, 2));
+        let mut m = crate::models::dane();
+        m.eager_threshold_intra = 4 << 20; // keep the transfers eager
+        let par = simulate(
+            &Pairs { cross_socket: false },
+            &grid,
+            &m,
+            &SimOptions::default(),
+        )
+        .unwrap()
+        .total_us;
+        let ser = simulate(
+            &Pairs { cross_socket: true },
+            &grid,
+            &m,
+            &SimOptions::default(),
+        )
+        .unwrap()
+        .total_us;
+        let occupancy = (1u64 << 20) as f64 * m.upi_per_byte;
+        assert!(
+            ser > par + 0.5 * occupancy,
+            "UPI serialization invisible: parallel {par}, crossing {ser}"
+        );
+    }
+
+    #[test]
+    fn traffic_counters_track_levels() {
+        let src = Swap::internode(512);
+        let rep = sim(&src);
+        assert_eq!(rep.msgs_per_level, [0, 0, 0, 2]);
+        assert_eq!(rep.bytes_per_level, [0, 0, 0, 1024]);
+        let src = Swap::intranode(512);
+        let rep = sim(&src);
+        assert_eq!(rep.msgs_per_level, [2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn leader_phase_view_excludes_member_wait() {
+        // Rank 0 works; rank 1 waits for it. Rank 1's wait inflates the
+        // max view of the handoff phase but not rank 0's leader view.
+        struct Lopsided;
+        impl ScheduleSource for Lopsided {
+            fn nranks(&self) -> usize {
+                2
+            }
+            fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+                vec![4096, 4096]
+            }
+            fn build_rank(&self, r: Rank) -> RankProgram {
+                let mut b = ProgBuilder::new(Phase(0));
+                if r == 0 {
+                    for _ in 0..50 {
+                        b.copy(Block::new(SBUF, 0, 4096), Block::new(RBUF, 0, 4096));
+                    }
+                    b.set_phase(Phase(1));
+                    b.send(1, Block::new(SBUF, 0, 64), 0);
+                } else {
+                    b.set_phase(Phase(1));
+                    b.recv(0, Block::new(RBUF, 0, 64), 0);
+                }
+                b.finish()
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["work", "handoff"]
+            }
+        }
+        let grid = ProcGrid::new(Machine::custom("t", 1, 1, 1, 2));
+        let rep = simulate(
+            &Lopsided,
+            &grid,
+            &crate::models::dane(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(rep.phase("handoff").unwrap() > rep.phase_leader("handoff").unwrap() * 5.0);
+        assert!(rep.phase_rank0_us[0] > rep.phase_rank0_us[1] * 10.0);
+    }
+
+    #[test]
+    fn queue_search_penalizes_deep_queues() {
+        // One receiver; many senders with eager messages arriving before
+        // any receive posts. The receiver's posting cost grows with the
+        // unexpected-queue depth; total must exceed the single-sender case
+        // by more than the extra wire time alone.
+        struct Fan {
+            k: usize,
+        }
+        impl ScheduleSource for Fan {
+            fn nranks(&self) -> usize {
+                self.k + 1
+            }
+            fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+                vec![64 * self.k as Bytes, 64 * self.k as Bytes]
+            }
+            fn build_rank(&self, r: Rank) -> RankProgram {
+                let mut b = ProgBuilder::new(Phase(0));
+                if r == 0 {
+                    // Delay, then post all receives.
+                    for _ in 0..20 {
+                        b.copy(Block::new(SBUF, 0, 64), Block::new(RBUF, 0, 64));
+                    }
+                    let first = b.req_mark();
+                    for i in 0..self.k {
+                        b.irecv(
+                            i as Rank + 1,
+                            Block::new(RBUF, i as Bytes * 64, 64),
+                            0,
+                        );
+                    }
+                    b.waitall(first, self.k as u32);
+                } else {
+                    b.send(0, Block::new(SBUF, 0, 64), 0);
+                }
+                b.finish()
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["x"]
+            }
+        }
+        let m = crate::models::dane();
+        let g1 = ProcGrid::new(Machine::custom("t", 1, 1, 1, 33));
+        let rep = simulate(&Fan { k: 32 }, &g1, &m, &SimOptions::default()).unwrap();
+        // Receiver posting cost alone: sum over posts of qs * depth where
+        // depth starts at 32.
+        let min_queue_cost: f64 = (0..32).map(|i| m.queue_search * (32 - i) as f64).sum();
+        assert!(
+            rep.rank_finish[0] > min_queue_cost,
+            "queue search not charged"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! The cost model: a LogGP-style parameterization extended with the shared
+//! per-node resources that dominate many-core nodes.
+//!
+//! All times are microseconds; all sizes are bytes. Bandwidths are
+//! expressed as reciprocal throughput (µs per byte) so costs compose by
+//! addition.
+
+use a2a_topo::Level;
+use serde::{Deserialize, Serialize};
+
+/// Per-locality-level point-to-point cost: `alpha + bytes * beta`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelCost {
+    /// One-way latency (µs).
+    pub alpha: f64,
+    /// Reciprocal pair bandwidth (µs/byte).
+    pub beta: f64,
+}
+
+impl LevelCost {
+    pub fn new(alpha: f64, gb_per_s: f64) -> Self {
+        LevelCost {
+            alpha,
+            beta: 1.0 / (gb_per_s * 1000.0),
+        }
+    }
+
+    /// Wire time for a message of `bytes`.
+    pub fn wire(&self, bytes: u64) -> f64 {
+        self.alpha + bytes as f64 * self.beta
+    }
+}
+
+/// Full machine cost model. See module docs for semantics; `engine.rs` is
+/// the authoritative interpretation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Human-readable name (matches the machine preset it calibrates).
+    pub name: String,
+    /// Pair cost per locality level, indexed IntraNuma, IntraSocket,
+    /// InterSocket, InterNode.
+    pub levels: [LevelCost; 4],
+    /// CPU time to post a send (µs).
+    pub o_send: f64,
+    /// CPU time to post a receive (µs).
+    pub o_recv: f64,
+    /// Base matching cost charged when a message meets its receive (µs).
+    pub match_base: f64,
+    /// Additional matching cost per queue entry scanned (µs/entry) — the
+    /// queue-search overhead that penalizes massive non-blocking windows.
+    pub queue_search: f64,
+    /// Fixed cost of a local copy op (µs).
+    pub copy_base: f64,
+    /// Reciprocal single-core memcpy bandwidth (µs/byte).
+    pub copy_per_byte: f64,
+    /// Inter-node messages at or below this size use the eager protocol;
+    /// larger ones pay a rendezvous handshake and start only after the
+    /// receive posts.
+    pub eager_threshold: u64,
+    /// Intra-node (shared-memory path) eager threshold — production MPIs
+    /// use a much larger cutoff for shm than for the fabric.
+    pub eager_threshold_intra: u64,
+    /// Per-node NIC serialization: reciprocal injection bandwidth
+    /// (µs/byte). All of a node's inter-node traffic funnels through this.
+    pub nic_per_byte: f64,
+    /// Per-message NIC processing time (µs), serialized at the NIC —
+    /// reciprocal message rate.
+    pub nic_per_msg: f64,
+    /// Per-NUMA-domain (and per-socket) serialization for intra-node
+    /// transfers that stay within a socket (µs/byte). Each NUMA domain and
+    /// each socket is its own resource, so NUMA-aligned traffic from
+    /// different domains proceeds in parallel.
+    pub mem_per_byte: f64,
+    /// Per-node cross-socket (UPI / Infinity Fabric) serialization
+    /// (µs/byte): all of a node's socket-crossing traffic funnels through
+    /// this — the "complexity of intra-node communication" the paper's
+    /// §4.3 identifies as the reason locality-aware grouping wins at large
+    /// sizes.
+    pub upi_per_byte: f64,
+}
+
+impl CostModel {
+    /// Level cost for a pair at `level`.
+    pub fn level(&self, level: Level) -> LevelCost {
+        match level {
+            Level::SelfRank => LevelCost { alpha: 0.0, beta: 0.0 },
+            Level::IntraNuma => self.levels[0],
+            Level::IntraSocket => self.levels[1],
+            Level::InterSocket => self.levels[2],
+            Level::InterNode => self.levels[3],
+        }
+    }
+
+    /// Cost of one local copy of `bytes`.
+    pub fn copy_cost(&self, bytes: u64) -> f64 {
+        self.copy_base + bytes as f64 * self.copy_per_byte
+    }
+
+    /// Whether a message of `bytes` at `level` uses the rendezvous
+    /// protocol (separate shm and fabric cutoffs).
+    pub fn is_rendezvous(&self, bytes: u64, level: Level) -> bool {
+        if level == Level::InterNode {
+            bytes > self.eager_threshold
+        } else {
+            bytes > self.eager_threshold_intra
+        }
+    }
+
+    /// Time the NIC is occupied injecting (or ejecting) one message.
+    pub fn nic_occupancy(&self, bytes: u64) -> f64 {
+        self.nic_per_msg + bytes as f64 * self.nic_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn levelcost_wire_math() {
+        let c = LevelCost::new(1.0, 10.0); // 10 GB/s
+        assert!((c.wire(10_000) - 2.0).abs() < 1e-9); // 1µs + 1µs
+    }
+
+    #[test]
+    fn level_lookup_ordering() {
+        let m = models::dane();
+        // Latency must grow with distance.
+        assert!(m.level(Level::IntraNuma).alpha < m.level(Level::IntraSocket).alpha);
+        assert!(m.level(Level::IntraSocket).alpha < m.level(Level::InterSocket).alpha);
+        assert!(m.level(Level::InterSocket).alpha < m.level(Level::InterNode).alpha);
+        // Self transfers are free at the wire level.
+        assert_eq!(m.level(Level::SelfRank).alpha, 0.0);
+    }
+
+    #[test]
+    fn rendezvous_switch() {
+        let m = models::dane();
+        assert!(!m.is_rendezvous(m.eager_threshold, Level::InterNode));
+        assert!(m.is_rendezvous(m.eager_threshold + 1, Level::InterNode));
+        // The shm path stays eager far longer.
+        assert!(!m.is_rendezvous(m.eager_threshold + 1, Level::IntraNuma));
+        assert!(m.is_rendezvous(m.eager_threshold_intra + 1, Level::InterSocket));
+    }
+
+    #[test]
+    fn nic_occupancy_monotone() {
+        let m = models::dane();
+        assert!(m.nic_occupancy(0) > 0.0);
+        assert!(m.nic_occupancy(4096) > m.nic_occupancy(64));
+    }
+}

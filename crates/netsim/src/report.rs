@@ -1,0 +1,85 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one simulated collective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Completion time of the slowest rank (µs) — the collective's latency.
+    pub total_us: f64,
+    /// Per-rank completion times (µs).
+    pub rank_finish: Vec<f64>,
+    /// Phase labels from the schedule.
+    pub phase_names: Vec<String>,
+    /// Per-phase time of the slowest rank in that phase (µs) — the paper's
+    /// breakdown bars (Figures 13–16).
+    pub phase_max_us: Vec<f64>,
+    /// Per-phase mean across ranks (µs).
+    pub phase_mean_us: Vec<f64>,
+    /// Rank 0's per-phase times (µs). Rank 0 is a leader in every
+    /// algorithm here, so this is the "leader's stopwatch" view the
+    /// paper's per-phase timers correspond to (a member's blocking scatter
+    /// receive would otherwise absorb the whole pipeline as wait time).
+    pub phase_rank0_us: Vec<f64>,
+    /// Messages transported, by locality level (IntraNuma, IntraSocket,
+    /// InterSocket, InterNode) — must agree with the static validator.
+    pub msgs_per_level: [usize; 4],
+    /// Payload bytes transported, by locality level.
+    pub bytes_per_level: [u64; 4],
+}
+
+impl SimReport {
+    /// Max-phase time by label, if present.
+    pub fn phase(&self, name: &str) -> Option<f64> {
+        self.phase_names
+            .iter()
+            .position(|p| p == name)
+            .map(|i| self.phase_max_us[i])
+    }
+
+    /// Rank 0's (leader's) phase time by label — the paper's per-phase
+    /// stopwatch view.
+    pub fn phase_leader(&self, name: &str) -> Option<f64> {
+        self.phase_names
+            .iter()
+            .position(|p| p == name)
+            .map(|i| self.phase_rank0_us[i])
+    }
+
+    /// Earliest rank finish (µs).
+    pub fn min_finish(&self) -> f64 {
+        self.rank_finish.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean rank finish (µs).
+    pub fn mean_finish(&self) -> f64 {
+        self.rank_finish.iter().sum::<f64>() / self.rank_finish.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep() -> SimReport {
+        SimReport {
+            total_us: 10.0,
+            rank_finish: vec![4.0, 10.0, 7.0],
+            phase_names: vec!["a".into(), "b".into()],
+            phase_max_us: vec![6.0, 5.0],
+            phase_mean_us: vec![3.0, 4.0],
+            phase_rank0_us: vec![2.0, 2.0],
+            msgs_per_level: [1, 0, 0, 2],
+            bytes_per_level: [64, 0, 0, 128],
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let r = rep();
+        assert_eq!(r.phase("a"), Some(6.0));
+        assert_eq!(r.phase("zz"), None);
+        assert_eq!(r.min_finish(), 4.0);
+        assert!((r.mean_finish() - 7.0).abs() < 1e-12);
+    }
+}

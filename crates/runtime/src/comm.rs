@@ -1,0 +1,367 @@
+//! The per-rank communicator handle and the schedule interpreter.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use a2a_core::{A2AContext, AlltoallAlgorithm};
+use a2a_sched::{Block, Op};
+use a2a_topo::ProcGrid;
+
+use crate::fabric::Fabric;
+
+/// One rank's view of the world: MPI-shaped point-to-point plus the
+/// all-to-all schedule interpreter.
+pub struct ThreadComm {
+    rank: u32,
+    fabric: Arc<Fabric>,
+}
+
+/// Result of a timed all-to-all execution.
+#[derive(Debug, Clone, Copy)]
+pub struct AlltoallRun {
+    /// Wall-clock time this rank spent inside the collective.
+    pub elapsed: Duration,
+}
+
+impl ThreadComm {
+    pub(crate) fn new(rank: u32, fabric: Arc<Fabric>) -> Self {
+        ThreadComm { rank, fabric }
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn size(&self) -> u32 {
+        self.fabric.size() as u32
+    }
+
+    /// Buffered (eager) send: never blocks.
+    pub fn send(&self, to: u32, tag: u32, data: &[u8]) {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        self.fabric.send(self.rank, to, tag, data.to_vec());
+    }
+
+    /// Blocking matched receive into `buf` (length must match the message).
+    pub fn recv(&self, from: u32, tag: u32, buf: &mut [u8]) {
+        let msg = self.fabric.recv(self.rank, from, tag);
+        assert_eq!(
+            msg.len(),
+            buf.len(),
+            "rank {}: message from {from} tag {tag} has {} bytes, buffer {}",
+            self.rank,
+            msg.len(),
+            buf.len()
+        );
+        buf.copy_from_slice(&msg);
+    }
+
+    /// `MPI_Sendrecv`: safe under buffered sends (send first, then recv).
+    pub fn sendrecv(
+        &self,
+        to: u32,
+        stag: u32,
+        sdata: &[u8],
+        from: u32,
+        rtag: u32,
+        rbuf: &mut [u8],
+    ) {
+        self.send(to, stag, sdata);
+        self.recv(from, rtag, rbuf);
+    }
+
+    /// World barrier.
+    pub fn barrier(&self) {
+        self.fabric.barrier();
+    }
+
+    /// Execute an all-to-all using `algo`'s compiled schedule: `sbuf` holds
+    /// `n` blocks of `block_bytes` ordered by destination; on return `rbuf`
+    /// holds `n` blocks ordered by source.
+    ///
+    /// # Panics
+    /// Panics if `grid` does not match the world size or the buffers are
+    /// not `n * block_bytes` long.
+    pub fn alltoall(
+        &self,
+        algo: &dyn AlltoallAlgorithm,
+        grid: &ProcGrid,
+        block_bytes: u64,
+        sbuf: &[u8],
+        rbuf: &mut [u8],
+    ) {
+        let n = grid.world_size();
+        assert_eq!(n as u32, self.size(), "grid/world size mismatch");
+        let total = n as u64 * block_bytes;
+        assert_eq!(sbuf.len() as u64, total, "send buffer size");
+        assert_eq!(rbuf.len() as u64, total, "recv buffer size");
+
+        let ctx = A2AContext::new(grid.clone(), block_bytes);
+        let sizes = algo.buffers(&ctx, self.rank);
+        let prog = algo.build_rank(&ctx, self.rank);
+        let out = self.run_program(&sizes, &prog, sbuf);
+        rbuf.copy_from_slice(&out);
+    }
+
+    /// Execute an allgather: `contribution` is this rank's `block_bytes`
+    /// payload; on return `rbuf` (`n * block_bytes`) holds every rank's
+    /// contribution in rank order.
+    pub fn allgather(
+        &self,
+        algo: &dyn a2a_core::collectives::AllgatherAlgorithm,
+        grid: &ProcGrid,
+        block_bytes: u64,
+        contribution: &[u8],
+        rbuf: &mut [u8],
+    ) {
+        let n = grid.world_size();
+        assert_eq!(n as u32, self.size(), "grid/world size mismatch");
+        assert_eq!(contribution.len() as u64, block_bytes, "contribution size");
+        assert_eq!(rbuf.len() as u64, n as u64 * block_bytes, "recv buffer size");
+        let ctx = A2AContext::new(grid.clone(), block_bytes);
+        let sizes = algo.buffers(&ctx, self.rank);
+        let prog = algo.build_rank(&ctx, self.rank);
+        let out = self.run_program(&sizes, &prog, contribution);
+        rbuf.copy_from_slice(&out);
+    }
+
+    /// Execute a broadcast: on the root, `payload` must be `Some(bytes)`;
+    /// on return `rbuf` holds the payload on every rank.
+    pub fn bcast(
+        &self,
+        algo: &dyn a2a_core::collectives::BcastAlgorithm,
+        grid: &ProcGrid,
+        root: u32,
+        payload: Option<&[u8]>,
+        rbuf: &mut [u8],
+    ) {
+        assert_eq!(grid.world_size() as u32, self.size(), "grid/world size");
+        let len = rbuf.len() as u64;
+        let ctx = A2AContext::new(grid.clone(), len);
+        let sizes = algo.buffers(&ctx, self.rank, root);
+        let prog = algo.build_rank(&ctx, self.rank, root);
+        let sbuf: &[u8] = if self.rank == root {
+            payload.expect("root must supply the payload")
+        } else {
+            &[]
+        };
+        let out = self.run_program(&sizes, &prog, sbuf);
+        rbuf.copy_from_slice(&out);
+    }
+
+    /// Interpret one rank's compiled program with real buffers: `sbuf_init`
+    /// seeds buffer 0; buffer 1 (`RBUF`) is returned.
+    fn run_program(
+        &self,
+        sizes: &[u64],
+        prog: &a2a_sched::RankProgram,
+        sbuf_init: &[u8],
+    ) -> Vec<u8> {
+        let mut bufs: Vec<Vec<u8>> = sizes.iter().map(|&s| vec![0u8; s as usize]).collect();
+        assert!(
+            bufs[0].len() >= sbuf_init.len(),
+            "rank {}: send buffer smaller than init data",
+            self.rank
+        );
+        bufs[0][..sbuf_init.len()].copy_from_slice(sbuf_init);
+
+        // Pending receive requests: req id -> (from, tag, destination).
+        let mut pending: HashMap<u32, (u32, u32, Block)> = HashMap::new();
+        for top in &prog.ops {
+            match top.op {
+                Op::Isend { to, block, tag, .. } => {
+                    let data =
+                        bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
+                            .to_vec();
+                    self.fabric.send(self.rank, to, tag, data);
+                }
+                Op::Irecv {
+                    from, block, tag, req,
+                } => {
+                    pending.insert(req, (from, tag, block));
+                }
+                Op::WaitAll { first_req, count } => {
+                    // Sends complete eagerly; drain receives in posting
+                    // order (request ids are allocated in program order).
+                    for req in first_req..first_req + count {
+                        if let Some((from, tag, block)) = pending.remove(&req) {
+                            let msg = self.fabric.recv(self.rank, from, tag);
+                            assert_eq!(
+                                msg.len() as u64,
+                                block.len,
+                                "rank {}: schedule length mismatch from {from} tag {tag}",
+                                self.rank
+                            );
+                            bufs[block.buf.0 as usize]
+                                [block.off as usize..block.end() as usize]
+                                .copy_from_slice(&msg);
+                        }
+                    }
+                }
+                Op::Copy { src, dst } => {
+                    let data = bufs[src.buf.0 as usize]
+                        [src.off as usize..src.end() as usize]
+                        .to_vec();
+                    bufs[dst.buf.0 as usize][dst.off as usize..dst.end() as usize]
+                        .copy_from_slice(&data);
+                }
+            }
+        }
+        assert!(
+            pending.is_empty(),
+            "rank {}: {} receives never waited on",
+            self.rank,
+            pending.len()
+        );
+        bufs.swap_remove(1)
+    }
+
+    /// Barrier-synchronized, timed all-to-all (for benchmarking).
+    pub fn timed_alltoall(
+        &self,
+        algo: &dyn AlltoallAlgorithm,
+        grid: &ProcGrid,
+        block_bytes: u64,
+        sbuf: &[u8],
+        rbuf: &mut [u8],
+    ) -> AlltoallRun {
+        self.barrier();
+        let start = Instant::now();
+        self.alltoall(algo, grid, block_bytes, sbuf, rbuf);
+        let elapsed = start.elapsed();
+        self.barrier();
+        AlltoallRun { elapsed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadWorld;
+    use a2a_core::{
+        BruckAlltoall, ExchangeKind, HierarchicalAlltoall, MpichShmAlltoall,
+        MultileaderNodeAwareAlltoall, NodeAwareAlltoall, NonblockingAlltoall, PairwiseAlltoall,
+    };
+    use a2a_sched::{check_alltoall_rbuf, fill_alltoall_sbuf};
+    use a2a_topo::{Machine, ProcGrid};
+
+    fn run_algo(algo: &dyn AlltoallAlgorithm, grid: ProcGrid, s: u64) {
+        let n = grid.world_size();
+        let total = (n as u64 * s) as usize;
+        let grid = &grid;
+        ThreadWorld::run(n, move |comm| {
+            let mut sbuf = vec![0u8; total];
+            let mut rbuf = vec![0u8; total];
+            fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
+            comm.alltoall(algo, grid, s, &sbuf, &mut rbuf);
+            check_alltoall_rbuf(comm.rank(), n, s, &rbuf)
+                .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
+        });
+    }
+
+    fn grid(nodes: usize) -> ProcGrid {
+        ProcGrid::new(Machine::custom("t", nodes, 2, 1, 3)) // 6 ppn
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        ThreadWorld::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"hello");
+                let mut buf = [0u8; 5];
+                comm.recv(1, 2, &mut buf);
+                assert_eq!(&buf, b"world");
+            } else {
+                let mut buf = [0u8; 5];
+                comm.recv(0, 1, &mut buf);
+                assert_eq!(&buf, b"hello");
+                comm.send(0, 2, b"world");
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_rotation() {
+        let vals = ThreadWorld::run(5, |comm| {
+            let n = comm.size();
+            let right = (comm.rank() + 1) % n;
+            let left = (comm.rank() + n - 1) % n;
+            let mut got = [0u8; 1];
+            comm.sendrecv(right, 0, &[comm.rank() as u8], left, 0, &mut got);
+            got[0]
+        });
+        assert_eq!(vals, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn threaded_pairwise_alltoall() {
+        run_algo(&PairwiseAlltoall, grid(2), 8);
+    }
+
+    #[test]
+    fn threaded_nonblocking_alltoall() {
+        run_algo(&NonblockingAlltoall, grid(2), 8);
+    }
+
+    #[test]
+    fn threaded_bruck_alltoall() {
+        run_algo(&BruckAlltoall, grid(2), 8);
+    }
+
+    #[test]
+    fn threaded_hierarchical_and_multileader() {
+        run_algo(
+            &HierarchicalAlltoall::new(6, ExchangeKind::Pairwise),
+            grid(2),
+            4,
+        );
+        run_algo(
+            &HierarchicalAlltoall::new(3, ExchangeKind::Nonblocking),
+            grid(2),
+            4,
+        );
+    }
+
+    #[test]
+    fn threaded_node_and_locality_aware() {
+        run_algo(
+            &NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise),
+            grid(3),
+            4,
+        );
+        run_algo(
+            &NodeAwareAlltoall::locality_aware(3, ExchangeKind::Pairwise),
+            grid(3),
+            4,
+        );
+    }
+
+    #[test]
+    fn threaded_mlna_and_mpich_shm() {
+        run_algo(
+            &MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise),
+            grid(2),
+            4,
+        );
+        run_algo(&MpichShmAlltoall::default(), grid(2), 4);
+    }
+
+    #[test]
+    fn timed_alltoall_reports_duration() {
+        let g = grid(1);
+        let n = g.world_size();
+        let s = 16u64;
+        let total = (n as u64 * s) as usize;
+        let gref = &g;
+        let runs = ThreadWorld::run(n, move |comm| {
+            let mut sbuf = vec![0u8; total];
+            let mut rbuf = vec![0u8; total];
+            fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
+            let run = comm.timed_alltoall(&PairwiseAlltoall, gref, s, &sbuf, &mut rbuf);
+            check_alltoall_rbuf(comm.rank(), n, s, &rbuf).unwrap();
+            run.elapsed
+        });
+        assert!(runs.iter().all(|d| d.as_nanos() > 0));
+    }
+}

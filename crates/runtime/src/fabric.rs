@@ -1,0 +1,122 @@
+//! The shared message fabric: per-rank mailboxes with `(source, tag)`
+//! matching, FIFO within a key, and a world barrier.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Barrier;
+
+use parking_lot::{Condvar, Mutex};
+
+type Key = (u32, u32); // (source rank, tag)
+
+#[derive(Default)]
+struct MailState {
+    queues: HashMap<Key, VecDeque<Vec<u8>>>,
+}
+
+struct Mailbox {
+    state: Mutex<MailState>,
+    arrived: Condvar,
+}
+
+/// The world's communication state: one mailbox per rank plus a barrier.
+pub struct Fabric {
+    boxes: Vec<Mailbox>,
+    barrier: Barrier,
+    n: usize,
+}
+
+impl Fabric {
+    pub fn new(n: usize) -> Self {
+        Fabric {
+            boxes: (0..n)
+                .map(|_| Mailbox {
+                    state: Mutex::new(MailState::default()),
+                    arrived: Condvar::new(),
+                })
+                .collect(),
+            barrier: Barrier::new(n),
+            n,
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Buffered send: never blocks.
+    pub fn send(&self, from: u32, to: u32, tag: u32, data: Vec<u8>) {
+        let mbox = &self.boxes[to as usize];
+        let mut st = mbox.state.lock();
+        st.queues.entry((from, tag)).or_default().push_back(data);
+        mbox.arrived.notify_all();
+    }
+
+    /// Blocking matched receive: waits for the next message from `from`
+    /// with `tag`, FIFO within that key.
+    pub fn recv(&self, me: u32, from: u32, tag: u32) -> Vec<u8> {
+        let mbox = &self.boxes[me as usize];
+        let mut st = mbox.state.lock();
+        loop {
+            if let Some(q) = st.queues.get_mut(&(from, tag)) {
+                if let Some(msg) = q.pop_front() {
+                    return msg;
+                }
+            }
+            mbox.arrived.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking probe-and-receive.
+    pub fn try_recv(&self, me: u32, from: u32, tag: u32) -> Option<Vec<u8>> {
+        let mbox = &self.boxes[me as usize];
+        let mut st = mbox.state.lock();
+        st.queues.get_mut(&(from, tag)).and_then(|q| q.pop_front())
+    }
+
+    /// World barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_per_key() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 5, vec![1]);
+        f.send(0, 1, 5, vec![2]);
+        assert_eq!(f.recv(1, 0, 5), vec![1]);
+        assert_eq!(f.recv(1, 0, 5), vec![2]);
+    }
+
+    #[test]
+    fn tags_do_not_cross_match() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 7, vec![7]);
+        f.send(0, 1, 8, vec![8]);
+        assert_eq!(f.recv(1, 0, 8), vec![8]);
+        assert_eq!(f.recv(1, 0, 7), vec![7]);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let f = Fabric::new(2);
+        assert!(f.try_recv(1, 0, 0).is_none());
+        f.send(0, 1, 0, vec![9]);
+        assert_eq!(f.try_recv(1, 0, 0), Some(vec![9]));
+    }
+
+    #[test]
+    fn recv_wakes_on_late_send() {
+        let f = Arc::new(Fabric::new(2));
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.recv(1, 0, 3));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.send(0, 1, 3, vec![42]);
+        assert_eq!(h.join().unwrap(), vec![42]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Safe construction of rank programs.
+//!
+//! The builder owns request-id allocation (dense, in program order) and the
+//! current phase label, and provides the blocking-call sugar used by the
+//! algorithm implementations: `send`/`recv`/`sendrecv` lower to
+//! `Isend`/`Irecv` + `WaitAll` exactly as an MPI library would block.
+
+use a2a_topo::Rank;
+
+use crate::ir::{Block, Op, Phase, RankProgram, TimedOp};
+
+/// Builder for one rank's [`RankProgram`].
+#[derive(Debug)]
+pub struct ProgBuilder {
+    ops: Vec<TimedOp>,
+    next_req: u32,
+    phase: Phase,
+}
+
+impl ProgBuilder {
+    pub fn new(initial_phase: Phase) -> Self {
+        ProgBuilder {
+            ops: Vec::new(),
+            next_req: 0,
+            phase: initial_phase,
+        }
+    }
+
+    /// Label subsequent ops with `phase`.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Current phase label.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn push(&mut self, op: Op) {
+        self.ops.push(TimedOp {
+            op,
+            phase: self.phase,
+        });
+    }
+
+    /// Post a non-blocking send; returns its request id.
+    pub fn isend(&mut self, to: Rank, block: Block, tag: u32) -> u32 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.push(Op::Isend {
+            to,
+            block,
+            tag,
+            req,
+        });
+        req
+    }
+
+    /// Post a non-blocking receive; returns its request id.
+    pub fn irecv(&mut self, from: Rank, block: Block, tag: u32) -> u32 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.push(Op::Irecv {
+            from,
+            block,
+            tag,
+            req,
+        });
+        req
+    }
+
+    /// Wait on the contiguous request range `first .. first + count`.
+    ///
+    /// # Panics
+    /// Panics if the range names unallocated requests.
+    pub fn waitall(&mut self, first: u32, count: u32) {
+        assert!(
+            first + count <= self.next_req,
+            "waitall range {first}..{} exceeds allocated requests {}",
+            first + count,
+            self.next_req
+        );
+        if count > 0 {
+            self.push(Op::WaitAll {
+                first_req: first,
+                count,
+            });
+        }
+    }
+
+    /// Wait on a single request.
+    pub fn wait(&mut self, req: u32) {
+        self.waitall(req, 1);
+    }
+
+    /// Local copy (repack step).
+    ///
+    /// # Panics
+    /// Panics on length mismatch or a zero-length copy, both of which
+    /// indicate a layout bug in the calling algorithm.
+    pub fn copy(&mut self, src: Block, dst: Block) {
+        assert_eq!(src.len, dst.len, "copy length mismatch");
+        assert!(src.len > 0, "zero-length copy");
+        self.push(Op::Copy { src, dst });
+    }
+
+    /// Blocking send: isend + wait.
+    pub fn send(&mut self, to: Rank, block: Block, tag: u32) {
+        let r = self.isend(to, block, tag);
+        self.wait(r);
+    }
+
+    /// Blocking receive: irecv + wait.
+    pub fn recv(&mut self, from: Rank, block: Block, tag: u32) {
+        let r = self.irecv(from, block, tag);
+        self.wait(r);
+    }
+
+    /// `MPI_Sendrecv`: both transfers posted, then a joint wait — the
+    /// blocking structure pairwise exchange relies on.
+    pub fn sendrecv(
+        &mut self,
+        to: Rank,
+        sblock: Block,
+        stag: u32,
+        from: Rank,
+        rblock: Block,
+        rtag: u32,
+    ) {
+        let first = self.isend(to, sblock, stag);
+        self.irecv(from, rblock, rtag);
+        self.waitall(first, 2);
+    }
+
+    /// Number of requests allocated so far (the next id to be handed out).
+    pub fn req_mark(&self) -> u32 {
+        self.next_req
+    }
+
+    /// Ops recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn finish(self) -> RankProgram {
+        RankProgram {
+            ops: self.ops,
+            n_reqs: self.next_req,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{RBUF, SBUF};
+
+    fn blk(off: u64, len: u64) -> Block {
+        Block::new(SBUF, off, len)
+    }
+
+    #[test]
+    fn request_ids_are_dense_and_ordered() {
+        let mut b = ProgBuilder::new(Phase(0));
+        assert_eq!(b.isend(1, blk(0, 4), 0), 0);
+        assert_eq!(b.irecv(1, Block::new(RBUF, 0, 4), 0), 1);
+        assert_eq!(b.isend(2, blk(4, 4), 0), 2);
+        b.waitall(0, 3);
+        let p = b.finish();
+        assert_eq!(p.n_reqs, 3);
+        assert_eq!(p.ops.len(), 4);
+    }
+
+    #[test]
+    fn sendrecv_lowering() {
+        let mut b = ProgBuilder::new(Phase(2));
+        b.sendrecv(3, blk(0, 8), 5, 4, Block::new(RBUF, 0, 8), 5);
+        let p = b.finish();
+        assert_eq!(p.ops.len(), 3);
+        assert!(matches!(p.ops[0].op, Op::Isend { to: 3, req: 0, .. }));
+        assert!(matches!(p.ops[1].op, Op::Irecv { from: 4, req: 1, .. }));
+        assert!(matches!(
+            p.ops[2].op,
+            Op::WaitAll {
+                first_req: 0,
+                count: 2
+            }
+        ));
+        assert!(p.ops.iter().all(|t| t.phase == Phase(2)));
+    }
+
+    #[test]
+    fn blocking_send_recv_lowering() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.send(1, blk(0, 4), 0);
+        b.recv(1, Block::new(RBUF, 0, 4), 0);
+        let p = b.finish();
+        assert_eq!(p.ops.len(), 4);
+        assert!(matches!(
+            p.ops[1].op,
+            Op::WaitAll {
+                first_req: 0,
+                count: 1
+            }
+        ));
+        assert!(matches!(
+            p.ops[3].op,
+            Op::WaitAll {
+                first_req: 1,
+                count: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn phase_tracking() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.copy(blk(0, 4), Block::new(RBUF, 0, 4));
+        b.set_phase(Phase(1));
+        assert_eq!(b.phase(), Phase(1));
+        b.copy(blk(4, 4), Block::new(RBUF, 4, 4));
+        let p = b.finish();
+        assert_eq!(p.ops[0].phase, Phase(0));
+        assert_eq!(p.ops[1].phase, Phase(1));
+    }
+
+    #[test]
+    fn empty_waitall_elided() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.waitall(0, 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds allocated")]
+    fn waitall_on_unallocated_requests_panics() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.waitall(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_length_mismatch_panics() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.copy(blk(0, 4), Block::new(RBUF, 0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_copy_panics() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.copy(blk(0, 0), Block::new(RBUF, 0, 0));
+    }
+}

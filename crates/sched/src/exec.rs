@@ -1,0 +1,550 @@
+//! The data executor: runs a whole schedule on real byte buffers.
+//!
+//! This is the correctness oracle for every algorithm: it moves actual
+//! bytes through FIFO-matched mailboxes (matching on `(source, tag)`, in
+//! posting order, like MPI) and detects deadlocks, tag/peer mismatches,
+//! length mismatches, out-of-bounds accesses, and leftover messages.
+//!
+//! Execution is sequential and deterministic: ranks are advanced round-robin
+//! until all programs finish or no rank can make progress. Non-blocking
+//! semantics are honored — a rank runs past `Isend`/`Irecv` and only blocks
+//! at `WaitAll`, with sends completing eagerly (buffered), which matches the
+//! standard-mode MPI behaviour the paper's algorithms assume.
+
+use std::collections::{HashMap, VecDeque};
+
+use a2a_topo::Rank;
+
+use crate::ir::{Block, Bytes, Op, RankProgram};
+use crate::ScheduleSource;
+
+/// Execution failure, with enough context to debug the offending schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// No rank could make progress; lists `(rank, program counter)` of every
+    /// unfinished rank.
+    Deadlock { blocked: Vec<(Rank, usize)> },
+    /// A block referenced a buffer id the rank did not declare.
+    UnknownBuffer { rank: Rank, buf: u8 },
+    /// A block ran past the end of its buffer.
+    OutOfBounds {
+        rank: Rank,
+        buf: u8,
+        end: Bytes,
+        size: Bytes,
+    },
+    /// A received message's length differed from the posted receive block.
+    LengthMismatch {
+        rank: Rank,
+        from: Rank,
+        tag: u32,
+        sent: Bytes,
+        posted: Bytes,
+    },
+    /// Messages were sent but never received.
+    UnconsumedMessages { count: usize },
+    /// A receive was posted but never satisfied (and never waited on).
+    DanglingReceives { rank: Rank, count: usize },
+    /// A `WaitAll` named a request id never posted by a send or receive.
+    UnknownRequest { rank: Rank, req: u32 },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} ranks blocked", blocked.len())?;
+                for (r, pc) in blocked.iter().take(8) {
+                    write!(f, " (rank {r} at op {pc})")?;
+                }
+                Ok(())
+            }
+            ExecError::UnknownBuffer { rank, buf } => {
+                write!(f, "rank {rank}: unknown buffer id {buf}")
+            }
+            ExecError::OutOfBounds {
+                rank,
+                buf,
+                end,
+                size,
+            } => write!(
+                f,
+                "rank {rank}: access to byte {end} of buffer {buf} (size {size})"
+            ),
+            ExecError::LengthMismatch {
+                rank,
+                from,
+                tag,
+                sent,
+                posted,
+            } => write!(
+                f,
+                "rank {rank}: message from {from} tag {tag} has {sent} bytes, receive posted {posted}"
+            ),
+            ExecError::UnconsumedMessages { count } => {
+                write!(f, "{count} messages sent but never received")
+            }
+            ExecError::DanglingReceives { rank, count } => {
+                write!(f, "rank {rank}: {count} receives never satisfied")
+            }
+            ExecError::UnknownRequest { rank, req } => {
+                write!(f, "rank {rank}: wait on unknown request {req}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Summary of a successful execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Every rank's final receive buffer (`RBUF`).
+    pub rbufs: Vec<Vec<u8>>,
+    /// Messages delivered.
+    pub messages: usize,
+    /// Total message payload bytes.
+    pub message_bytes: Bytes,
+    /// Total locally copied (repack) bytes.
+    pub copy_bytes: Bytes,
+}
+
+#[derive(Debug)]
+struct PendingRecv {
+    from: Rank,
+    tag: u32,
+    block: Block,
+    req: u32,
+}
+
+struct RankState {
+    prog: RankProgram,
+    pc: usize,
+    bufs: Vec<Vec<u8>>,
+    req_done: Vec<bool>,
+    /// Posted-but-unmatched receives, in posting order.
+    pending: VecDeque<PendingRecv>,
+}
+
+impl RankState {
+    fn done(&self) -> bool {
+        self.pc >= self.prog.ops.len()
+    }
+}
+
+/// Sequential round-robin executor. See module docs.
+pub struct DataExecutor {
+    ranks: Vec<RankState>,
+    /// (from, to, tag) -> FIFO of message payloads.
+    mail: HashMap<(Rank, Rank, u32), VecDeque<Vec<u8>>>,
+    messages: usize,
+    message_bytes: Bytes,
+    copy_bytes: Bytes,
+}
+
+impl DataExecutor {
+    /// Execute `source`, filling each rank's send buffer with `fill`,
+    /// and return the final receive buffers.
+    pub fn run(
+        source: &dyn ScheduleSource,
+        mut fill: impl FnMut(Rank, &mut [u8]),
+    ) -> Result<ExecResult, ExecError> {
+        let n = source.nranks();
+        let mut ranks = Vec::with_capacity(n);
+        for r in 0..n as Rank {
+            let sizes = source.buffers(r);
+            let mut bufs: Vec<Vec<u8>> = sizes.iter().map(|&s| vec![0u8; s as usize]).collect();
+            if let Some(sbuf) = bufs.first_mut() {
+                fill(r, sbuf);
+            }
+            let prog = source.build_rank(r);
+            let n_reqs = prog.n_reqs as usize;
+            ranks.push(RankState {
+                prog,
+                pc: 0,
+                bufs,
+                req_done: vec![false; n_reqs],
+                pending: VecDeque::new(),
+            });
+        }
+        let mut exec = DataExecutor {
+            ranks,
+            mail: HashMap::new(),
+            messages: 0,
+            message_bytes: 0,
+            copy_bytes: 0,
+        };
+        exec.drive()?;
+        exec.finish()
+    }
+
+    fn drive(&mut self) -> Result<(), ExecError> {
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            for r in 0..self.ranks.len() {
+                progressed |= self.advance(r as Rank)?;
+                all_done &= self.ranks[r].done();
+            }
+            if all_done {
+                return Ok(());
+            }
+            if !progressed {
+                let blocked = self
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.done())
+                    .map(|(r, s)| (r as Rank, s.pc))
+                    .collect();
+                return Err(ExecError::Deadlock { blocked });
+            }
+        }
+    }
+
+    fn check_block(&self, rank: Rank, block: Block) -> Result<(), ExecError> {
+        let bufs = &self.ranks[rank as usize].bufs;
+        let idx = block.buf.0 as usize;
+        let size = match bufs.get(idx) {
+            Some(b) => b.len() as Bytes,
+            None => {
+                return Err(ExecError::UnknownBuffer {
+                    rank,
+                    buf: block.buf.0,
+                })
+            }
+        };
+        if block.end() > size {
+            return Err(ExecError::OutOfBounds {
+                rank,
+                buf: block.buf.0,
+                end: block.end(),
+                size,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_block(&self, rank: Rank, block: Block) -> Vec<u8> {
+        let buf = &self.ranks[rank as usize].bufs[block.buf.0 as usize];
+        buf[block.off as usize..block.end() as usize].to_vec()
+    }
+
+    fn write_block(&mut self, rank: Rank, block: Block, data: &[u8]) {
+        let buf = &mut self.ranks[rank as usize].bufs[block.buf.0 as usize];
+        buf[block.off as usize..block.end() as usize].copy_from_slice(data);
+    }
+
+    /// Try to satisfy rank's pending receives, in posting order.
+    fn progress_recvs(&mut self, rank: Rank) -> Result<bool, ExecError> {
+        let mut any = false;
+        let mut i = 0;
+        while i < self.ranks[rank as usize].pending.len() {
+            let (from, tag, block, req) = {
+                let p = &self.ranks[rank as usize].pending[i];
+                (p.from, p.tag, p.block, p.req)
+            };
+            let key = (from, rank, tag);
+            let msg = match self.mail.get_mut(&key) {
+                Some(q) if !q.is_empty() => q.pop_front().unwrap(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if msg.len() as Bytes != block.len {
+                return Err(ExecError::LengthMismatch {
+                    rank,
+                    from,
+                    tag,
+                    sent: msg.len() as Bytes,
+                    posted: block.len,
+                });
+            }
+            self.write_block(rank, block, &msg);
+            self.messages += 1;
+            self.message_bytes += msg.len() as Bytes;
+            let st = &mut self.ranks[rank as usize];
+            st.req_done[req as usize] = true;
+            st.pending.remove(i);
+            any = true;
+        }
+        Ok(any)
+    }
+
+    /// Advance one rank as far as possible; returns whether it progressed.
+    fn advance(&mut self, rank: Rank) -> Result<bool, ExecError> {
+        let mut progressed = self.progress_recvs(rank)?;
+        loop {
+            let st = &self.ranks[rank as usize];
+            if st.done() {
+                return Ok(progressed);
+            }
+            let top = st.prog.ops[st.pc];
+            match top.op {
+                Op::Isend {
+                    to, block, tag, req, ..
+                } => {
+                    self.check_block(rank, block)?;
+                    let data = self.read_block(rank, block);
+                    self.mail.entry((rank, to, tag)).or_default().push_back(data);
+                    let st = &mut self.ranks[rank as usize];
+                    st.req_done[req as usize] = true;
+                    st.pc += 1;
+                }
+                Op::Irecv {
+                    from, block, tag, req, ..
+                } => {
+                    self.check_block(rank, block)?;
+                    let st = &mut self.ranks[rank as usize];
+                    st.pending.push_back(PendingRecv {
+                        from,
+                        tag,
+                        block,
+                        req,
+                    });
+                    st.pc += 1;
+                }
+                Op::WaitAll { first_req, count } => {
+                    self.progress_recvs(rank)?;
+                    let st = &self.ranks[rank as usize];
+                    let mut ready = true;
+                    for req in first_req..first_req + count {
+                        match st.req_done.get(req as usize) {
+                            Some(true) => {}
+                            Some(false) => {
+                                ready = false;
+                                break;
+                            }
+                            None => return Err(ExecError::UnknownRequest { rank, req }),
+                        }
+                    }
+                    if !ready {
+                        return Ok(progressed);
+                    }
+                    self.ranks[rank as usize].pc += 1;
+                }
+                Op::Copy { src, dst } => {
+                    self.check_block(rank, src)?;
+                    self.check_block(rank, dst)?;
+                    let data = self.read_block(rank, src);
+                    self.write_block(rank, dst, &data);
+                    self.copy_bytes += data.len() as Bytes;
+                    self.ranks[rank as usize].pc += 1;
+                }
+            }
+            progressed = true;
+        }
+    }
+
+    fn finish(mut self) -> Result<ExecResult, ExecError> {
+        for (r, st) in self.ranks.iter().enumerate() {
+            if !st.pending.is_empty() {
+                return Err(ExecError::DanglingReceives {
+                    rank: r as Rank,
+                    count: st.pending.len(),
+                });
+            }
+        }
+        let leftover: usize = self.mail.values().map(|q| q.len()).sum();
+        if leftover > 0 {
+            return Err(ExecError::UnconsumedMessages { count: leftover });
+        }
+        let rbufs = self
+            .ranks
+            .iter_mut()
+            .map(|st| {
+                if st.bufs.len() > 1 {
+                    std::mem::take(&mut st.bufs[1])
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        Ok(ExecResult {
+            rbufs,
+            messages: self.messages,
+            message_bytes: self.message_bytes,
+            copy_bytes: self.copy_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgBuilder;
+    use crate::ir::{Phase, RBUF, SBUF};
+
+    /// A 2-rank ping-pong schedule for exercising the executor.
+    struct TwoRank {
+        progs: Vec<RankProgram>,
+        bufsize: Bytes,
+    }
+
+    impl ScheduleSource for TwoRank {
+        fn nranks(&self) -> usize {
+            2
+        }
+        fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+            vec![self.bufsize, self.bufsize]
+        }
+        fn build_rank(&self, r: Rank) -> RankProgram {
+            self.progs[r as usize].clone()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            vec!["all"]
+        }
+    }
+
+    fn swap_schedule() -> TwoRank {
+        let mut progs = Vec::new();
+        for me in 0..2u32 {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, 0, 8),
+                0,
+                peer,
+                Block::new(RBUF, 0, 8),
+                0,
+            );
+            progs.push(b.finish());
+        }
+        TwoRank { progs, bufsize: 8 }
+    }
+
+    #[test]
+    fn swap_moves_data() {
+        let res = DataExecutor::run(&swap_schedule(), |r, buf| {
+            buf.fill(r as u8 + 1);
+        })
+        .unwrap();
+        assert_eq!(res.rbufs[0], vec![2u8; 8]);
+        assert_eq!(res.rbufs[1], vec![1u8; 8]);
+        assert_eq!(res.messages, 2);
+        assert_eq!(res.message_bytes, 16);
+    }
+
+    #[test]
+    fn blocking_recv_before_send_deadlocks() {
+        // Both ranks do blocking recv first -> classic deadlock.
+        let mut progs = Vec::new();
+        for me in 0..2u32 {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.recv(peer, Block::new(RBUF, 0, 8), 0);
+            b.send(peer, Block::new(SBUF, 0, 8), 0);
+            progs.push(b.finish());
+        }
+        let err = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |_, _| {}).unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock { ref blocked } if blocked.len() == 2));
+    }
+
+    #[test]
+    fn nonblocking_recv_before_send_is_fine() {
+        let mut progs = Vec::new();
+        for me in 0..2u32 {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            let r0 = b.irecv(peer, Block::new(RBUF, 0, 8), 0);
+            b.isend(peer, Block::new(SBUF, 0, 8), 0);
+            b.waitall(r0, 2);
+            progs.push(b.finish());
+        }
+        DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |r, buf| buf.fill(r as u8)).unwrap();
+    }
+
+    #[test]
+    fn tag_mismatch_deadlocks() {
+        let mut progs = Vec::new();
+        for me in 0..2u32 {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            let r0 = b.irecv(peer, Block::new(RBUF, 0, 8), 1); // wrong tag
+            b.isend(peer, Block::new(SBUF, 0, 8), 0);
+            b.waitall(r0, 2);
+            progs.push(b.finish());
+        }
+        let err = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |_, _| {}).unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut progs = Vec::new();
+        for me in 0..2u32 {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            let rlen = if me == 0 { 4 } else { 8 };
+            let r0 = b.irecv(peer, Block::new(RBUF, 0, rlen), 0);
+            b.isend(peer, Block::new(SBUF, 0, 8), 0);
+            b.waitall(r0, 2);
+            progs.push(b.finish());
+        }
+        let err = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |_, _| {}).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::LengthMismatch {
+                sent: 8,
+                posted: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.copy(Block::new(SBUF, 4, 8), Block::new(RBUF, 0, 8));
+        let progs = vec![b.finish(), RankProgram::default()];
+        let err = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |_, _| {}).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { end: 12, size: 8, .. }));
+    }
+
+    #[test]
+    fn unconsumed_message_detected() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.isend(1, Block::new(SBUF, 0, 8), 0);
+        let progs = vec![b.finish(), RankProgram::default()];
+        let err = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |_, _| {}).unwrap_err();
+        assert_eq!(err, ExecError::UnconsumedMessages { count: 1 });
+    }
+
+    #[test]
+    fn fifo_ordering_per_source_and_tag() {
+        // Rank 0 sends two messages with the same tag; rank 1 must receive
+        // them in order.
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.isend(1, Block::new(SBUF, 0, 4), 0);
+        b0.isend(1, Block::new(SBUF, 4, 4), 0);
+        let mut b1 = ProgBuilder::new(Phase(0));
+        let r = b1.irecv(0, Block::new(RBUF, 0, 4), 0);
+        b1.irecv(0, Block::new(RBUF, 4, 4), 0);
+        b1.waitall(r, 2);
+        let progs = vec![b0.finish(), b1.finish()];
+        let res = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |r, buf| {
+            if r == 0 {
+                buf[..4].fill(0xAA);
+                buf[4..].fill(0xBB);
+            }
+        })
+        .unwrap();
+        assert_eq!(&res.rbufs[1][..4], &[0xAA; 4]);
+        assert_eq!(&res.rbufs[1][4..], &[0xBB; 4]);
+    }
+
+    #[test]
+    fn self_copy_via_copy_op() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.copy(Block::new(SBUF, 0, 8), Block::new(RBUF, 0, 8));
+        let progs = vec![b.finish(), RankProgram::default()];
+        let res = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |r, buf| {
+            buf.fill(r as u8 + 9)
+        })
+        .unwrap();
+        assert_eq!(res.rbufs[0], vec![9u8; 8]);
+        assert_eq!(res.copy_bytes, 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! The operation set.
+//!
+//! Four operations are enough to express every algorithm in the paper:
+//! non-blocking send/receive, a wait over a contiguous request range, and a
+//! local copy (the paper's "Repack Data" steps). Blocking calls are sugar
+//! lowered by the builder.
+
+use serde::{Deserialize, Serialize};
+
+use a2a_topo::Rank;
+
+/// Byte counts and buffer offsets.
+pub type Bytes = u64;
+
+/// Identifies one of a rank's buffers. By convention `SBUF` (0) is the
+/// user send buffer, `RBUF` (1) the user receive buffer; higher ids are
+/// algorithm-internal temporaries declared via `ScheduleSource::buffers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufId(pub u8);
+
+/// The user send buffer.
+pub const SBUF: BufId = BufId(0);
+/// The user receive buffer.
+pub const RBUF: BufId = BufId(1);
+/// First algorithm temporary.
+pub const TMP0: BufId = BufId(2);
+/// Second algorithm temporary.
+pub const TMP1: BufId = BufId(3);
+/// Third algorithm temporary.
+pub const TMP2: BufId = BufId(4);
+
+/// A contiguous byte range within one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Block {
+    pub buf: BufId,
+    pub off: Bytes,
+    pub len: Bytes,
+}
+
+impl Block {
+    pub fn new(buf: BufId, off: Bytes, len: Bytes) -> Self {
+        Block { buf, off, len }
+    }
+
+    /// End offset (exclusive).
+    pub fn end(&self) -> Bytes {
+        self.off + self.len
+    }
+}
+
+/// Phase label, indexing `ScheduleSource::phase_names`. Drives the paper's
+/// per-phase timing breakdowns (Figures 13–16): the simulator accumulates
+/// time per phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Phase(pub u8);
+
+/// One MPI-shaped operation. Request ids are rank-local and allocated
+/// densely by the builder; `WaitAll` names a contiguous id range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Post a non-blocking send of `block` to world rank `to`.
+    Isend {
+        to: Rank,
+        block: Block,
+        tag: u32,
+        req: u32,
+    },
+    /// Post a non-blocking receive into `block` from world rank `from`.
+    Irecv {
+        from: Rank,
+        block: Block,
+        tag: u32,
+        req: u32,
+    },
+    /// Block until requests `first_req .. first_req + count` all complete.
+    WaitAll { first_req: u32, count: u32 },
+    /// Local memory copy (repack). `src.len == dst.len`.
+    Copy { src: Block, dst: Block },
+}
+
+impl Op {
+    /// Bytes moved by this op (message or copy length), 0 for waits.
+    pub fn bytes(&self) -> Bytes {
+        match self {
+            Op::Isend { block, .. } | Op::Irecv { block, .. } => block.len,
+            Op::Copy { src, .. } => src.len,
+            Op::WaitAll { .. } => 0,
+        }
+    }
+}
+
+/// An op tagged with the phase it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedOp {
+    pub op: Op,
+    pub phase: Phase,
+}
+
+/// One rank's complete program.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RankProgram {
+    pub ops: Vec<TimedOp>,
+    /// Number of request ids allocated (ids are `0..n_reqs`).
+    pub n_reqs: u32,
+}
+
+impl RankProgram {
+    /// Total message count (sends only, so a matched pair counts once).
+    pub fn send_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|t| matches!(t.op, Op::Isend { .. }))
+            .count()
+    }
+
+    /// Total bytes sent by this rank.
+    pub fn send_bytes(&self) -> Bytes {
+        self.ops
+            .iter()
+            .map(|t| match t.op {
+                Op::Isend { block, .. } => block.len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes copied locally (repack traffic).
+    pub fn copy_bytes(&self) -> Bytes {
+        self.ops
+            .iter()
+            .map(|t| match t.op {
+                Op::Copy { src, .. } => src.len,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_end() {
+        let b = Block::new(SBUF, 16, 8);
+        assert_eq!(b.end(), 24);
+    }
+
+    #[test]
+    fn op_bytes() {
+        let blk = Block::new(SBUF, 0, 64);
+        assert_eq!(
+            Op::Isend {
+                to: 1,
+                block: blk,
+                tag: 0,
+                req: 0
+            }
+            .bytes(),
+            64
+        );
+        assert_eq!(
+            Op::Irecv {
+                from: 1,
+                block: blk,
+                tag: 0,
+                req: 0
+            }
+            .bytes(),
+            64
+        );
+        assert_eq!(
+            Op::Copy {
+                src: blk,
+                dst: Block::new(RBUF, 0, 64)
+            }
+            .bytes(),
+            64
+        );
+        assert_eq!(
+            Op::WaitAll {
+                first_req: 0,
+                count: 2
+            }
+            .bytes(),
+            0
+        );
+    }
+
+    #[test]
+    fn program_accounting() {
+        let blk = Block::new(SBUF, 0, 10);
+        let prog = RankProgram {
+            ops: vec![
+                TimedOp {
+                    op: Op::Isend {
+                        to: 1,
+                        block: blk,
+                        tag: 0,
+                        req: 0,
+                    },
+                    phase: Phase(0),
+                },
+                TimedOp {
+                    op: Op::Copy {
+                        src: blk,
+                        dst: Block::new(RBUF, 0, 10),
+                    },
+                    phase: Phase(0),
+                },
+                TimedOp {
+                    op: Op::Isend {
+                        to: 2,
+                        block: Block::new(SBUF, 10, 30),
+                        tag: 0,
+                        req: 1,
+                    },
+                    phase: Phase(1),
+                },
+            ],
+            n_reqs: 2,
+        };
+        assert_eq!(prog.send_count(), 2);
+        assert_eq!(prog.send_bytes(), 40);
+        assert_eq!(prog.copy_bytes(), 10);
+    }
+}

@@ -1,0 +1,68 @@
+//! Communication-schedule IR for collective algorithms.
+//!
+//! An all-to-all algorithm in this suite is not executed directly: it
+//! *compiles*, per rank, to a small program of MPI-shaped operations
+//! ([`ir::Op`]) over named byte buffers. Three independent executors consume
+//! the same programs:
+//!
+//! * the **data executor** in this crate ([`exec`]) moves real bytes through
+//!   matched mailboxes and proves the schedule performs an exact all-to-all
+//!   transpose;
+//! * the **discrete-event simulator** in `a2a-netsim` assigns virtual time
+//!   to every operation under a many-core cluster cost model;
+//! * the **threaded runtime** in `a2a-runtime` runs the program on OS
+//!   threads with real parallel data movement.
+//!
+//! Blocking MPI calls (`MPI_Send`, `MPI_Recv`, `MPI_Sendrecv`) are lowered
+//! by the [`builder`] to `Isend`/`Irecv` + `WaitAll`, which preserves their
+//! dependency structure (a `Sendrecv` blocks until both transfers complete)
+//! while keeping the executors uniform.
+//!
+//! # Example
+//!
+//! ```
+//! use a2a_sched::{Block, ProgBuilder, Phase, SBUF, RBUF};
+//!
+//! // Rank 0 of a 2-rank job: swap 8-byte blocks with rank 1.
+//! let mut b = ProgBuilder::new(Phase(0));
+//! b.copy(Block::new(SBUF, 0, 8), Block::new(RBUF, 0, 8)); // self block
+//! b.sendrecv(1, Block::new(SBUF, 8, 8), 7, 1, Block::new(RBUF, 8, 8), 7);
+//! let prog = b.finish();
+//! assert_eq!(prog.ops.len(), 4); // copy, isend, irecv, waitall
+//! ```
+
+pub mod builder;
+pub mod exec;
+pub mod ir;
+pub mod validate;
+pub mod verify;
+
+pub use builder::ProgBuilder;
+pub use exec::{DataExecutor, ExecError};
+pub use ir::{Block, BufId, Bytes, Op, Phase, RankProgram, TimedOp, RBUF, SBUF, TMP0, TMP1, TMP2};
+pub use validate::{validate, ScheduleStats, ValidationError};
+pub use verify::{
+    check_allgather_rbuf, check_alltoall_rbuf, fill_allgather_sbuf, fill_alltoall_sbuf,
+    pattern_byte, run_and_verify, run_and_verify_allgather, run_and_verify_bcast,
+};
+
+use a2a_topo::Rank;
+
+/// A complete schedule: per-rank programs plus per-rank buffer sizes,
+/// produced lazily so multi-thousand-rank schedules need not be resident
+/// all at once.
+pub trait ScheduleSource {
+    /// Number of ranks participating.
+    fn nranks(&self) -> usize;
+
+    /// Sizes of each rank's buffers, indexed by [`BufId`]. Index 0 is the
+    /// send buffer, index 1 the receive buffer; further entries are
+    /// algorithm temporaries (may differ per rank, e.g. leaders vs members).
+    fn buffers(&self, rank: Rank) -> Vec<Bytes>;
+
+    /// Build rank `rank`'s program.
+    fn build_rank(&self, rank: Rank) -> RankProgram;
+
+    /// Human-readable phase names; `Phase(i)` indexes this list.
+    fn phase_names(&self) -> Vec<&'static str>;
+}

@@ -1,0 +1,424 @@
+//! Structural validation of schedules, independent of execution.
+//!
+//! The validator proves, by inspection alone, that a schedule is
+//! *well-formed*: every send has exactly one matching receive (same peer,
+//! tag, and length, in FIFO order), every request is posted once and waited
+//! on, every block stays inside its declared buffer, and no rank messages
+//! itself (self-traffic must be a `Copy`). It also gathers the per-locality
+//! statistics (message and byte counts per level) that the paper's analysis
+//! sections reason about, which the invariant tests assert on.
+
+use std::collections::HashMap;
+
+use a2a_topo::{Level, ProcGrid, Rank};
+
+use crate::ir::{Block, Bytes, Op};
+use crate::ScheduleSource;
+
+/// Why a schedule is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Schedule rank count differs from the grid's world size.
+    WorldSizeMismatch { schedule: usize, grid: usize },
+    /// Block exceeds its declared buffer size (or names an undeclared one).
+    BadBlock { rank: Rank, block: Block, bufsize: Option<Bytes> },
+    /// `Isend` addressed to the sending rank itself.
+    SelfMessage { rank: Rank },
+    /// A message peer outside `0..nranks`.
+    BadPeer { rank: Rank, peer: Rank },
+    /// Request posted more than once, or `WaitAll` range out of bounds.
+    BadRequest { rank: Rank, req: u32 },
+    /// A posted request is never waited on.
+    UnwaitedRequest { rank: Rank, req: u32 },
+    /// Send/receive sequences between a rank pair + tag don't line up.
+    MatchFailure {
+        from: Rank,
+        to: Rank,
+        tag: u32,
+        sends: usize,
+        recvs: usize,
+    },
+    /// Matched send/receive lengths differ at some position.
+    MatchLengthFailure {
+        from: Rank,
+        to: Rank,
+        tag: u32,
+        index: usize,
+        send_len: Bytes,
+        recv_len: Bytes,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    // Developer-facing diagnostics; the Debug form is the honest one.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Per-level traffic statistics for a validated schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Message count per locality level, indexed by [`level_index`].
+    pub msgs: [usize; 4],
+    /// Payload bytes per locality level.
+    pub bytes: [Bytes; 4],
+    /// Locally copied (repack) bytes across all ranks.
+    pub copy_bytes: Bytes,
+    /// Maximum number of sends posted by any single rank.
+    pub max_sends_per_rank: usize,
+    /// Maximum inter-node sends posted by any single rank.
+    pub max_internode_sends_per_rank: usize,
+    /// Total temporary-buffer bytes declared across ranks (excludes s/r bufs).
+    pub tmp_bytes: Bytes,
+}
+
+/// Dense index for the four inter-rank locality levels.
+pub fn level_index(level: Level) -> usize {
+    match level {
+        Level::SelfRank => unreachable!("self messages are rejected"),
+        Level::IntraNuma => 0,
+        Level::IntraSocket => 1,
+        Level::InterSocket => 2,
+        Level::InterNode => 3,
+    }
+}
+
+impl ScheduleStats {
+    /// Messages that stay within a node.
+    pub fn intra_node_msgs(&self) -> usize {
+        self.msgs[0] + self.msgs[1] + self.msgs[2]
+    }
+
+    /// Messages that cross the network.
+    pub fn inter_node_msgs(&self) -> usize {
+        self.msgs[3]
+    }
+
+    /// Bytes that cross the network.
+    pub fn inter_node_bytes(&self) -> Bytes {
+        self.bytes[3]
+    }
+
+    /// Bytes that stay within a node.
+    pub fn intra_node_bytes(&self) -> Bytes {
+        self.bytes[0] + self.bytes[1] + self.bytes[2]
+    }
+}
+
+/// Validate `source` against `grid` and collect traffic statistics.
+pub fn validate(source: &dyn ScheduleSource, grid: &ProcGrid) -> Result<ScheduleStats, ValidationError> {
+    let n = source.nranks();
+    if n != grid.world_size() {
+        return Err(ValidationError::WorldSizeMismatch {
+            schedule: n,
+            grid: grid.world_size(),
+        });
+    }
+
+    let mut stats = ScheduleStats::default();
+    // (from, to, tag) -> (send lengths, recv lengths), in program order.
+    let mut matching: HashMap<(Rank, Rank, u32), (Vec<Bytes>, Vec<Bytes>)> = HashMap::new();
+
+    for rank in 0..n as Rank {
+        let sizes = source.buffers(rank);
+        stats.tmp_bytes += sizes.iter().skip(2).sum::<Bytes>();
+        let prog = source.build_rank(rank);
+        let mut posted = vec![false; prog.n_reqs as usize];
+        let mut waited = vec![false; prog.n_reqs as usize];
+        let mut sends = 0usize;
+        let mut internode_sends = 0usize;
+
+        let check_block = |block: Block| -> Result<(), ValidationError> {
+            match sizes.get(block.buf.0 as usize) {
+                Some(&sz) if block.end() <= sz && block.len > 0 => Ok(()),
+                Some(&sz) => Err(ValidationError::BadBlock {
+                    rank,
+                    block,
+                    bufsize: Some(sz),
+                }),
+                None => Err(ValidationError::BadBlock {
+                    rank,
+                    block,
+                    bufsize: None,
+                }),
+            }
+        };
+        let post = |req: u32, posted: &mut Vec<bool>| -> Result<(), ValidationError> {
+            match posted.get_mut(req as usize) {
+                Some(p) if !*p => {
+                    *p = true;
+                    Ok(())
+                }
+                _ => Err(ValidationError::BadRequest { rank, req }),
+            }
+        };
+
+        for top in &prog.ops {
+            match top.op {
+                Op::Isend { to, block, tag, req } => {
+                    check_block(block)?;
+                    post(req, &mut posted)?;
+                    if to == rank {
+                        return Err(ValidationError::SelfMessage { rank });
+                    }
+                    if to as usize >= n {
+                        return Err(ValidationError::BadPeer { rank, peer: to });
+                    }
+                    matching
+                        .entry((rank, to, tag))
+                        .or_default()
+                        .0
+                        .push(block.len);
+                    let li = level_index(grid.level(rank, to));
+                    stats.msgs[li] += 1;
+                    stats.bytes[li] += block.len;
+                    sends += 1;
+                    if li == 3 {
+                        internode_sends += 1;
+                    }
+                }
+                Op::Irecv { from, block, tag, req } => {
+                    check_block(block)?;
+                    post(req, &mut posted)?;
+                    if from == rank {
+                        return Err(ValidationError::SelfMessage { rank });
+                    }
+                    if from as usize >= n {
+                        return Err(ValidationError::BadPeer { rank, peer: from });
+                    }
+                    matching
+                        .entry((from, rank, tag))
+                        .or_default()
+                        .1
+                        .push(block.len);
+                }
+                Op::WaitAll { first_req, count } => {
+                    for req in first_req..first_req + count {
+                        match waited.get_mut(req as usize) {
+                            Some(w) => *w = true,
+                            None => return Err(ValidationError::BadRequest { rank, req }),
+                        }
+                    }
+                }
+                Op::Copy { src, dst } => {
+                    check_block(src)?;
+                    check_block(dst)?;
+                    stats.copy_bytes += src.len;
+                }
+            }
+        }
+
+        for req in 0..prog.n_reqs {
+            if !posted[req as usize] {
+                return Err(ValidationError::BadRequest { rank, req });
+            }
+            if !waited[req as usize] {
+                return Err(ValidationError::UnwaitedRequest { rank, req });
+            }
+        }
+        stats.max_sends_per_rank = stats.max_sends_per_rank.max(sends);
+        stats.max_internode_sends_per_rank =
+            stats.max_internode_sends_per_rank.max(internode_sends);
+    }
+
+    for ((from, to, tag), (sends, recvs)) in &matching {
+        if sends.len() != recvs.len() {
+            return Err(ValidationError::MatchFailure {
+                from: *from,
+                to: *to,
+                tag: *tag,
+                sends: sends.len(),
+                recvs: recvs.len(),
+            });
+        }
+        for (i, (s, r)) in sends.iter().zip(recvs).enumerate() {
+            if s != r {
+                return Err(ValidationError::MatchLengthFailure {
+                    from: *from,
+                    to: *to,
+                    tag: *tag,
+                    index: i,
+                    send_len: *s,
+                    recv_len: *r,
+                });
+            }
+        }
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgBuilder;
+    use crate::ir::{Phase, RankProgram, RBUF, SBUF};
+
+    struct Fixed {
+        progs: Vec<RankProgram>,
+        bufsize: Bytes,
+    }
+
+    impl ScheduleSource for Fixed {
+        fn nranks(&self) -> usize {
+            self.progs.len()
+        }
+        fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+            vec![self.bufsize, self.bufsize]
+        }
+        fn build_rank(&self, r: Rank) -> RankProgram {
+            self.progs[r as usize].clone()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            vec!["all"]
+        }
+    }
+
+    fn grid2() -> ProcGrid {
+        // 2 ranks on one node, same NUMA.
+        ProcGrid::new(a2a_topo::Machine::custom("t", 1, 1, 1, 2))
+    }
+
+    fn swap() -> Fixed {
+        let mut progs = Vec::new();
+        for me in 0..2u32 {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, 0, 8),
+                0,
+                peer,
+                Block::new(RBUF, 0, 8),
+                0,
+            );
+            progs.push(b.finish());
+        }
+        Fixed { progs, bufsize: 8 }
+    }
+
+    #[test]
+    fn valid_swap_passes_with_stats() {
+        let stats = validate(&swap(), &grid2()).unwrap();
+        assert_eq!(stats.msgs[0], 2); // both intra-NUMA
+        assert_eq!(stats.bytes[0], 16);
+        assert_eq!(stats.inter_node_msgs(), 0);
+        assert_eq!(stats.max_sends_per_rank, 1);
+    }
+
+    #[test]
+    fn world_size_mismatch() {
+        let g = ProcGrid::new(a2a_topo::Machine::custom("t", 1, 1, 1, 3));
+        assert!(matches!(
+            validate(&swap(), &g),
+            Err(ValidationError::WorldSizeMismatch { schedule: 2, grid: 3 })
+        ));
+    }
+
+    #[test]
+    fn unmatched_send_rejected() {
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.send(1, Block::new(SBUF, 0, 8), 0);
+        let f = Fixed {
+            progs: vec![b0.finish(), RankProgram::default()],
+            bufsize: 8,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::MatchFailure { sends: 1, recvs: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn matched_length_mismatch_rejected() {
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.send(1, Block::new(SBUF, 0, 8), 0);
+        let mut b1 = ProgBuilder::new(Phase(0));
+        b1.recv(0, Block::new(RBUF, 0, 4), 0);
+        let f = Fixed {
+            progs: vec![b0.finish(), b1.finish()],
+            bufsize: 8,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::MatchLengthFailure {
+                send_len: 8,
+                recv_len: 4,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn self_message_rejected() {
+        let mut b0 = ProgBuilder::new(Phase(0));
+        let r = b0.irecv(0, Block::new(RBUF, 0, 8), 0);
+        b0.isend(0, Block::new(SBUF, 0, 8), 0);
+        b0.waitall(r, 2);
+        let f = Fixed {
+            progs: vec![b0.finish(), RankProgram::default()],
+            bufsize: 8,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::SelfMessage { rank: 0 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_peer_rejected() {
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.send(7, Block::new(SBUF, 0, 8), 0);
+        let f = Fixed {
+            progs: vec![b0.finish(), RankProgram::default()],
+            bufsize: 8,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::BadPeer { peer: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_block_rejected() {
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.copy(Block::new(SBUF, 4, 8), Block::new(RBUF, 0, 8));
+        let f = Fixed {
+            progs: vec![b0.finish(), RankProgram::default()],
+            bufsize: 8,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::BadBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn unwaited_request_rejected() {
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.isend(1, Block::new(SBUF, 0, 8), 0); // never waited
+        let mut b1 = ProgBuilder::new(Phase(0));
+        b1.recv(0, Block::new(RBUF, 0, 8), 0);
+        let f = Fixed {
+            progs: vec![b0.finish(), b1.finish()],
+            bufsize: 8,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::UnwaitedRequest { rank: 0, req: 0 })
+        ));
+    }
+
+    #[test]
+    fn internode_stats_counted() {
+        let g = ProcGrid::new(a2a_topo::Machine::custom("t", 2, 1, 1, 1));
+        let stats = validate(&swap(), &g).unwrap();
+        assert_eq!(stats.inter_node_msgs(), 2);
+        assert_eq!(stats.inter_node_bytes(), 16);
+        assert_eq!(stats.intra_node_msgs(), 0);
+        assert_eq!(stats.max_internode_sends_per_rank, 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Sub-communicator algebra.
+//!
+//! Every composed all-to-all algorithm in the paper runs inner exchanges on
+//! MPI sub-communicators. A [`CommView`] is the ordered set of world ranks
+//! in such a communicator; the constructors on [`ProcGrid`] mirror the
+//! communicators named in Algorithms 3–5:
+//!
+//! * `local_comm` — the `g` consecutive on-node ranks forming one
+//!   leader-group / aggregation region ([`ProcGrid::subset_comm`]);
+//! * `group_comm` (Alg. 3) — all leaders ([`ProcGrid::all_leaders_comm`]);
+//! * `group_comm` (Alg. 4) — the ranks with equal local rank, one per region
+//!   ([`ProcGrid::cross_region_comm`]);
+//! * `group_comm` (Alg. 5) — corresponding leaders across nodes
+//!   ([`ProcGrid::corresponding_leader_comm`]);
+//! * `leader_group_comm` (Alg. 5) — the leaders within one node
+//!   ([`ProcGrid::node_leaders_comm`]).
+//!
+//! All communicators list ranks in ascending world-rank order, which (with
+//! the block rank mapping) equals ordering by `(node, subset, offset)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::ProcGrid;
+use crate::Rank;
+
+/// An ordered sub-communicator: a sorted list of world ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommView {
+    ranks: Vec<Rank>,
+}
+
+impl CommView {
+    /// Build from a rank list.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is empty, unsorted, or contains duplicates: the
+    /// data-layout algebra in the algorithms relies on ascending order.
+    pub fn new(ranks: Vec<Rank>) -> Self {
+        assert!(!ranks.is_empty(), "communicator must be nonempty");
+        assert!(
+            ranks.windows(2).all(|w| w[0] < w[1]),
+            "communicator ranks must be strictly ascending"
+        );
+        CommView { ranks }
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// World rank of communicator-local index `i`.
+    pub fn world(&self, i: usize) -> Rank {
+        self.ranks[i]
+    }
+
+    /// Communicator-local index of a world rank, if a member.
+    pub fn local_of(&self, world: Rank) -> Option<usize> {
+        self.ranks.binary_search(&world).ok()
+    }
+
+    /// All member world ranks, ascending.
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// Iterate `(local index, world rank)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Rank)> + '_ {
+        self.ranks.iter().enumerate().map(|(i, &r)| (i, r))
+    }
+}
+
+impl ProcGrid {
+    fn assert_group(&self, g: usize) {
+        let ppn = self.machine().ppn();
+        assert!(
+            g > 0 && ppn % g == 0,
+            "group size {g} must divide ppn {ppn}"
+        );
+    }
+
+    /// Number of `g`-sized subsets (leader groups / regions) per node.
+    pub fn groups_per_node(&self, g: usize) -> usize {
+        self.assert_group(g);
+        self.machine().ppn() / g
+    }
+
+    /// Total regions in the job for group size `g`.
+    pub fn region_count(&self, g: usize) -> usize {
+        self.machine().nodes * self.groups_per_node(g)
+    }
+
+    /// Index of `rank`'s subset within its node (`q`).
+    pub fn subset_index(&self, rank: Rank, g: usize) -> usize {
+        self.assert_group(g);
+        self.local_rank(rank) / g
+    }
+
+    /// Offset of `rank` within its subset (`o`).
+    pub fn subset_offset(&self, rank: Rank, g: usize) -> usize {
+        self.assert_group(g);
+        self.local_rank(rank) % g
+    }
+
+    /// Global region index of `rank`'s subset, ordered by `(node, subset)`.
+    pub fn region_index(&self, rank: Rank, g: usize) -> usize {
+        self.node_of(rank) * self.groups_per_node(g) + self.subset_index(rank, g)
+    }
+
+    /// World rank of the leader (offset 0) of `rank`'s subset.
+    pub fn leader_of(&self, rank: Rank, g: usize) -> Rank {
+        self.node_base(rank) + (self.subset_index(rank, g) * g) as Rank
+    }
+
+    /// First world rank of the region with global index `region`.
+    pub fn region_base(&self, region: usize, g: usize) -> Rank {
+        let gpn = self.groups_per_node(g);
+        let node = region / gpn;
+        let subset = region % gpn;
+        (node * self.machine().ppn() + subset * g) as Rank
+    }
+
+    /// The whole job as one communicator.
+    pub fn world_comm(&self) -> CommView {
+        CommView::new((0..self.world_size() as Rank).collect())
+    }
+
+    /// All ranks on `rank`'s node.
+    pub fn node_comm(&self, rank: Rank) -> CommView {
+        let base = self.node_base(rank);
+        CommView::new((base..base + self.machine().ppn() as Rank).collect())
+    }
+
+    /// `local_comm`: the `g` consecutive ranks of `rank`'s subset.
+    pub fn subset_comm(&self, rank: Rank, g: usize) -> CommView {
+        let leader = self.leader_of(rank, g);
+        CommView::new((leader..leader + g as Rank).collect())
+    }
+
+    /// Algorithm 3 `group_comm`: every subset leader, across all nodes and
+    /// subsets, ordered by `(node, subset)`.
+    pub fn all_leaders_comm(&self, g: usize) -> CommView {
+        let regions = self.region_count(g);
+        CommView::new((0..regions).map(|r| self.region_base(r, g)).collect())
+    }
+
+    /// Algorithm 4 `group_comm`: the ranks sharing `rank`'s offset within
+    /// their subset — exactly one per region, ordered by `(node, subset)`.
+    pub fn cross_region_comm(&self, rank: Rank, g: usize) -> CommView {
+        let o = self.subset_offset(rank, g) as Rank;
+        let regions = self.region_count(g);
+        CommView::new(
+            (0..regions)
+                .map(|r| self.region_base(r, g) + o)
+                .collect(),
+        )
+    }
+
+    /// Algorithm 5 `group_comm`: the leaders of `rank`'s subset index on
+    /// every node (one per node).
+    pub fn corresponding_leader_comm(&self, rank: Rank, g: usize) -> CommView {
+        let q = self.subset_index(rank, g);
+        let ppn = self.machine().ppn();
+        CommView::new(
+            (0..self.machine().nodes)
+                .map(|n| (n * ppn + q * g) as Rank)
+                .collect(),
+        )
+    }
+
+    /// Algorithm 5 `leader_group_comm`: the subset leaders within `rank`'s
+    /// node.
+    pub fn node_leaders_comm(&self, rank: Rank, g: usize) -> CommView {
+        let base = self.node_base(rank);
+        CommView::new(
+            (0..self.groups_per_node(g))
+                .map(|q| base + (q * g) as Rank)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+
+    fn grid() -> ProcGrid {
+        // 3 nodes x 12 ppn.
+        ProcGrid::new(Machine::custom("t", 3, 2, 2, 3))
+    }
+
+    #[test]
+    fn commview_basics() {
+        let c = CommView::new(vec![2, 5, 9]);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.world(1), 5);
+        assert_eq!(c.local_of(9), Some(2));
+        assert_eq!(c.local_of(3), None);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(0, 2), (1, 5), (2, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn commview_rejects_unsorted() {
+        CommView::new(vec![3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn commview_rejects_duplicates() {
+        CommView::new(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn commview_rejects_empty() {
+        CommView::new(vec![]);
+    }
+
+    #[test]
+    fn subset_indexing() {
+        let g = grid();
+        // g=4: 3 subsets per node.
+        assert_eq!(g.groups_per_node(4), 3);
+        assert_eq!(g.region_count(4), 9);
+        let r: Rank = 12 + 7; // node 1, local 7 -> subset 1, offset 3
+        assert_eq!(g.subset_index(r, 4), 1);
+        assert_eq!(g.subset_offset(r, 4), 3);
+        assert_eq!(g.region_index(r, 4), 4);
+        assert_eq!(g.leader_of(r, 4), 16);
+        assert_eq!(g.region_base(4, 4), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn group_must_divide_ppn() {
+        grid().groups_per_node(5);
+    }
+
+    #[test]
+    fn node_comm_contents() {
+        let g = grid();
+        let c = g.node_comm(14);
+        assert_eq!(c.ranks(), (12..24).collect::<Vec<Rank>>().as_slice());
+    }
+
+    #[test]
+    fn subset_comm_contents() {
+        let g = grid();
+        let c = g.subset_comm(19, 4);
+        assert_eq!(c.ranks(), &[16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn all_leaders_comm_contents() {
+        let g = grid();
+        let c = g.all_leaders_comm(6);
+        assert_eq!(c.ranks(), &[0, 6, 12, 18, 24, 30]);
+    }
+
+    #[test]
+    fn cross_region_comm_contents() {
+        let g = grid();
+        // offset 2 within 4-wide subsets -> one per region.
+        let c = g.cross_region_comm(6, 4); // local 6 -> subset 1, offset 2
+        assert_eq!(c.ranks(), &[2, 6, 10, 14, 18, 22, 26, 30, 34]);
+        assert_eq!(c.local_of(6), Some(1));
+    }
+
+    #[test]
+    fn corresponding_leader_comm_contents() {
+        let g = grid();
+        let c = g.corresponding_leader_comm(19, 4); // subset 1
+        assert_eq!(c.ranks(), &[4, 16, 28]);
+    }
+
+    #[test]
+    fn node_leaders_comm_contents() {
+        let g = grid();
+        let c = g.node_leaders_comm(19, 4);
+        assert_eq!(c.ranks(), &[12, 16, 20]);
+    }
+
+    #[test]
+    fn regions_partition_world() {
+        let g = grid();
+        for gs in [1, 2, 3, 4, 6, 12] {
+            let mut seen = vec![false; g.world_size()];
+            for region in 0..g.region_count(gs) {
+                let base = g.region_base(region, gs);
+                for r in base..base + gs as Rank {
+                    assert!(!seen[r as usize], "rank {r} in two regions");
+                    seen[r as usize] = true;
+                    assert_eq!(g.region_index(r, gs), region);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "regions must cover world");
+        }
+    }
+
+    #[test]
+    fn cross_region_comms_partition_world() {
+        let g = grid();
+        let gs = 4;
+        let mut seen = vec![0u32; g.world_size()];
+        for o in 0..gs {
+            let c = g.cross_region_comm(o as Rank, gs);
+            assert_eq!(c.size(), g.region_count(gs));
+            for (_, w) in c.iter() {
+                seen[w as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn group_size_one_and_full_node_degenerate_cases() {
+        let g = grid();
+        // g == ppn: one region per node; subset comm == node comm.
+        assert_eq!(g.subset_comm(14, 12), g.node_comm(14));
+        assert_eq!(g.cross_region_comm(14, 12).size(), 3);
+        // g == 1: every rank its own leader; cross-region comm == world.
+        assert_eq!(g.cross_region_comm(14, 1), g.world_comm());
+        assert_eq!(g.all_leaders_comm(1), g.world_comm());
+    }
+}

@@ -1,0 +1,368 @@
+//! The cluster shape and the rank -> hardware mapping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Rank;
+
+/// Shape of a homogeneous cluster: every node has the same socket/NUMA/core
+/// structure. Mirrors the architectures in the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Machine {
+    /// Human-readable name ("dane", "amber", "tuolumne", ...).
+    pub name: String,
+    /// Number of nodes in the allocation.
+    pub nodes: usize,
+    /// CPU sockets per node.
+    pub sockets_per_node: usize,
+    /// NUMA domains per socket.
+    pub numa_per_socket: usize,
+    /// Cores (= ranks; one rank per core, as in the paper) per NUMA domain.
+    pub cores_per_numa: usize,
+}
+
+impl Machine {
+    /// Build an arbitrary machine shape.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn custom(
+        name: &str,
+        nodes: usize,
+        sockets_per_node: usize,
+        numa_per_socket: usize,
+        cores_per_numa: usize,
+    ) -> Self {
+        assert!(
+            nodes > 0 && sockets_per_node > 0 && numa_per_socket > 0 && cores_per_numa > 0,
+            "machine dimensions must be nonzero"
+        );
+        Machine {
+            name: name.to_string(),
+            nodes,
+            sockets_per_node,
+            numa_per_socket,
+            cores_per_numa,
+        }
+    }
+
+    /// Cores (ranks) per NUMA domain times NUMA domains per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.numa_per_socket * self.cores_per_numa
+    }
+
+    /// Processes per node ("ppn" throughout the paper).
+    pub fn ppn(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket()
+    }
+
+    /// Total ranks in the job (`nodes * ppn`).
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.ppn()
+    }
+
+    /// Same per-node shape on a different node count.
+    pub fn with_nodes(&self, nodes: usize) -> Self {
+        Machine {
+            nodes,
+            ..self.clone()
+        }
+    }
+}
+
+/// Hardware placement of a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    pub node: usize,
+    /// Socket index within the node.
+    pub socket: usize,
+    /// NUMA domain index within the socket.
+    pub numa: usize,
+    /// Core index within the NUMA domain.
+    pub core: usize,
+}
+
+/// Locality level of a rank pair, from closest to farthest. The cost model
+/// assigns each level its own latency/bandwidth tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Same rank (self copy).
+    SelfRank,
+    /// Same NUMA domain.
+    IntraNuma,
+    /// Same socket, different NUMA domain.
+    IntraSocket,
+    /// Same node, different socket.
+    InterSocket,
+    /// Different nodes (crosses the network).
+    InterNode,
+}
+
+impl Level {
+    /// All distinct inter-rank levels (excludes `SelfRank`), closest first.
+    pub const INTER_RANK: [Level; 4] = [
+        Level::IntraNuma,
+        Level::IntraSocket,
+        Level::InterSocket,
+        Level::InterNode,
+    ];
+
+    /// True when the pair does not leave the node.
+    pub fn is_intra_node(self) -> bool {
+        !matches!(self, Level::InterNode)
+    }
+}
+
+/// How consecutive local ranks land on a node's cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MapOrder {
+    /// `--map-by core`: fill one NUMA domain before the next. Consecutive
+    /// local ranks share a NUMA domain, so small consecutive groups are
+    /// NUMA-aligned.
+    #[default]
+    CoreMajor,
+    /// `--map-by numa` (cyclic): deal ranks round-robin across the node's
+    /// NUMA domains. Consecutive local ranks land on *different* domains —
+    /// modeling the paper's runs, where aggregation groups were not mapped
+    /// to regions of locality and "group sizes force the groups to cross
+    /// NUMA regions and/or sockets".
+    NumaCyclic,
+}
+
+/// A `Machine` plus the rank mapping: ranks fill node 0, then node 1, and
+/// so on; within a node, cores are assigned per [`MapOrder`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcGrid {
+    machine: Machine,
+    #[serde(default)]
+    mapping: MapOrder,
+}
+
+impl ProcGrid {
+    pub fn new(machine: Machine) -> Self {
+        ProcGrid {
+            machine,
+            mapping: MapOrder::CoreMajor,
+        }
+    }
+
+    /// Grid with an explicit within-node mapping order.
+    pub fn with_mapping(machine: Machine, mapping: MapOrder) -> Self {
+        ProcGrid { machine, mapping }
+    }
+
+    /// The within-node mapping order.
+    pub fn mapping(&self) -> MapOrder {
+        self.mapping
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn world_size(&self) -> usize {
+        self.machine.world_size()
+    }
+
+    /// Node index of `rank`.
+    pub fn node_of(&self, rank: Rank) -> usize {
+        rank as usize / self.machine.ppn()
+    }
+
+    /// Rank's index within its node (`l` in the paper's pseudo-code).
+    pub fn local_rank(&self, rank: Rank) -> usize {
+        rank as usize % self.machine.ppn()
+    }
+
+    /// Full hardware placement of `rank`.
+    pub fn location(&self, rank: Rank) -> Location {
+        let ppn = self.machine.ppn();
+        let cps = self.machine.cores_per_socket();
+        let cpn = self.machine.cores_per_numa;
+        let r = rank as usize;
+        let within = r % ppn;
+        match self.mapping {
+            MapOrder::CoreMajor => Location {
+                node: r / ppn,
+                socket: within / cps,
+                numa: (within % cps) / cpn,
+                core: within % cpn,
+            },
+            MapOrder::NumaCyclic => {
+                // Deal across all NUMA domains of the node in turn.
+                let domains = self.machine.sockets_per_node * self.machine.numa_per_socket;
+                let domain = within % domains;
+                Location {
+                    node: r / ppn,
+                    socket: domain / self.machine.numa_per_socket,
+                    numa: domain % self.machine.numa_per_socket,
+                    core: within / domains,
+                }
+            }
+        }
+    }
+
+    /// World rank at a hardware placement.
+    pub fn rank_at(&self, loc: Location) -> Rank {
+        let ppn = self.machine.ppn();
+        let cps = self.machine.cores_per_socket();
+        let cpn = self.machine.cores_per_numa;
+        match self.mapping {
+            MapOrder::CoreMajor => {
+                (loc.node * ppn + loc.socket * cps + loc.numa * cpn + loc.core) as Rank
+            }
+            MapOrder::NumaCyclic => {
+                let domains = self.machine.sockets_per_node * self.machine.numa_per_socket;
+                let domain = loc.socket * self.machine.numa_per_socket + loc.numa;
+                (loc.node * ppn + loc.core * domains + domain) as Rank
+            }
+        }
+    }
+
+    /// Locality level between two ranks.
+    pub fn level(&self, a: Rank, b: Rank) -> Level {
+        if a == b {
+            return Level::SelfRank;
+        }
+        let la = self.location(a);
+        let lb = self.location(b);
+        if la.node != lb.node {
+            Level::InterNode
+        } else if la.socket != lb.socket {
+            Level::InterSocket
+        } else if la.numa != lb.numa {
+            Level::IntraSocket
+        } else {
+            Level::IntraNuma
+        }
+    }
+
+    /// First world rank of `rank`'s node.
+    pub fn node_base(&self, rank: Rank) -> Rank {
+        (self.node_of(rank) * self.machine.ppn()) as Rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ProcGrid {
+        // 3 nodes x 2 sockets x 2 NUMA x 3 cores = 12 ppn, 36 ranks.
+        ProcGrid::new(Machine::custom("t", 3, 2, 2, 3))
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid();
+        assert_eq!(g.machine().cores_per_socket(), 6);
+        assert_eq!(g.machine().ppn(), 12);
+        assert_eq!(g.world_size(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        Machine::custom("bad", 0, 1, 1, 1);
+    }
+
+    #[test]
+    fn location_roundtrip() {
+        let g = grid();
+        for r in 0..g.world_size() as Rank {
+            let loc = g.location(r);
+            assert_eq!(g.rank_at(loc), r, "rank {r} roundtrip");
+            assert!(loc.socket < 2 && loc.numa < 2 && loc.core < 3);
+        }
+    }
+
+    #[test]
+    fn block_mapping_is_core_major() {
+        let g = grid();
+        // Rank 0..2 share NUMA 0 of socket 0 of node 0; rank 3 starts NUMA 1.
+        assert_eq!(
+            g.location(0),
+            Location {
+                node: 0,
+                socket: 0,
+                numa: 0,
+                core: 0
+            }
+        );
+        assert_eq!(g.location(2).numa, 0);
+        assert_eq!(g.location(3).numa, 1);
+        assert_eq!(g.location(6).socket, 1);
+        assert_eq!(g.location(12).node, 1);
+    }
+
+    #[test]
+    fn levels() {
+        let g = grid();
+        assert_eq!(g.level(5, 5), Level::SelfRank);
+        assert_eq!(g.level(0, 1), Level::IntraNuma);
+        assert_eq!(g.level(0, 3), Level::IntraSocket);
+        assert_eq!(g.level(0, 6), Level::InterSocket);
+        assert_eq!(g.level(0, 12), Level::InterNode);
+        // Symmetry.
+        assert_eq!(g.level(12, 0), Level::InterNode);
+        assert_eq!(g.level(3, 0), Level::IntraSocket);
+    }
+
+    #[test]
+    fn level_ordering_reflects_distance() {
+        assert!(Level::IntraNuma < Level::IntraSocket);
+        assert!(Level::IntraSocket < Level::InterSocket);
+        assert!(Level::InterSocket < Level::InterNode);
+        assert!(Level::InterNode.is_intra_node() == false);
+        assert!(Level::IntraSocket.is_intra_node());
+    }
+
+    #[test]
+    fn node_helpers() {
+        let g = grid();
+        assert_eq!(g.node_of(13), 1);
+        assert_eq!(g.local_rank(13), 1);
+        assert_eq!(g.node_base(13), 12);
+    }
+
+    #[test]
+    fn with_nodes_preserves_shape() {
+        let m = Machine::custom("t", 3, 2, 2, 3).with_nodes(7);
+        assert_eq!(m.nodes, 7);
+        assert_eq!(m.ppn(), 12);
+    }
+
+    #[test]
+    fn numa_cyclic_roundtrip_and_partition() {
+        let g = ProcGrid::with_mapping(Machine::custom("t", 2, 2, 2, 3), MapOrder::NumaCyclic);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..g.world_size() as Rank {
+            let loc = g.location(r);
+            assert_eq!(g.rank_at(loc), r, "rank {r} roundtrip");
+            assert!(seen.insert((loc.node, loc.socket, loc.numa, loc.core)));
+        }
+    }
+
+    #[test]
+    fn numa_cyclic_spreads_consecutive_ranks() {
+        // 2 sockets x 2 NUMA = 4 domains: ranks 0..4 land on 4 different
+        // domains; rank 4 wraps back to domain 0.
+        let g = ProcGrid::with_mapping(Machine::custom("t", 1, 2, 2, 3), MapOrder::NumaCyclic);
+        assert_eq!(g.level(0, 1), Level::IntraSocket);
+        assert_eq!(g.level(0, 2), Level::InterSocket);
+        assert_eq!(g.level(0, 4), Level::IntraNuma); // same domain, next core
+        // Under core-major, ranks 0..3 share a NUMA domain instead.
+        let cm = ProcGrid::new(Machine::custom("t", 1, 2, 2, 3));
+        assert_eq!(cm.level(0, 1), Level::IntraNuma);
+    }
+
+    #[test]
+    fn mapping_does_not_change_node_membership() {
+        let m = Machine::custom("t", 3, 2, 2, 3);
+        let a = ProcGrid::new(m.clone());
+        let b = ProcGrid::with_mapping(m, MapOrder::NumaCyclic);
+        for r in 0..a.world_size() as Rank {
+            assert_eq!(a.node_of(r), b.node_of(r));
+            assert_eq!(a.local_rank(r), b.local_rank(r));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Machine presets from the paper's Table 1.
+//!
+//! | Name     | CPU                   | ppn | Structure                     |
+//! |----------|-----------------------|-----|-------------------------------|
+//! | Dane     | Intel Sapphire Rapids | 112 | 2 sockets x 4 NUMA x 14 cores |
+//! | Amber    | Intel Sapphire Rapids | 112 | 2 sockets x 4 NUMA x 14 cores |
+//! | Tuolumne | AMD Instinct MI300A   | 96  | 4 APUs    x 1 NUMA x 24 cores |
+//!
+//! Dane and Amber share the node architecture (both Sapphire Rapids with 112
+//! cores over 2 sockets and 4 NUMA domains per socket); they differ in
+//! network/MPI stack, which lives in `a2a-netsim`'s cost-model presets.
+//! Tuolumne's MI300A node is modeled as 4 sockets (APUs) of 24 cores, one
+//! NUMA domain each.
+
+use crate::Machine;
+
+/// LLNL Dane: Sapphire Rapids, 112 cores/node, Omni-Path.
+pub fn dane(nodes: usize) -> Machine {
+    Machine::custom("dane", nodes, 2, 4, 14)
+}
+
+/// SNL Amber: Sapphire Rapids, 112 cores/node, Omni-Path.
+pub fn amber(nodes: usize) -> Machine {
+    Machine::custom("amber", nodes, 2, 4, 14)
+}
+
+/// LLNL Tuolumne: AMD MI300A, 96 cores/node, Slingshot-11.
+pub fn tuolumne(nodes: usize) -> Machine {
+    Machine::custom("tuolumne", nodes, 4, 1, 24)
+}
+
+/// A scaled-down Sapphire-Rapids-like node for fast simulation sweeps:
+/// keeps the 2-socket x 4-NUMA hierarchy but shrinks cores per NUMA.
+/// `cores_per_numa = 4` gives 32 ppn (the default figure-harness scale).
+pub fn scaled_many_core(nodes: usize, cores_per_numa: usize) -> Machine {
+    Machine::custom("scaled", nodes, 2, 4, cores_per_numa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        assert_eq!(dane(32).ppn(), 112);
+        assert_eq!(dane(32).world_size(), 3584);
+        assert_eq!(amber(32).ppn(), 112);
+        assert_eq!(tuolumne(32).ppn(), 96);
+        assert_eq!(tuolumne(32).world_size(), 3072);
+        assert_eq!(scaled_many_core(32, 4).ppn(), 32);
+    }
+
+    #[test]
+    fn paper_buffer_size_claim() {
+        // "at 32 nodes (3584 processes on Dane and Amber), each process must
+        // exchange a buffer of 14,680,064 bytes" at 4096 B per process.
+        let m = dane(32);
+        assert_eq!(m.world_size() * 4096, 14_680_064);
+    }
+
+    #[test]
+    fn paper_group_sizes_divide_ppn() {
+        // The paper tests 4, 8, and 16 processes per leader/group.
+        for g in [4, 8, 16] {
+            assert_eq!(dane(2).ppn() % g, 0, "g={g} on dane");
+            assert_eq!(tuolumne(2).ppn() % g, 0, "g={g} on tuolumne");
+        }
+        // 4 ppl on Dane = 28 leaders per node, as Figure 10's caption says.
+        assert_eq!(dane(2).ppn() / 4, 28);
+        // 16 ppg = 7 leaders on Dane (Figure 16 discussion).
+        assert_eq!(dane(2).ppn() / 16, 7);
+    }
+}

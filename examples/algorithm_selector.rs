@@ -1,0 +1,83 @@
+//! Dynamic algorithm selection (the paper's §5 future work): sweep the
+//! candidate algorithms through the simulator on a chosen machine, print
+//! the per-size winner, and compare with the static `SelectorTable`
+//! heuristic shipped in `a2a-core`.
+//!
+//! ```text
+//! cargo run --release --example algorithm_selector [nodes] [machine]
+//! ```
+
+use alltoall_suite::algos::{
+    select_algorithm, A2AContext, AlgoSchedule, AlltoallAlgorithm, ExchangeKind,
+    HierarchicalAlltoall, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, SelectorTable,
+    SystemMpiAlltoall,
+};
+use alltoall_suite::netsim::{models, simulate, SimOptions};
+use alltoall_suite::topo::{Machine, ProcGrid};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nodes: usize = args.first().map_or(8, |a| a.parse().expect("nodes"));
+    let machine = args.get(1).map_or("dane", |s| s.as_str());
+
+    // Scaled-down node keeps the sweep fast; hierarchy matches the preset.
+    let grid = ProcGrid::new(match machine {
+        "tuolumne" => Machine::custom("tuolumne", nodes, 4, 1, 8),
+        other => Machine::custom(other, nodes, 2, 4, 4),
+    });
+    let model = models::for_machine(machine);
+    let ppn = grid.machine().ppn();
+    println!(
+        "machine={machine} nodes={nodes} ppn={ppn} ranks={}",
+        grid.world_size()
+    );
+
+    let candidates: Vec<(String, Box<dyn AlltoallAlgorithm>)> = vec![
+        ("system-mpi".into(), Box::new(SystemMpiAlltoall::default())),
+        (
+            "hierarchical".into(),
+            Box::new(HierarchicalAlltoall::new(ppn, ExchangeKind::Pairwise)),
+        ),
+        (
+            "multileader(4)".into(),
+            Box::new(HierarchicalAlltoall::new(4, ExchangeKind::Pairwise)),
+        ),
+        (
+            "node-aware".into(),
+            Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        ),
+        (
+            "locality-aware(4)".into(),
+            Box::new(NodeAwareAlltoall::locality_aware(4, ExchangeKind::Pairwise)),
+        ),
+        (
+            "ml+node-aware(4)".into(),
+            Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
+        ),
+    ];
+
+    let table = SelectorTable::default();
+    println!(
+        "\n{:>8} {:>12} {:>22} {:>26}",
+        "bytes", "best us", "simulated winner", "static selector picks"
+    );
+    for s in [4u64, 16, 64, 256, 1024, 4096, 16384] {
+        let mut best: Option<(&str, f64)> = None;
+        for (name, algo) in &candidates {
+            let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
+            let us = simulate(&sched, &grid, &model, &SimOptions::default())
+                .expect("simulate")
+                .total_us;
+            if best.is_none() || us < best.unwrap().1 {
+                best = Some((name, us));
+            }
+        }
+        let (winner, us) = best.unwrap();
+        let pick = select_algorithm(&table, ppn, s).name();
+        println!("{s:>8} {us:>12.1} {winner:>22} {pick:>26}");
+    }
+    println!(
+        "\nThe static table encodes the paper's Dane findings; the simulated\n\
+         sweep is how you would retune it for a new machine."
+    );
+}

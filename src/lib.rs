@@ -1,0 +1,17 @@
+//! Umbrella crate for the all-to-all suite: re-exports every workspace
+//! crate under one name so examples and integration tests can depend on a
+//! single package.
+//!
+//! * [`topo`] — machine shapes, rank mapping, communicator algebra.
+//! * [`sched`] — the communication-schedule IR, validator, and data executor.
+//! * [`algos`] — the all-to-all algorithms (the paper's contribution).
+//! * [`netsim`] — the deterministic discrete-event network simulator.
+//! * [`runtime`] — the threaded mini-MPI runtime with real data movement.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture.
+
+pub use a2a_core as algos;
+pub use a2a_netsim as netsim;
+pub use a2a_runtime as runtime;
+pub use a2a_sched as sched;
+pub use a2a_topo as topo;

@@ -1,0 +1,147 @@
+//! End-to-end correctness: every algorithm in the suite, across machine
+//! shapes, group sizes, inner exchanges, and block sizes, must produce an
+//! exact all-to-all transpose under the data executor.
+
+use alltoall_suite::algos::*;
+use alltoall_suite::sched::run_and_verify;
+use alltoall_suite::topo::{Machine, ProcGrid};
+
+fn verify(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, s: u64) {
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), s));
+    run_and_verify(&sched, s).unwrap_or_else(|e| {
+        panic!(
+            "{} on {}x{} s={s}: {e}",
+            algo.name(),
+            grid.machine().nodes,
+            grid.machine().ppn()
+        )
+    });
+}
+
+/// Machines exercising every corner: single node, trivial ppn, NUMA
+/// asymmetry, odd node counts.
+fn machines() -> Vec<ProcGrid> {
+    vec![
+        ProcGrid::new(Machine::custom("m1", 1, 1, 1, 4)),
+        ProcGrid::new(Machine::custom("m2", 2, 2, 1, 3)),
+        ProcGrid::new(Machine::custom("m3", 3, 2, 2, 2)),
+        ProcGrid::new(Machine::custom("m4", 5, 1, 2, 2)),
+        ProcGrid::new(Machine::custom("m5", 2, 1, 1, 1)), // 1 ppn
+    ]
+}
+
+#[test]
+fn flat_algorithms_transpose_everywhere() {
+    for grid in machines() {
+        for s in [1u64, 4, 67] {
+            verify(&PairwiseAlltoall, &grid, s);
+            verify(&NonblockingAlltoall, &grid, s);
+            verify(&BruckAlltoall, &grid, s);
+            verify(&BatchedAlltoall::new(3), &grid, s);
+        }
+    }
+}
+
+#[test]
+fn hierarchical_family_transposes_everywhere() {
+    for grid in machines() {
+        let ppn = grid.machine().ppn();
+        for ppl in 1..=ppn {
+            if ppn % ppl != 0 {
+                continue;
+            }
+            for inner in [
+                ExchangeKind::Pairwise,
+                ExchangeKind::Nonblocking,
+                ExchangeKind::Bruck,
+            ] {
+                verify(&HierarchicalAlltoall::new(ppl, inner), &grid, 8);
+            }
+        }
+    }
+}
+
+#[test]
+fn node_aware_family_transposes_everywhere() {
+    for grid in machines() {
+        let ppn = grid.machine().ppn();
+        verify(
+            &NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise),
+            &grid,
+            8,
+        );
+        for ppg in 1..=ppn {
+            if ppn % ppg != 0 {
+                continue;
+            }
+            verify(
+                &NodeAwareAlltoall::locality_aware(ppg, ExchangeKind::Nonblocking),
+                &grid,
+                8,
+            );
+        }
+    }
+}
+
+#[test]
+fn mlna_family_transposes_everywhere() {
+    for grid in machines() {
+        let ppn = grid.machine().ppn();
+        for ppl in 1..=ppn {
+            if ppn % ppl != 0 {
+                continue;
+            }
+            for inner in [ExchangeKind::Pairwise, ExchangeKind::Bruck] {
+                verify(&MultileaderNodeAwareAlltoall::new(ppl, inner), &grid, 4);
+            }
+        }
+    }
+}
+
+#[test]
+fn mpich_shm_and_system_transpose_everywhere() {
+    for grid in machines() {
+        verify(&MpichShmAlltoall::default(), &grid, 8);
+        verify(&SystemMpiAlltoall::default(), &grid, 8); // Bruck path
+        verify(&SystemMpiAlltoall::default(), &grid, 300); // pairwise path
+    }
+}
+
+#[test]
+fn binomial_gather_variants_transpose() {
+    use alltoall_suite::algos::GatherKind;
+    let grid = ProcGrid::new(Machine::custom("m", 2, 2, 2, 2)); // ppn 8
+    for ppl in [2usize, 4, 8] {
+        verify(
+            &HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise)
+                .with_gather(GatherKind::Binomial),
+            &grid,
+            8,
+        );
+        verify(
+            &MultileaderNodeAwareAlltoall::new(ppl, ExchangeKind::Pairwise)
+                .with_gather(GatherKind::Binomial),
+            &grid,
+            8,
+        );
+    }
+}
+
+#[test]
+fn paper_roster_all_verify_on_paper_group_sizes() {
+    // A machine where the paper's 4/8/16 group sizes all divide ppn.
+    let grid = ProcGrid::new(Machine::custom("mini-dane", 2, 2, 4, 2)); // 16 ppn
+    for (label, algo) in paper_roster(grid.machine().ppn()) {
+        let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), 4));
+        run_and_verify(&sched, 4).unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn large_blocks_transpose() {
+    // Push past the simulated eager thresholds to cover rendezvous-size
+    // blocks in the data executor too.
+    let grid = ProcGrid::new(Machine::custom("m", 2, 1, 1, 2));
+    verify(&NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise), &grid, 9000);
+    verify(&PairwiseAlltoall, &grid, 9000);
+}

@@ -1,0 +1,177 @@
+//! The §5-extension collectives (allgather, broadcast): correctness on the
+//! data executor, parity on the threaded runtime, and locality properties
+//! on the simulator.
+
+use alltoall_suite::algos::collectives::*;
+use alltoall_suite::algos::{A2AContext, GatherKind};
+use alltoall_suite::netsim::{models, simulate, SimOptions};
+use alltoall_suite::runtime::ThreadWorld;
+use alltoall_suite::sched::{
+    pattern_byte, run_and_verify_allgather, run_and_verify_bcast, validate,
+};
+use alltoall_suite::topo::{Machine, ProcGrid};
+use proptest::prelude::*;
+
+fn ctx(nodes: usize, s: u64) -> A2AContext {
+    A2AContext::new(ProcGrid::new(Machine::custom("c", nodes, 2, 1, 3)), s)
+}
+
+#[test]
+fn allgather_algorithms_verify_and_validate() {
+    for nodes in [1usize, 2, 4] {
+        let c = ctx(nodes, 16);
+        let grid = c.grid.clone();
+        let algos: Vec<Box<dyn AllgatherAlgorithm>> = vec![
+            Box::new(RingAllgather),
+            Box::new(BruckAllgather),
+            Box::new(LocalityAwareAllgather::new(3)),
+            Box::new(LocalityAwareAllgather::new(6).with_gather(GatherKind::Binomial)),
+        ];
+        for algo in &algos {
+            let sched = AllgatherSchedule::new(algo.as_ref(), c.clone());
+            validate(&sched, &grid).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            run_and_verify_allgather(&sched, 16)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        }
+    }
+}
+
+#[test]
+fn bcast_algorithms_verify_from_every_root() {
+    let c = ctx(3, 128);
+    let n = c.n() as u32;
+    for root in 0..n {
+        for algo in [
+            Box::new(LinearBcast) as Box<dyn BcastAlgorithm>,
+            Box::new(BinomialBcast),
+            Box::new(HierarchicalBcast),
+        ] {
+            let sched = BcastSchedule::new(algo.as_ref(), c.clone(), root);
+            run_and_verify_bcast(&sched, root, 128)
+                .unwrap_or_else(|e| panic!("{} root {root}: {e}", algo.name()));
+        }
+    }
+}
+
+#[test]
+fn runtime_allgather_matches_executor() {
+    let grid = ProcGrid::new(Machine::custom("c", 2, 2, 1, 2)); // 8 ranks
+    let n = grid.world_size();
+    let s = 8u64;
+    let algo = LocalityAwareAllgather::new(2);
+    let g = &grid;
+    let a = &algo;
+    let outs = ThreadWorld::run(n, move |comm| {
+        let mut contrib = vec![0u8; s as usize];
+        for k in 0..s {
+            contrib[k as usize] = pattern_byte(comm.rank(), comm.rank(), k);
+        }
+        let mut rbuf = vec![0u8; (n as u64 * s) as usize];
+        comm.allgather(a, g, s, &contrib, &mut rbuf);
+        rbuf
+    });
+    for rbuf in &outs {
+        alltoall_suite::sched::check_allgather_rbuf(0, n, s, rbuf).unwrap();
+    }
+}
+
+#[test]
+fn runtime_bcast_delivers_payload() {
+    let grid = ProcGrid::new(Machine::custom("c", 2, 2, 1, 2));
+    let n = grid.world_size();
+    let root = 5u32;
+    let payload: Vec<u8> = (0..100u32).map(|i| (i * 7) as u8).collect();
+    let g = &grid;
+    let p = &payload;
+    let outs = ThreadWorld::run(n, move |comm| {
+        let mut rbuf = vec![0u8; p.len()];
+        let my_payload = (comm.rank() == root).then_some(p.as_slice());
+        comm.bcast(&HierarchicalBcast, g, root, my_payload, &mut rbuf);
+        rbuf
+    });
+    for (r, out) in outs.iter().enumerate() {
+        assert_eq!(out, &payload, "rank {r}");
+    }
+}
+
+#[test]
+fn locality_aware_allgather_beats_flat_on_network_messages_and_time() {
+    let c = ctx(4, 512);
+    let grid = c.grid.clone();
+    let model = models::dane();
+    let flat = AllgatherSchedule::new(&BruckAllgather, c.clone());
+    let la = LocalityAwareAllgather::new(6);
+    let lasched = AllgatherSchedule::new(&la, c.clone());
+    let sf = validate(&flat, &grid).unwrap();
+    let sl = validate(&lasched, &grid).unwrap();
+    assert!(sl.inter_node_msgs() < sf.inter_node_msgs());
+    let tf = simulate(&flat, &grid, &model, &SimOptions::default()).unwrap();
+    let tl = simulate(&lasched, &grid, &model, &SimOptions::default()).unwrap();
+    assert!(
+        tl.total_us < tf.total_us * 2.0,
+        "locality-aware allgather unexpectedly slow: {} vs {}",
+        tl.total_us,
+        tf.total_us
+    );
+}
+
+#[test]
+fn hierarchical_bcast_network_messages_are_nodes_minus_one() {
+    for nodes in [2usize, 3, 5] {
+        let c = ctx(nodes, 64);
+        let grid = c.grid.clone();
+        let sched = BcastSchedule::new(&HierarchicalBcast, c, 2);
+        let st = validate(&sched, &grid).unwrap();
+        assert_eq!(st.inter_node_msgs(), nodes - 1, "nodes={nodes}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn allgather_property(
+        nodes in 1usize..4,
+        sk in 1usize..3,
+        co in 1usize..3,
+        s in 1u64..32,
+        which in 0usize..3,
+    ) {
+        let grid = ProcGrid::new(Machine::custom("p", nodes, sk, 1, co));
+        let ppn = grid.machine().ppn();
+        let c = A2AContext::new(grid, s);
+        let algo: Box<dyn AllgatherAlgorithm> = match which {
+            0 => Box::new(RingAllgather),
+            1 => Box::new(BruckAllgather),
+            _ => {
+                let g = (1..=ppn).rev().find(|g| ppn % g == 0).unwrap();
+                Box::new(LocalityAwareAllgather::new(g))
+            }
+        };
+        let sched = AllgatherSchedule::new(algo.as_ref(), c);
+        run_and_verify_allgather(&sched, s)
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", algo.name())))?;
+    }
+
+    #[test]
+    fn bcast_property(
+        nodes in 1usize..4,
+        co in 1usize..4,
+        len in 1u64..200,
+        root_sel in 0usize..8,
+        which in 0usize..3,
+    ) {
+        let grid = ProcGrid::new(Machine::custom("p", nodes, 2, 1, co));
+        let n = grid.world_size();
+        let root = (root_sel % n) as u32;
+        let c = A2AContext::new(grid, len);
+        let algo: Box<dyn BcastAlgorithm> = match which {
+            0 => Box::new(LinearBcast),
+            1 => Box::new(BinomialBcast),
+            _ => Box::new(HierarchicalBcast),
+        };
+        let sched = BcastSchedule::new(algo.as_ref(), c, root);
+        run_and_verify_bcast(&sched, root, len)
+            .map_err(|e| TestCaseError::fail(format!("{} root {root}: {e}", algo.name())))?;
+    }
+}

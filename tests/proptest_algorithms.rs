@@ -1,0 +1,155 @@
+//! Property-based tests: random machine shapes, group sizes, and block
+//! sizes must always yield (a) structurally valid schedules and (b) exact
+//! transposes, for every algorithm family.
+
+use proptest::prelude::*;
+
+use alltoall_suite::algos::*;
+use alltoall_suite::sched::{run_and_verify, validate};
+use alltoall_suite::topo::{Machine, ProcGrid};
+
+/// Random small machine: up to ~48 ranks so the data executor stays fast.
+fn arb_machine() -> impl Strategy<Value = ProcGrid> {
+    (1usize..=4, 1usize..=2, 1usize..=2, 1usize..=3).prop_map(|(nodes, sk, nu, co)| {
+        ProcGrid::new(Machine::custom("prop", nodes, sk, nu, co))
+    })
+}
+
+/// A random divisor of `ppn` (group size).
+fn divisor_of(ppn: usize) -> impl Strategy<Value = usize> {
+    let divs: Vec<usize> = (1..=ppn).filter(|g| ppn % g == 0).collect();
+    proptest::sample::select(divs)
+}
+
+fn arb_inner() -> impl Strategy<Value = ExchangeKind> {
+    prop_oneof![
+        Just(ExchangeKind::Pairwise),
+        Just(ExchangeKind::Nonblocking),
+        Just(ExchangeKind::Bruck),
+        (1usize..6).prop_map(|b| ExchangeKind::Batched { batch: b }),
+    ]
+}
+
+fn check(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, s: u64) -> Result<(), TestCaseError> {
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), s));
+    validate(&sched, grid)
+        .map_err(|e| TestCaseError::fail(format!("{} invalid: {e}", algo.name())))?;
+    run_and_verify(&sched, s)
+        .map_err(|e| TestCaseError::fail(format!("{} wrong: {e}", algo.name())))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flat_exchanges_always_transpose(
+        grid in arb_machine(),
+        inner in arb_inner(),
+        s in 1u64..40,
+    ) {
+        // Drive the flat exchange through the system-facing wrappers.
+        match inner {
+            ExchangeKind::Pairwise => check(&PairwiseAlltoall, &grid, s)?,
+            ExchangeKind::Nonblocking => check(&NonblockingAlltoall, &grid, s)?,
+            ExchangeKind::Bruck => check(&BruckAlltoall, &grid, s)?,
+            ExchangeKind::Batched { batch } => check(&BatchedAlltoall::new(batch), &grid, s)?,
+        }
+    }
+
+    #[test]
+    fn hierarchical_always_transposes(
+        (grid, ppl) in arb_machine().prop_flat_map(|g| {
+            let ppn = g.machine().ppn();
+            (Just(g), divisor_of(ppn))
+        }),
+        inner in arb_inner(),
+        s in 1u64..24,
+    ) {
+        check(&HierarchicalAlltoall::new(ppl, inner), &grid, s)?;
+    }
+
+    #[test]
+    fn locality_aware_always_transposes(
+        (grid, ppg) in arb_machine().prop_flat_map(|g| {
+            let ppn = g.machine().ppn();
+            (Just(g), divisor_of(ppn))
+        }),
+        inner in arb_inner(),
+        s in 1u64..24,
+    ) {
+        check(&NodeAwareAlltoall::locality_aware(ppg, inner), &grid, s)?;
+    }
+
+    #[test]
+    fn mlna_always_transposes(
+        (grid, ppl) in arb_machine().prop_flat_map(|g| {
+            let ppn = g.machine().ppn();
+            (Just(g), divisor_of(ppn))
+        }),
+        inner in arb_inner(),
+        s in 1u64..24,
+    ) {
+        check(&MultileaderNodeAwareAlltoall::new(ppl, inner), &grid, s)?;
+    }
+
+    #[test]
+    fn mpich_shm_always_transposes(
+        grid in arb_machine(),
+        inner in arb_inner(),
+        s in 1u64..24,
+    ) {
+        check(&MpichShmAlltoall::new(inner), &grid, s)?;
+    }
+
+    #[test]
+    fn binomial_trees_always_transpose(
+        (grid, ppl) in arb_machine().prop_flat_map(|g| {
+            let ppn = g.machine().ppn();
+            (Just(g), divisor_of(ppn))
+        }),
+        s in 1u64..16,
+    ) {
+        check(
+            &HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise)
+                .with_gather(GatherKind::Binomial),
+            &grid,
+            s,
+        )?;
+        check(
+            &MultileaderNodeAwareAlltoall::new(ppl, ExchangeKind::Pairwise)
+                .with_gather(GatherKind::Binomial),
+            &grid,
+            s,
+        )?;
+    }
+
+    #[test]
+    fn network_volume_is_exactly_minimal_for_aggregators(
+        (grid, g1) in arb_machine().prop_flat_map(|g| {
+            let ppn = g.machine().ppn();
+            (Just(g), divisor_of(ppn))
+        }),
+        s in 1u64..16,
+    ) {
+        let m = grid.machine();
+        let min = (m.nodes * (m.nodes - 1)) as u64 * (m.ppn() * m.ppn()) as u64 * s;
+        for algo in [
+            Box::new(NodeAwareAlltoall::locality_aware(g1, ExchangeKind::Pairwise))
+                as Box<dyn AlltoallAlgorithm>,
+            Box::new(MultileaderNodeAwareAlltoall::new(g1, ExchangeKind::Pairwise)),
+            Box::new(HierarchicalAlltoall::new(g1, ExchangeKind::Pairwise)),
+        ] {
+            let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
+            let st = validate(&sched, &grid)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", algo.name())))?;
+            prop_assert_eq!(st.inter_node_bytes(), min, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn bruck_handles_any_world_size(m in 1usize..40, s in 1u64..16) {
+        let grid = ProcGrid::new(Machine::custom("flat", m, 1, 1, 1));
+        check(&BruckAlltoall, &grid, s)?;
+    }
+}

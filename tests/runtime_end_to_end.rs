@@ -1,0 +1,118 @@
+//! End-to-end runtime tests: the threaded mini-MPI must agree byte-for-byte
+//! with the sequential data executor for every algorithm, and its
+//! point-to-point layer must behave like MPI.
+
+use alltoall_suite::algos::*;
+use alltoall_suite::runtime::ThreadWorld;
+use alltoall_suite::sched::{fill_alltoall_sbuf, run_and_verify, ScheduleSource};
+use alltoall_suite::topo::{Machine, ProcGrid};
+
+fn thread_outputs(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, s: u64) -> Vec<Vec<u8>> {
+    let n = grid.world_size();
+    let total = (n as u64 * s) as usize;
+    ThreadWorld::run(n, move |comm| {
+        let mut sbuf = vec![0u8; total];
+        let mut rbuf = vec![0u8; total];
+        fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
+        comm.alltoall(algo, grid, s, &sbuf, &mut rbuf);
+        rbuf
+    })
+}
+
+#[test]
+fn runtime_matches_data_executor_exactly() {
+    let grid = ProcGrid::new(Machine::custom("e2e", 2, 2, 1, 3)); // 12 ranks
+    let s = 16u64;
+    let algos: Vec<Box<dyn AlltoallAlgorithm>> = vec![
+        Box::new(PairwiseAlltoall),
+        Box::new(BruckAlltoall),
+        Box::new(HierarchicalAlltoall::new(3, ExchangeKind::Nonblocking)),
+        Box::new(NodeAwareAlltoall::locality_aware(2, ExchangeKind::Pairwise)),
+        Box::new(MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Bruck)),
+        Box::new(MpichShmAlltoall::default()),
+    ];
+    for algo in &algos {
+        let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
+        let exec = run_and_verify(&sched, s).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        let threads = thread_outputs(algo.as_ref(), &grid, s);
+        for (r, (a, b)) in exec.rbufs.iter().zip(&threads).enumerate() {
+            assert_eq!(a, b, "{} rank {r} differs between executors", algo.name());
+        }
+    }
+}
+
+#[test]
+fn runtime_handles_byte_sized_blocks() {
+    let grid = ProcGrid::new(Machine::custom("e2e", 2, 1, 1, 2));
+    let out = thread_outputs(&PairwiseAlltoall, &grid, 1);
+    assert!(out.iter().all(|b| b.len() == 4));
+}
+
+#[test]
+fn repeated_collectives_on_one_world() {
+    // Tags must not leak between successive collectives.
+    let grid = ProcGrid::new(Machine::custom("e2e", 2, 1, 1, 2));
+    let g = &grid;
+    let n = grid.world_size();
+    ThreadWorld::run(n, move |comm| {
+        for round in 0..5u64 {
+            let s = 8 + round; // varying block size each round
+            let total = (n as u64 * s) as usize;
+            let mut sbuf = vec![0u8; total];
+            let mut rbuf = vec![0u8; total];
+            fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
+            comm.alltoall(
+                &NodeAwareAlltoall::node_aware(ExchangeKind::Nonblocking),
+                g,
+                s,
+                &sbuf,
+                &mut rbuf,
+            );
+            alltoall_suite::sched::check_alltoall_rbuf(comm.rank(), n, s, &rbuf)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            comm.barrier();
+        }
+    });
+}
+
+#[test]
+fn mixed_algorithms_in_sequence() {
+    // Different algorithms back-to-back on the same world must not
+    // interfere (distinct tag spaces per phase, all messages drained).
+    let grid = ProcGrid::new(Machine::custom("e2e", 2, 2, 1, 2)); // 8 ranks
+    let g = &grid;
+    let n = grid.world_size();
+    ThreadWorld::run(n, move |comm| {
+        let algos: Vec<Box<dyn AlltoallAlgorithm>> = vec![
+            Box::new(BruckAlltoall),
+            Box::new(MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise)),
+            Box::new(SystemMpiAlltoall::default()),
+        ];
+        let s = 8u64;
+        let total = (n as u64 * s) as usize;
+        for algo in &algos {
+            let mut sbuf = vec![0u8; total];
+            let mut rbuf = vec![0u8; total];
+            fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
+            comm.alltoall(algo.as_ref(), g, s, &sbuf, &mut rbuf);
+            alltoall_suite::sched::check_alltoall_rbuf(comm.rank(), n, s, &rbuf)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        }
+    });
+}
+
+#[test]
+fn schedule_source_adapter_is_consistent() {
+    // AlgoSchedule must report buffers/programs consistent with the trait
+    // methods it wraps (guards against adapter drift).
+    let grid = ProcGrid::new(Machine::custom("e2e", 2, 1, 1, 3));
+    let ctx = A2AContext::new(grid, 8);
+    let algo = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+    let sched = AlgoSchedule::new(&algo, ctx.clone());
+    assert_eq!(sched.nranks(), ctx.n());
+    for r in 0..ctx.n() as u32 {
+        assert_eq!(sched.buffers(r), algo.buffers(&ctx, r));
+        assert_eq!(sched.build_rank(r), algo.build_rank(&ctx, r));
+    }
+    assert_eq!(sched.phase_names(), algo.phase_names());
+}

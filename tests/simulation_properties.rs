@@ -1,0 +1,189 @@
+//! Properties of the discrete-event simulator across algorithms: it must
+//! be deterministic, respect analytic lower bounds, behave monotonically
+//! in message size and node count, and account phases consistently.
+
+use alltoall_suite::algos::*;
+use alltoall_suite::netsim::{analytic, models, simulate, simulate_min_of, SimOptions, SimReport};
+use alltoall_suite::sched::validate;
+use alltoall_suite::topo::{presets, ProcGrid};
+
+fn roster() -> Vec<Box<dyn AlltoallAlgorithm>> {
+    vec![
+        Box::new(PairwiseAlltoall),
+        Box::new(NonblockingAlltoall),
+        Box::new(BruckAlltoall),
+        Box::new(BatchedAlltoall::new(4)),
+        Box::new(HierarchicalAlltoall::new(8, ExchangeKind::Pairwise)),
+        Box::new(HierarchicalAlltoall::new(4, ExchangeKind::Nonblocking)),
+        Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        Box::new(NodeAwareAlltoall::locality_aware(4, ExchangeKind::Pairwise)),
+        Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
+        Box::new(MpichShmAlltoall::default()),
+        Box::new(SystemMpiAlltoall::default()),
+    ]
+}
+
+fn grid(nodes: usize) -> ProcGrid {
+    ProcGrid::new(presets::scaled_many_core(nodes, 1)) // 8 ppn
+}
+
+fn sim(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, s: u64) -> SimReport {
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), s));
+    simulate(&sched, grid, &models::dane(), &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", algo.name()))
+}
+
+#[test]
+fn simulation_is_deterministic_for_all_algorithms() {
+    let g = grid(4);
+    for algo in roster() {
+        let a = sim(algo.as_ref(), &g, 64);
+        let b = sim(algo.as_ref(), &g, 64);
+        assert_eq!(a.total_us, b.total_us, "{}", algo.name());
+        assert_eq!(a.rank_finish, b.rank_finish, "{}", algo.name());
+    }
+}
+
+#[test]
+fn time_is_monotone_in_block_size() {
+    let g = grid(4);
+    for algo in roster() {
+        let mut prev = 0.0;
+        for s in [4u64, 64, 1024, 8192] {
+            let t = sim(algo.as_ref(), &g, s).total_us;
+            assert!(
+                t >= prev,
+                "{}: time decreased from {prev} to {t} at s={s}",
+                algo.name()
+            );
+            prev = t;
+        }
+    }
+}
+
+#[test]
+fn time_grows_with_node_count() {
+    // Fixed block size: more nodes means more total data per rank.
+    for algo in roster() {
+        let t2 = sim(algo.as_ref(), &grid(2), 256).total_us;
+        let t8 = sim(algo.as_ref(), &grid(8), 256).total_us;
+        assert!(
+            t8 > t2,
+            "{}: {t8} at 8 nodes not above {t2} at 2 nodes",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn simulated_time_at_least_analytic_lower_bound() {
+    let g = grid(4);
+    let model = models::dane();
+    for algo in roster() {
+        for s in [8u64, 512, 4096] {
+            let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(g.clone(), s));
+            let stats = validate(&sched, &g).unwrap();
+            let bound = analytic::lower_bound_from_stats(&stats, &g, &model);
+            let t = sim(algo.as_ref(), &g, s).total_us;
+            assert!(
+                t >= bound * 0.999,
+                "{} s={s}: {t} below bound {bound}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_times_sum_close_to_rank_finish() {
+    // Per-rank phase times partition the rank's elapsed time, so the
+    // phase means must sum to the mean finish.
+    let g = grid(4);
+    for algo in roster() {
+        let rep = sim(algo.as_ref(), &g, 256);
+        let mean_finish = rep.rank_finish.iter().sum::<f64>() / rep.rank_finish.len() as f64;
+        let phase_sum: f64 = rep.phase_mean_us.iter().sum();
+        assert!(
+            (phase_sum - mean_finish).abs() < 1e-6 * mean_finish.max(1.0),
+            "{}: phases sum {phase_sum} vs mean finish {mean_finish}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn min_of_runs_is_no_worse_than_any_single_seed() {
+    let g = grid(2);
+    let model = models::dane();
+    let algo = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+    let sched = AlgoSchedule::new(&algo, A2AContext::new(g.clone(), 128));
+    let min3 = simulate_min_of(&sched, &g, &model, 3, 7).unwrap().total_us;
+    for i in 0..3u64 {
+        let one = simulate(
+            &sched,
+            &g,
+            &model,
+            &SimOptions {
+                jitter: 0.05,
+                seed: 7 + i,
+            },
+        )
+        .unwrap()
+        .total_us;
+        assert!(min3 <= one + 1e-9);
+    }
+}
+
+#[test]
+fn faster_network_is_faster_collective() {
+    // Tuolumne's Slingshot model should beat Dane's Omni-Path on the same
+    // schedule and machine shape.
+    let g = grid(4);
+    let algo = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+    let sched = AlgoSchedule::new(&algo, A2AContext::new(g.clone(), 2048));
+    let dane = simulate(&sched, &g, &models::dane(), &SimOptions::default())
+        .unwrap()
+        .total_us;
+    let tuo = simulate(&sched, &g, &models::tuolumne(), &SimOptions::default())
+        .unwrap()
+        .total_us;
+    assert!(tuo < dane, "slingshot {tuo} not faster than omni-path {dane}");
+}
+
+#[test]
+fn engine_traffic_counters_agree_with_static_validator() {
+    // Two independent implementations of the same accounting — the DES
+    // transport layer and the static validator — must agree exactly.
+    let g = grid(4);
+    for algo in roster() {
+        let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(g.clone(), 128));
+        let stats = validate(&sched, &g).unwrap();
+        let rep = sim(algo.as_ref(), &g, 128);
+        assert_eq!(
+            rep.msgs_per_level, stats.msgs,
+            "{}: message counts disagree",
+            algo.name()
+        );
+        assert_eq!(
+            rep.bytes_per_level, stats.bytes,
+            "{}: byte counts disagree",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn internode_phase_dominates_node_aware_at_all_sizes() {
+    // The paper's Figure 14/15 conclusion.
+    let g = grid(8);
+    let algo = NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise);
+    for s in [4u64, 256, 4096] {
+        let rep = sim(&algo, &g, s);
+        let inter = rep.phase("inter-a2a").unwrap();
+        let intra = rep.phase("intra-a2a").unwrap();
+        assert!(
+            inter > intra,
+            "s={s}: inter {inter} not above intra {intra}"
+        );
+    }
+}

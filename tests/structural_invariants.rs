@@ -1,0 +1,179 @@
+//! Structural invariants the paper's analysis relies on, checked from
+//! static schedule statistics (no execution): message counts, who touches
+//! the network, and byte conservation.
+
+use alltoall_suite::algos::*;
+use alltoall_suite::sched::{validate, ScheduleStats};
+use alltoall_suite::topo::{Machine, ProcGrid};
+
+fn stats(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, s: u64) -> ScheduleStats {
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), s));
+    validate(&sched, grid).unwrap_or_else(|e| panic!("{}: {e}", algo.name()))
+}
+
+fn grid() -> ProcGrid {
+    // 4 nodes x (2 sockets x 2 NUMA x 2 cores) = 8 ppn, 32 ranks.
+    ProcGrid::new(Machine::custom("inv", 4, 2, 2, 2))
+}
+
+/// Minimum bytes that must cross the network in any all-to-all: every
+/// (src, dst) pair on different nodes contributes `s`.
+fn min_internode_bytes(grid: &ProcGrid, s: u64) -> u64 {
+    let nodes = grid.machine().nodes as u64;
+    let ppn = grid.machine().ppn() as u64;
+    nodes * (nodes - 1) * ppn * ppn * s
+}
+
+#[test]
+fn direct_exchange_message_counts() {
+    let g = grid();
+    let n = g.world_size();
+    let st = stats(&PairwiseAlltoall, &g, 8);
+    let total: usize = st.msgs.iter().sum();
+    assert_eq!(total, n * (n - 1));
+    assert_eq!(st.max_sends_per_rank, n - 1);
+    assert_eq!(st.inter_node_bytes(), min_internode_bytes(&g, 8));
+}
+
+#[test]
+fn bruck_message_count_is_log_rounds() {
+    let g = grid(); // 32 ranks
+    let st = stats(&BruckAlltoall, &g, 8);
+    assert_eq!(st.max_sends_per_rank, 5); // log2(32)
+    let total: usize = st.msgs.iter().sum();
+    assert_eq!(total, 32 * 5);
+    // Bruck inflates network volume (blocks travel multiple hops).
+    assert!(st.inter_node_bytes() > min_internode_bytes(&g, 8));
+}
+
+#[test]
+fn hierarchical_internode_messages_scale_with_leaders() {
+    let g = grid();
+    let nodes = 4usize;
+    for ppl in [2usize, 4, 8] {
+        let leaders_per_node = 8 / ppl;
+        let st = stats(&HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise), &g, 8);
+        // Each leader messages every leader on every other node.
+        let expect = nodes * leaders_per_node * (nodes - 1) * leaders_per_node;
+        assert_eq!(st.inter_node_msgs(), expect, "ppl={ppl}");
+        // Aggregation keeps network volume minimal.
+        assert_eq!(st.inter_node_bytes(), min_internode_bytes(&g, 8), "ppl={ppl}");
+    }
+}
+
+#[test]
+fn node_aware_internode_messages_are_one_per_rank_per_node() {
+    let g = grid();
+    let st = stats(&NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise), &g, 8);
+    assert_eq!(st.max_internode_sends_per_rank, 3); // nodes - 1
+    assert_eq!(st.inter_node_msgs(), 32 * 3);
+    assert_eq!(st.inter_node_bytes(), min_internode_bytes(&g, 8));
+}
+
+#[test]
+fn locality_aware_trades_intra_for_inter_messages() {
+    let g = grid();
+    let n = g.world_size();
+    let ppn = g.machine().ppn();
+    let mut prev_inter = stats(&NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise), &g, 8)
+        .inter_node_msgs();
+    for ppg in [4usize, 2, 1] {
+        let la = stats(
+            &NodeAwareAlltoall::locality_aware(ppg, ExchangeKind::Pairwise),
+            &g,
+            8,
+        );
+        // Per rank: (ppg-1) intra-region messages plus one message to each
+        // same-node region with the same offset — the redistribution
+        // shrinks with ppg while cross-region messaging grows, some of it
+        // staying on-node. The exact count pins both effects down.
+        let expect_intra = n * ((ppg - 1) + (ppn / ppg - 1));
+        assert_eq!(la.intra_node_msgs(), expect_intra, "ppg={ppg}");
+        // Network messaging strictly grows as groups shrink.
+        assert!(la.inter_node_msgs() > prev_inter, "ppg={ppg}");
+        assert_eq!(la.inter_node_bytes(), min_internode_bytes(&g, 8));
+        prev_inter = la.inter_node_msgs();
+    }
+}
+
+#[test]
+fn mlna_internode_count_beats_multileader() {
+    // The novel algorithm's design goal (paper §3.3): leaders exchange one
+    // message per remote node rather than one per remote leader.
+    let g = grid();
+    for ppl in [2usize, 4] {
+        let leaders = 4 * (8 / ppl);
+        let mlna = stats(
+            &MultileaderNodeAwareAlltoall::new(ppl, ExchangeKind::Pairwise),
+            &g,
+            8,
+        );
+        let ml = stats(&HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise), &g, 8);
+        assert_eq!(mlna.inter_node_msgs(), leaders * 3, "ppl={ppl}");
+        assert!(mlna.inter_node_msgs() < ml.inter_node_msgs(), "ppl={ppl}");
+        assert_eq!(mlna.inter_node_bytes(), min_internode_bytes(&g, 8));
+    }
+}
+
+#[test]
+fn aggregation_families_never_inflate_network_bytes() {
+    let g = grid();
+    let algos: Vec<Box<dyn AlltoallAlgorithm>> = vec![
+        Box::new(HierarchicalAlltoall::new(8, ExchangeKind::Pairwise)),
+        Box::new(HierarchicalAlltoall::new(2, ExchangeKind::Nonblocking)),
+        Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        Box::new(NodeAwareAlltoall::locality_aware(2, ExchangeKind::Pairwise)),
+        Box::new(MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise)),
+        Box::new(MpichShmAlltoall::default()),
+    ];
+    for a in &algos {
+        let st = stats(a.as_ref(), &g, 16);
+        assert_eq!(
+            st.inter_node_bytes(),
+            min_internode_bytes(&g, 16),
+            "{} inflates network traffic",
+            a.name()
+        );
+    }
+}
+
+#[test]
+fn hierarchy_members_send_nothing_internode() {
+    let g = grid();
+    let c = A2AContext::new(g.clone(), 8);
+    for ppl in [2usize, 4, 8] {
+        let algo = HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise);
+        for rank in 0..g.world_size() as u32 {
+            if g.subset_offset(rank, ppl) != 0 {
+                let prog = algo.build_rank(&c, rank);
+                assert_eq!(prog.send_count(), 1, "member {rank} gather send only");
+            }
+        }
+    }
+}
+
+#[test]
+fn nonblocking_posts_everything_before_waiting() {
+    let g = grid();
+    let c = A2AContext::new(g.clone(), 8);
+    let prog = NonblockingAlltoall.build_rank(&c, 0);
+    use alltoall_suite::sched::Op;
+    let first_wait = prog
+        .ops
+        .iter()
+        .position(|t| matches!(t.op, Op::WaitAll { .. }))
+        .unwrap();
+    let sends_before: usize = prog.ops[..first_wait]
+        .iter()
+        .filter(|t| matches!(t.op, Op::Isend { .. }))
+        .count();
+    assert_eq!(sends_before, g.world_size() - 1);
+    // Pairwise interleaves waits.
+    let pw = PairwiseAlltoall.build_rank(&c, 0);
+    let pw_first_wait = pw
+        .ops
+        .iter()
+        .position(|t| matches!(t.op, Op::WaitAll { .. }))
+        .unwrap();
+    assert!(pw_first_wait < 4);
+}
