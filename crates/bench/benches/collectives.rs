@@ -1,7 +1,8 @@
 //! Simulated cost of the §5-extension collectives (allgather, broadcast)
 //! across their algorithm variants.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use a2a_bench::microbench::{BenchmarkId, Criterion};
+use a2a_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use a2a_core::collectives::{
@@ -25,16 +26,21 @@ fn bench_collectives(c: &mut Criterion) {
     ];
     for (name, algo) in &allgathers {
         for s in [64u64, 4096] {
-            g.bench_with_input(BenchmarkId::new(format!("allgather_{name}"), s), &s, |b, &s| {
-                let sched = AllgatherSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
-                b.iter(|| {
-                    black_box(
-                        simulate(&sched, &grid, &model, &SimOptions::default())
-                            .unwrap()
-                            .total_us,
-                    )
-                });
-            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("allgather_{name}"), s),
+                &s,
+                |b, &s| {
+                    let sched =
+                        AllgatherSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
+                    b.iter(|| {
+                        black_box(
+                            simulate(&sched, &grid, &model, &SimOptions::default())
+                                .unwrap()
+                                .total_us,
+                        )
+                    });
+                },
+            );
         }
     }
 
@@ -47,7 +53,8 @@ fn bench_collectives(c: &mut Criterion) {
             BenchmarkId::new(format!("bcast_{name}"), 65536u64),
             &65536u64,
             |b, &len| {
-                let sched = BcastSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), len), 0);
+                let sched =
+                    BcastSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), len), 0);
                 b.iter(|| {
                     black_box(
                         simulate(&sched, &grid, &model, &SimOptions::default())

@@ -1,7 +1,8 @@
 //! Raw simulator throughput: operations per second through the
 //! discrete-event engine, on a direct exchange (the op-densest schedule).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use a2a_bench::microbench::{Criterion, Throughput};
+use a2a_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use a2a_core::{A2AContext, AlgoSchedule, NonblockingAlltoall, PairwiseAlltoall};
@@ -22,17 +23,13 @@ fn bench_engine(c: &mut Criterion) {
         .sum();
     g.throughput(Throughput::Elements(ops as u64));
     g.bench_function("pairwise_128ranks", |b| {
-        b.iter(|| {
-            black_box(simulate(&sched, &grid, &model, &SimOptions::default()).unwrap())
-        });
+        b.iter(|| black_box(simulate(&sched, &grid, &model, &SimOptions::default()).unwrap()));
     });
 
     let nb = NonblockingAlltoall;
     let sched_nb = AlgoSchedule::new(&nb, A2AContext::new(grid.clone(), 256));
     g.bench_function("nonblocking_128ranks", |b| {
-        b.iter(|| {
-            black_box(simulate(&sched_nb, &grid, &model, &SimOptions::default()).unwrap())
-        });
+        b.iter(|| black_box(simulate(&sched_nb, &grid, &model, &SimOptions::default()).unwrap()));
     });
 
     g.bench_function("pairwise_128ranks_jittered", |b| {

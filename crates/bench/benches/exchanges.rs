@@ -1,7 +1,8 @@
 //! Simulated cost of the flat exchange patterns (paper §2 baselines):
 //! pairwise, non-blocking, batched, Bruck — schedule build + DES execution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use a2a_bench::microbench::{BenchmarkId, Criterion};
+use a2a_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use a2a_core::{
@@ -28,8 +29,7 @@ fn bench_exchanges(c: &mut Criterion) {
                 let ctx = A2AContext::new(grid.clone(), s);
                 let sched = AlgoSchedule::new(algo.as_ref(), ctx);
                 b.iter(|| {
-                    let rep =
-                        simulate(&sched, &grid, &model, &SimOptions::default()).unwrap();
+                    let rep = simulate(&sched, &grid, &model, &SimOptions::default()).unwrap();
                     black_box(rep.total_us)
                 });
             });

@@ -1,7 +1,8 @@
 //! Figure kernels as criterion benchmarks: a miniature Figure-10 point per
 //! algorithm family, tying `cargo bench` to the reproduction harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use a2a_bench::microbench::{BenchmarkId, Criterion};
+use a2a_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use a2a_bench::{run_min, RunConfig};
@@ -39,9 +40,7 @@ fn bench_fig10_kernel(c: &mut Criterion) {
     for (name, algo) in &algos {
         for s in [4u64, 4096] {
             g.bench_with_input(BenchmarkId::new(*name, s), &s, |b, &s| {
-                b.iter(|| {
-                    black_box(run_min(algo.as_ref(), &grid, &model, s, 1, 1).total_us)
-                });
+                b.iter(|| black_box(run_min(algo.as_ref(), &grid, &model, s, 1, 1).total_us));
             });
         }
     }

@@ -1,7 +1,8 @@
 //! Real (threaded) all-to-all wall time on the mini-MPI runtime: actual
 //! data movement across OS threads, algorithms compared at a small world.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use a2a_bench::microbench::{BenchmarkId, Criterion};
+use a2a_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use a2a_core::{

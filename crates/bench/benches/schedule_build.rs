@@ -2,7 +2,8 @@
 //! program builds. Matters because the simulator and runtime both compile
 //! schedules on the fly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use a2a_bench::microbench::Criterion;
+use a2a_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use a2a_core::{

@@ -7,8 +7,14 @@ use a2a_sched::ScheduleSource;
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "pairwise".into());
     let s: u64 = std::env::args().nth(2).map_or(4, |v| v.parse().unwrap());
-    let cfg = RunConfig { full_scale: true, ..Default::default() };
-    let grid = match std::env::var("CPN").ok().and_then(|v| v.parse::<usize>().ok()) {
+    let cfg = RunConfig {
+        full_scale: true,
+        ..Default::default()
+    };
+    let grid = match std::env::var("CPN")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(cpn) => a2a_topo::ProcGrid::new(a2a_topo::Machine::custom("dane", 32, 2, 4, cpn)),
         None => cfg.grid(),
     };
@@ -23,12 +29,21 @@ fn main() {
         _ => Box::new(PairwiseAlltoall),
     };
     let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
-    let ops: usize = (0..grid.world_size() as u32).map(|r| sched.build_rank(r).ops.len()).sum();
+    let ops: usize = (0..grid.world_size() as u32)
+        .map(|r| sched.build_rank(r).ops.len())
+        .sum();
     eprintln!("{which} s={s}: total ops {ops}");
     let t = std::time::Instant::now();
     let rep = simulate(&sched, &grid, &cfg.model(), &SimOptions::default()).unwrap();
-    eprintln!("{which} s={s}: {:.1} us, wall {:.1?}", rep.total_us, t.elapsed());
+    eprintln!(
+        "{which} s={s}: {:.1} us, wall {:.1?}",
+        rep.total_us,
+        t.elapsed()
+    );
     for (i, name) in rep.phase_names.iter().enumerate() {
-        eprintln!("  phase {name:<10} max {:>10.1} mean {:>10.1}", rep.phase_max_us[i], rep.phase_mean_us[i]);
+        eprintln!(
+            "  phase {name:<10} max {:>10.1} mean {:>10.1}",
+            rep.phase_max_us[i], rep.phase_mean_us[i]
+        );
     }
 }

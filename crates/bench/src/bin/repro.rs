@@ -75,9 +75,13 @@ fn main() -> ExitCode {
             "table1" => want_table1 = true,
             "tune" => figures.push("tune".into()),
             "--help" | "-h" => {
-                println!("usage: repro [all|table1|tune|fig7..fig18|headline|ablation-*]... [options]");
+                println!(
+                    "usage: repro [all|table1|tune|fig7..fig18|headline|ablation-*]... [options]"
+                );
                 println!("figures: {:?}", known_figures());
-                println!("options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR");
+                println!(
+                    "options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR"
+                );
                 return ExitCode::SUCCESS;
             }
             f if known_figures().contains(&f) => figures.push(f.to_string()),
@@ -115,9 +119,15 @@ fn main() -> ExitCode {
         let start = Instant::now();
         if name == "tune" {
             let res = a2a_bench::tune(&cfg);
-            println!("\n# selector tuning ({} nodes of {})", res.nodes, res.machine);
+            println!(
+                "\n# selector tuning ({} nodes of {})",
+                res.nodes, res.machine
+            );
             for p in &res.points {
-                println!("  {:>6} B -> {:<26} {:>10.1} us", p.bytes, p.winner, p.winner_us);
+                println!(
+                    "  {:>6} B -> {:<26} {:>10.1} us",
+                    p.bytes, p.winner, p.winner_us
+                );
             }
             println!(
                 "  table: mlna(ppl={}) <= {} B < node-aware < {} B <= locality-aware(ppg={})",
@@ -135,13 +145,9 @@ fn main() -> ExitCode {
         let fig = figure_by_name(name, &cfg);
         fig.save(&out_dir).expect("save figure");
         println!("\n{}", fig.table());
-        if let Some((winner, us)) = fig.winner_at(
-            fig.series[0]
-                .points
-                .last()
-                .map(|p| p.0)
-                .unwrap_or_default(),
-        ) {
+        if let Some((winner, us)) =
+            fig.winner_at(fig.series[0].points.last().map(|p| p.0).unwrap_or_default())
+        {
             println!("  -> winner at largest x: {winner} ({us:.1} us)");
         }
         println!("  [{name} done in {:.1?}]", start.elapsed());

@@ -22,8 +22,22 @@ const INNERS: [(ExchangeKind, &str); 2] = [
 /// NUMA-aligned vs unaligned grouping, eager-threshold sensitivity).
 pub fn known_figures() -> Vec<&'static str> {
     vec![
-        "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-        "fig17", "fig18", "headline", "ablation-gather", "ablation-grouping", "ablation-eager",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "headline",
+        "ablation-gather",
+        "ablation-grouping",
+        "ablation-eager",
     ]
 }
 
@@ -76,10 +90,7 @@ fn sweep_sizes(name: &str, title: &str, cfg: &RunConfig, roster: Roster) -> Figu
 }
 
 fn with_system(mut roster: Roster) -> Roster {
-    roster.push((
-        "system-mpi".into(),
-        Box::new(SystemMpiAlltoall::default()),
-    ));
+    roster.push(("system-mpi".into(), Box::new(SystemMpiAlltoall::default())));
     roster
 }
 
@@ -324,7 +335,10 @@ fn fig15(cfg: &RunConfig) -> FigureData {
         label: "pairwise:total".into(),
         points: Vec::new(),
     };
-    for nodes in [2usize, 4, 8, 16, 32].into_iter().filter(|&n| n <= cfg.nodes) {
+    for nodes in [2usize, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&n| n <= cfg.nodes)
+    {
         let sub = RunConfig {
             nodes,
             ..cfg.clone()
@@ -366,7 +380,7 @@ fn fig16(cfg: &RunConfig) -> FigureData {
     };
     let mut group_sizes: Vec<usize> = PAPER_GROUP_SIZES.to_vec();
     group_sizes.push(ppn); // node-aware endpoint
-    group_sizes.retain(|&g| ppn % g == 0);
+    group_sizes.retain(|&g| ppn.is_multiple_of(g));
     group_sizes.sort_unstable();
     for g in group_sizes {
         let algo = NodeAwareAlltoall::locality_aware(g, ExchangeKind::Pairwise);
@@ -493,7 +507,10 @@ fn ablation_grouping(cfg: &RunConfig) -> FigureData {
                 NodeAwareAlltoall::locality_aware(4, ExchangeKind::Pairwise),
                 "locality-aware(ppg=4)",
             ),
-            (NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise), "node-aware"),
+            (
+                NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise),
+                "node-aware",
+            ),
         ] {
             let points = DEFAULT_SIZES
                 .iter()

@@ -1,6 +1,6 @@
 //! Benchmark harness: regenerates every table and figure of the paper's
 //! evaluation (Figures 7–18, Table 1) on the simulated machines, and hosts
-//! the criterion microbenchmarks.
+//! the microbenchmarks (see [`microbench`]).
 //!
 //! The `repro` binary (`src/bin/repro.rs`) is the entry point:
 //!
@@ -16,6 +16,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod microbench;
 pub mod tune;
 
 pub use figures::{figure_by_name, known_figures};

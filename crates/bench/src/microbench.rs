@@ -1,0 +1,243 @@
+//! A minimal, dependency-free microbenchmark harness with a criterion-shaped
+//! API (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`).
+//!
+//! The registry is unreachable in the hermetic build, so `criterion` itself
+//! cannot be a dependency; the `benches/` files keep their structure and run
+//! against this shim instead. Measurement is deliberately simple: warm up,
+//! then time batches of adaptively sized iteration blocks and report the
+//! minimum, median, and maximum per-iteration time. No statistics beyond
+//! that — this is for spotting order-of-magnitude regressions, not
+//! publication numbers.
+//!
+//! Filtering works like criterion/libtest: `cargo bench -p a2a-bench --
+//! <substring>` runs only benchmarks whose `group/name` id contains the
+//! substring.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured benchmark. Kept short: the suite has ~30
+/// benchmark points.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+const TARGET_WARMUP: Duration = Duration::from_millis(100);
+
+/// Top-level driver handed to every `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First CLI argument (if any) is a substring filter; `--bench` is
+        // passed by cargo and ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(self.filter.as_deref(), &id.into(), f);
+    }
+}
+
+/// Identifies one parameterized benchmark point, rendered `name/param`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.0
+    }
+}
+
+/// Accepted and ignored, for criterion API compatibility.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named group of benchmark points.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored: the shim sizes samples by wall time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (criterion uses it to normalize units).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.c.filter.as_deref(), &full, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id.0, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    /// Per-iteration times (ns) of each measured block.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: grow the block size until one block costs ~10% of the
+        // measurement budget (so a measured run has >= ~10 blocks).
+        let mut block: u64 = 1;
+        let warmup_end = Instant::now() + TARGET_WARMUP;
+        let block_time = loop {
+            let t0 = Instant::now();
+            for _ in 0..block {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= TARGET_MEASURE / 10 || Instant::now() >= warmup_end {
+                break elapsed;
+            }
+            block = block.saturating_mul(2);
+        };
+        // Measurement: run blocks until the budget is spent.
+        let blocks = ((TARGET_MEASURE.as_secs_f64() / block_time.as_secs_f64().max(1e-9)).ceil()
+            as usize)
+            .clamp(3, 1000);
+        self.samples.clear();
+        for _ in 0..blocks {
+            let t0 = Instant::now();
+            for _ in 0..block {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() * 1e9 / block as f64);
+        }
+    }
+}
+
+fn run_one(filter: Option<&str>, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<60} (no samples: closure never called iter)");
+        return;
+    }
+    b.samples.sort_by(f64::total_cmp);
+    let min = b.samples[0];
+    let med = b.samples[b.samples.len() / 2];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "{id:<60} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(med),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Criterion-compatible: bundle benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Criterion-compatible: `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(b.samples.len() >= 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_renders_slash_form() {
+        assert_eq!(
+            String::from(BenchmarkId::new("pairwise", 64)),
+            "pairwise/64"
+        );
+    }
+
+    #[test]
+    fn filtered_out_benchmarks_do_not_run() {
+        let mut ran = false;
+        run_one(Some("nomatch"), "group/name", |_| ran = true);
+        assert!(!ran);
+        run_one(Some("name"), "group/name", |b| {
+            b.iter(|| 1u32);
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -4,8 +4,7 @@
 //! count, and data size", made executable.
 
 use a2a_core::{
-    AlltoallAlgorithm, ExchangeKind, MultileaderNodeAwareAlltoall, NodeAwareAlltoall,
-    SelectorTable,
+    AlltoallAlgorithm, ExchangeKind, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, SelectorTable,
 };
 use serde::Serialize;
 
@@ -35,10 +34,15 @@ pub struct TuneResult {
 fn candidate_groups(ppn: usize) -> Vec<usize> {
     let mut gs: Vec<usize> = [4usize, 8, 16]
         .into_iter()
-        .filter(|g| ppn % g == 0)
+        .filter(|g| ppn.is_multiple_of(*g))
         .collect();
     if gs.is_empty() {
-        gs.push((1..=ppn).rev().find(|g| ppn % g == 0).unwrap_or(1));
+        gs.push(
+            (1..=ppn)
+                .rev()
+                .find(|g| ppn.is_multiple_of(*g))
+                .unwrap_or(1),
+        );
     }
     gs
 }
@@ -151,8 +155,8 @@ mod tests {
         let res = tune(&cfg);
         assert_eq!(res.points.len(), DEFAULT_SIZES.len());
         assert!(res.table.small_threshold <= res.table.large_threshold);
-        assert!(res.ppn % res.table.ppl == 0);
-        assert!(res.ppn % res.table.ppg == 0);
+        assert!(res.ppn.is_multiple_of(res.table.ppl));
+        assert!(res.ppn.is_multiple_of(res.table.ppg));
         // Winners must actually be candidates we offered.
         for p in &res.points {
             assert!(

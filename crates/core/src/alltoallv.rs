@@ -123,10 +123,18 @@ fn direct_build(ctx: &VContext, rank: Rank, nonblocking: bool) -> RankProgram {
         let rcount = ctx.count(rp, rank);
         let step = b.req_mark();
         if scount > 0 {
-            b.isend(sp, Block::new(SBUF, ctx.send_off(rank, sp), scount), tags::DIRECT);
+            b.isend(
+                sp,
+                Block::new(SBUF, ctx.send_off(rank, sp), scount),
+                tags::DIRECT,
+            );
         }
         if rcount > 0 {
-            b.irecv(rp, Block::new(RBUF, ctx.recv_off(rp, rank), rcount), tags::DIRECT);
+            b.irecv(
+                rp,
+                Block::new(RBUF, ctx.recv_off(rp, rank), rcount),
+                tags::DIRECT,
+            );
         }
         if !nonblocking {
             let posted = b.req_mark() - step;
@@ -337,7 +345,11 @@ impl AlltoallvAlgorithm for NodeAwareAlltoallv {
             let rcount = t1_seg(l_recv);
             let first = b.req_mark();
             if scount > 0 {
-                b.isend(send_peer, Block::new(V_P, p_seg_off(l_send), scount), tags::INTRA);
+                b.isend(
+                    send_peer,
+                    Block::new(V_P, p_seg_off(l_send), scount),
+                    tags::INTRA,
+                );
             }
             if rcount > 0 {
                 b.irecv(

@@ -68,9 +68,8 @@ pub fn build_bruck(
         return;
     }
     let work = |i: usize| Block::new(bufs.work, i as Bytes * blk, blk);
-    let work_run = |i: usize, len: usize| {
-        Block::new(bufs.work, i as Bytes * blk, len as Bytes * blk)
-    };
+    let work_run =
+        |i: usize, len: usize| Block::new(bufs.work, i as Bytes * blk, len as Bytes * blk);
 
     // 1. Rotate into the working array — two bulk copies.
     b.copy(

@@ -10,9 +10,7 @@
 //!   within each group. Inter-node message count drops from `O(n)` per
 //!   rank to `O(regions)` per leader.
 
-use a2a_sched::{
-    Block, BufId, Bytes, Phase, ProgBuilder, RankProgram, ScheduleSource, RBUF, SBUF,
-};
+use a2a_sched::{Block, BufId, Bytes, Phase, ProgBuilder, RankProgram, ScheduleSource, RBUF, SBUF};
 use a2a_topo::{CommView, Rank};
 
 use crate::gather::{build_gather, relay_chunks, GatherKind};
@@ -100,6 +98,7 @@ impl AllgatherAlgorithm for RingAllgather {
 /// flat (over the world) and as the leader stage of the locality-aware
 /// variant. Emits ops for comm index `me`; the assembled result (blocks
 /// ordered by comm index) lands at `dst` (a `m*blk`-byte region).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_bruck_allgather(
     b: &mut ProgBuilder,
     comm: &CommView,
@@ -221,7 +220,7 @@ impl AllgatherAlgorithm for LocalityAwareAllgather {
         let grid = &ctx.grid;
         let ppn = grid.machine().ppn();
         assert!(
-            self.ppg <= ppn && ppn % self.ppg == 0,
+            self.ppg <= ppn && ppn.is_multiple_of(self.ppg),
             "ppg {} must divide ppn {ppn}",
             self.ppg
         );
@@ -275,7 +274,11 @@ impl AllgatherAlgorithm for LocalityAwareAllgather {
         } else {
             b.set_phase(Phase(2));
             let leader = subset.world(0);
-            b.recv(leader, Block::new(RBUF, 0, ctx.total_bytes()), tags::SCATTER);
+            b.recv(
+                leader,
+                Block::new(RBUF, 0, ctx.total_bytes()),
+                tags::SCATTER,
+            );
         }
         b.finish()
     }

@@ -1,7 +1,7 @@
 //! Flat (topology-oblivious) all-to-all algorithms over the world
 //! communicator: the paper's §2 baselines.
 
-use a2a_sched::{Bytes, Phase, ProgBuilder, RankProgram, SBUF, RBUF, TMP0, TMP1, TMP2};
+use a2a_sched::{Bytes, Phase, ProgBuilder, RankProgram, RBUF, SBUF, TMP0, TMP1, TMP2};
 use a2a_topo::Rank;
 
 use crate::bruck::{bruck_buffer_sizes, BruckBufs};
@@ -17,7 +17,15 @@ fn direct_build(kind: ExchangeKind, ctx: &A2AContext, rank: Rank) -> RankProgram
         pack: TMP1,
         recv: TMP2,
     };
-    build_exchange(kind, &mut b, &comm, rank as usize, x, tags::DIRECT, Some(&bruck));
+    build_exchange(
+        kind,
+        &mut b,
+        &comm,
+        rank as usize,
+        x,
+        tags::DIRECT,
+        Some(&bruck),
+    );
     b.finish()
 }
 

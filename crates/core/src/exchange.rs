@@ -23,12 +23,14 @@ use std::fmt;
 
 use a2a_sched::{Block, BufId, Bytes, ProgBuilder};
 use a2a_topo::CommView;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::bruck::{build_bruck, BruckBufs};
 
 /// Underlying data-exchange pattern for one all-to-all.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ExchangeKind {
     /// Algorithm 1: blocking pairwise exchange.
     Pairwise,
@@ -119,7 +121,14 @@ pub fn build_exchange(
             for i in 1..m {
                 let sp = (me + i) % m;
                 let rp = (me + m - i) % m;
-                b.sendrecv(comm.world(sp), x.sblk(sp), tag, comm.world(rp), x.rblk(rp), tag);
+                b.sendrecv(
+                    comm.world(sp),
+                    x.sblk(sp),
+                    tag,
+                    comm.world(rp),
+                    x.rblk(rp),
+                    tag,
+                );
             }
         }
         ExchangeKind::Nonblocking => {

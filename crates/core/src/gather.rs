@@ -12,10 +12,12 @@
 
 use a2a_sched::{Block, BufId, Bytes, ProgBuilder};
 use a2a_topo::CommView;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Gather/scatter flavor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum GatherKind {
     Linear,
     Binomial,
@@ -81,6 +83,7 @@ fn parent(i: usize) -> usize {
 ///   `dst.1 + i*chunk`. Only read when `me == 0`.
 /// * `relay` — member scratch for the binomial flavor
 ///   ([`relay_chunks`] chunks).
+#[allow(clippy::too_many_arguments)]
 pub fn build_gather(
     kind: GatherKind,
     b: &mut ProgBuilder,
@@ -137,7 +140,11 @@ pub fn build_gather(
                             tag,
                         );
                     }
-                    b.send(comm.world(parent(me)), Block::new(relay, 0, span * chunk), tag);
+                    b.send(
+                        comm.world(parent(me)),
+                        Block::new(relay, 0, span * chunk),
+                        tag,
+                    );
                 }
             }
         }
@@ -149,6 +156,7 @@ pub fn build_gather(
 /// * `src` — root's staged region base; member `i`'s chunk sits at
 ///   `src.1 + i*chunk`. Only read when `me == 0`.
 /// * `dst` — where this member's chunk must land (`chunk` bytes).
+#[allow(clippy::too_many_arguments)]
 pub fn build_scatter(
     kind: GatherKind,
     b: &mut ProgBuilder,
@@ -292,8 +300,8 @@ mod tests {
                     kind,
                     and_scatter: false,
                 };
-                let res = DataExecutor::run(&w, fill)
-                    .unwrap_or_else(|e| panic!("{kind} m={m}: {e}"));
+                let res =
+                    DataExecutor::run(&w, fill).unwrap_or_else(|e| panic!("{kind} m={m}: {e}"));
                 let root = &res.rbufs[0];
                 for i in 0..m {
                     assert_eq!(
@@ -316,8 +324,8 @@ mod tests {
                     kind,
                     and_scatter: true,
                 };
-                let res = DataExecutor::run(&w, fill)
-                    .unwrap_or_else(|e| panic!("{kind} m={m}: {e}"));
+                let res =
+                    DataExecutor::run(&w, fill).unwrap_or_else(|e| panic!("{kind} m={m}: {e}"));
                 for (r, rb) in res.rbufs.iter().enumerate() {
                     assert_eq!(&rb[..4], &[r as u8 + 1; 4], "{kind} m={m} rank {r}");
                 }

@@ -90,8 +90,7 @@ impl AlltoallAlgorithm for HierarchicalAlltoall {
         let grid = &ctx.grid;
         let o = grid.subset_offset(rank, self.ppl);
         // Gather/scatter relay for internal binomial-tree members.
-        bufs[RELAY.0 as usize] =
-            relay_chunks(self.gather, o, self.ppl) as Bytes * total;
+        bufs[RELAY.0 as usize] = relay_chunks(self.gather, o, self.ppl) as Bytes * total;
         if self.is_leader(ctx, rank) {
             let leader_bytes = g * total; // ppl member images of n*s
             bufs[G.0 as usize] = leader_bytes;
@@ -113,7 +112,7 @@ impl AlltoallAlgorithm for HierarchicalAlltoall {
         let grid = &ctx.grid;
         let ppn = grid.machine().ppn();
         assert!(
-            self.ppl <= ppn && ppn % self.ppl == 0,
+            self.ppl <= ppn && ppn.is_multiple_of(self.ppl),
             "ppl {} must divide ppn {ppn}",
             self.ppl
         );
@@ -255,9 +254,8 @@ mod tests {
                 ] {
                     let c = ctx(nodes, (2, 1, 3), 4);
                     let algo = HierarchicalAlltoall::new(ppl, inner);
-                    run_and_verify(&AlgoSchedule::new(&algo, c), 4).unwrap_or_else(|e| {
-                        panic!("nodes={nodes} ppl={ppl} inner={inner}: {e}")
-                    });
+                    run_and_verify(&AlgoSchedule::new(&algo, c), 4)
+                        .unwrap_or_else(|e| panic!("nodes={nodes} ppl={ppl} inner={inner}: {e}"));
                 }
             }
         }

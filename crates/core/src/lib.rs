@@ -168,7 +168,7 @@ pub fn paper_roster(ppn: usize) -> Vec<(String, Box<dyn AlltoallAlgorithm>)> {
             Box::new(HierarchicalAlltoall::new(ppn, kind)),
         ));
         for ppl in [4, 8, 16] {
-            if ppn % ppl == 0 {
+            if ppn.is_multiple_of(ppl) {
                 v.push((
                     format!("multileader(ppl={ppl})-{kind}"),
                     Box::new(HierarchicalAlltoall::new(ppl, kind)),
@@ -180,7 +180,7 @@ pub fn paper_roster(ppn: usize) -> Vec<(String, Box<dyn AlltoallAlgorithm>)> {
             Box::new(NodeAwareAlltoall::node_aware(kind)),
         ));
         for ppg in [4, 8, 16] {
-            if ppn % ppg == 0 {
+            if ppn.is_multiple_of(ppg) {
                 v.push((
                     format!("locality-aware(ppg={ppg})-{kind}"),
                     Box::new(NodeAwareAlltoall::locality_aware(ppg, kind)),
@@ -188,7 +188,7 @@ pub fn paper_roster(ppn: usize) -> Vec<(String, Box<dyn AlltoallAlgorithm>)> {
             }
         }
         for ppl in [4, 8, 16] {
-            if ppn % ppl == 0 {
+            if ppn.is_multiple_of(ppl) {
                 v.push((
                     format!("ml-node-aware(ppl={ppl})-{kind}"),
                     Box::new(MultileaderNodeAwareAlltoall::new(ppl, kind)),
@@ -196,6 +196,9 @@ pub fn paper_roster(ppn: usize) -> Vec<(String, Box<dyn AlltoallAlgorithm>)> {
             }
         }
     }
-    v.push(("system-mpi".to_string(), Box::new(SystemMpiAlltoall::default())));
+    v.push((
+        "system-mpi".to_string(),
+        Box::new(SystemMpiAlltoall::default()),
+    ));
     v
 }

@@ -115,7 +115,7 @@ impl AlltoallAlgorithm for MultileaderNodeAwareAlltoall {
         let grid = &ctx.grid;
         let ppn = grid.machine().ppn();
         assert!(
-            self.ppl <= ppn && ppn % self.ppl == 0,
+            self.ppl <= ppn && ppn.is_multiple_of(self.ppl),
             "ppl {} must divide ppn {ppn}",
             self.ppl
         );
@@ -287,9 +287,8 @@ mod tests {
                     ExchangeKind::Bruck,
                 ] {
                     let algo = MultileaderNodeAwareAlltoall::new(ppl, inner);
-                    run_and_verify(&AlgoSchedule::new(&algo, ctx(nodes, 4)), 4).unwrap_or_else(
-                        |e| panic!("nodes={nodes} ppl={ppl} inner={inner}: {e}"),
-                    );
+                    run_and_verify(&AlgoSchedule::new(&algo, ctx(nodes, 4)), 4)
+                        .unwrap_or_else(|e| panic!("nodes={nodes} ppl={ppl} inner={inner}: {e}"));
                 }
             }
         }

@@ -66,7 +66,7 @@ impl NodeAwareAlltoall {
         let ppn = ctx.grid.machine().ppn();
         let g = self.ppg.unwrap_or(ppn);
         assert!(
-            g <= ppn && ppn % g == 0,
+            g <= ppn && ppn.is_multiple_of(g),
             "ppg {g} must divide ppn {ppn}"
         );
         g

@@ -9,6 +9,7 @@
 //! machine from simulator sweeps (see the bench harness's `tune` command).
 
 use a2a_sched::Bytes;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::exchange::ExchangeKind;
@@ -17,7 +18,8 @@ use crate::node_aware::NodeAwareAlltoall;
 use crate::AlltoallAlgorithm;
 
 /// Size thresholds and group sizes for dynamic selection.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SelectorTable {
     /// Block sizes at or below this use multi-leader + node-aware.
     pub small_threshold: Bytes,
@@ -46,7 +48,10 @@ impl Default for SelectorTable {
 /// Largest divisor of `ppn` that is `<= want` (so configured group sizes
 /// degrade gracefully on machines whose ppn they don't divide).
 fn fit_group(want: usize, ppn: usize) -> usize {
-    (1..=want.min(ppn)).rev().find(|g| ppn % g == 0).unwrap_or(1)
+    (1..=want.min(ppn))
+        .rev()
+        .find(|g| ppn.is_multiple_of(*g))
+        .unwrap_or(1)
 }
 
 /// Pick an algorithm for one exchange: `ppn` processes per node, blocks of

@@ -73,7 +73,7 @@ mod tests {
         // Small -> Bruck: log message count.
         let small = sys.build_rank(&ctx(64), 0);
         assert_eq!(small.send_count(), 4); // ceil(log2 12)
-        // Large -> pairwise: n-1 messages.
+                                           // Large -> pairwise: n-1 messages.
         let large = sys.build_rank(&ctx(1024), 0);
         assert_eq!(large.send_count(), 11);
     }

@@ -14,11 +14,7 @@ use a2a_topo::{Level, ProcGrid};
 use crate::model::CostModel;
 
 /// Machine-model lower bound on a schedule's completion time (µs).
-pub fn lower_bound_from_stats(
-    stats: &ScheduleStats,
-    grid: &ProcGrid,
-    model: &CostModel,
-) -> f64 {
+pub fn lower_bound_from_stats(stats: &ScheduleStats, grid: &ProcGrid, model: &CostModel) -> f64 {
     let nodes = grid.machine().nodes as f64;
     let n = grid.world_size() as f64;
 
@@ -186,7 +182,10 @@ mod tests {
             Box::new(HierarchicalAlltoall::new(8, ExchangeKind::Pairwise)),
             Box::new(HierarchicalAlltoall::new(4, ExchangeKind::Pairwise)),
             Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
-            Box::new(NodeAwareAlltoall::locality_aware(4, ExchangeKind::Nonblocking)),
+            Box::new(NodeAwareAlltoall::locality_aware(
+                4,
+                ExchangeKind::Nonblocking,
+            )),
             Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
             Box::new(MpichShmAlltoall::default()),
         ];

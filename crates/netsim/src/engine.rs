@@ -188,8 +188,8 @@ impl Engine<'_> {
             let m = self.grid.machine();
             let (bus, rate) = match level {
                 Level::IntraNuma => {
-                    let idx = (loc.node * m.sockets_per_node + loc.socket) * m.numa_per_socket
-                        + loc.numa;
+                    let idx =
+                        (loc.node * m.sockets_per_node + loc.socket) * m.numa_per_socket + loc.numa;
                     (&mut self.numa_bus[idx], self.model.mem_per_byte)
                 }
                 Level::IntraSocket => {
@@ -374,11 +374,14 @@ impl Engine<'_> {
                         debug_assert_eq!(rs.len, len);
                         Matched::Rdv(rs)
                     } else {
-                        st.posted.entry((from, tag)).or_default().push_back(PostedRecv {
-                            len,
-                            post_time,
-                            req,
-                        });
+                        st.posted
+                            .entry((from, tag))
+                            .or_default()
+                            .push_back(PostedRecv {
+                                len,
+                                post_time,
+                                req,
+                            });
                         st.posted_len += 1;
                         Matched::Posted
                     };
@@ -827,7 +830,9 @@ mod tests {
         let mut m = crate::models::dane();
         m.eager_threshold_intra = 4 << 20; // keep the transfers eager
         let par = simulate(
-            &Pairs { cross_socket: false },
+            &Pairs {
+                cross_socket: false,
+            },
             &grid,
             &m,
             &SimOptions::default(),
@@ -927,11 +932,7 @@ mod tests {
                     }
                     let first = b.req_mark();
                     for i in 0..self.k {
-                        b.irecv(
-                            i as Rank + 1,
-                            Block::new(RBUF, i as Bytes * 64, 64),
-                            0,
-                        );
+                        b.irecv(i as Rank + 1, Block::new(RBUF, i as Bytes * 64, 64), 0);
                     }
                     b.waitall(first, self.k as u32);
                 } else {

@@ -6,10 +6,12 @@
 //! addition.
 
 use a2a_topo::Level;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Per-locality-level point-to-point cost: `alpha + bytes * beta`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct LevelCost {
     /// One-way latency (µs).
     pub alpha: f64,
@@ -33,7 +35,8 @@ impl LevelCost {
 
 /// Full machine cost model. See module docs for semantics; `engine.rs` is
 /// the authoritative interpretation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct CostModel {
     /// Human-readable name (matches the machine preset it calibrates).
     pub name: String,
@@ -83,7 +86,10 @@ impl CostModel {
     /// Level cost for a pair at `level`.
     pub fn level(&self, level: Level) -> LevelCost {
         match level {
-            Level::SelfRank => LevelCost { alpha: 0.0, beta: 0.0 },
+            Level::SelfRank => LevelCost {
+                alpha: 0.0,
+                beta: 0.0,
+            },
             Level::IntraNuma => self.levels[0],
             Level::IntraSocket => self.levels[1],
             Level::InterSocket => self.levels[2],

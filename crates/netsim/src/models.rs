@@ -22,7 +22,7 @@ pub fn dane() -> CostModel {
         o_recv: 0.15,
         match_base: 0.10,
         queue_search: 0.004,
-        copy_base: 0.004, // per-block loop iteration, not a memcpy call
+        copy_base: 0.004,             // per-block loop iteration, not a memcpy call
         copy_per_byte: 1.0 / 8_000.0, // ~8 GB/s single-core memcpy
         eager_threshold: 8 * 1024,
         eager_threshold_intra: 64 * 1024,
@@ -71,7 +71,7 @@ pub fn tuolumne() -> CostModel {
         eager_threshold: 16 * 1024,
         eager_threshold_intra: 64 * 1024,
         nic_per_byte: 1.0 / 25_000.0,
-        nic_per_msg: 0.10, // Slingshot's much higher message rate
+        nic_per_msg: 0.10,            // Slingshot's much higher message rate
         mem_per_byte: 1.0 / 60_000.0, // HBM-backed APU-local bandwidth
         upi_per_byte: 1.0 / 40_000.0, // Infinity Fabric between APUs
     }

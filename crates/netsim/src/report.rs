@@ -1,9 +1,11 @@
 //! Simulation results.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one simulated collective.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SimReport {
     /// Completion time of the slowest rank (µs) — the collective's latency.
     pub total_us: f64,
@@ -48,7 +50,10 @@ impl SimReport {
 
     /// Earliest rank finish (µs).
     pub fn min_finish(&self) -> f64 {
-        self.rank_finish.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.rank_finish
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Mean rank finish (µs).

@@ -118,7 +118,11 @@ impl ThreadComm {
         let n = grid.world_size();
         assert_eq!(n as u32, self.size(), "grid/world size mismatch");
         assert_eq!(contribution.len() as u64, block_bytes, "contribution size");
-        assert_eq!(rbuf.len() as u64, n as u64 * block_bytes, "recv buffer size");
+        assert_eq!(
+            rbuf.len() as u64,
+            n as u64 * block_bytes,
+            "recv buffer size"
+        );
         let ctx = A2AContext::new(grid.clone(), block_bytes);
         let sizes = algo.buffers(&ctx, self.rank);
         let prog = algo.build_rank(&ctx, self.rank);
@@ -171,13 +175,15 @@ impl ThreadComm {
         for top in &prog.ops {
             match top.op {
                 Op::Isend { to, block, tag, .. } => {
-                    let data =
-                        bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
-                            .to_vec();
+                    let data = bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
+                        .to_vec();
                     self.fabric.send(self.rank, to, tag, data);
                 }
                 Op::Irecv {
-                    from, block, tag, req,
+                    from,
+                    block,
+                    tag,
+                    req,
                 } => {
                     pending.insert(req, (from, tag, block));
                 }
@@ -193,16 +199,14 @@ impl ThreadComm {
                                 "rank {}: schedule length mismatch from {from} tag {tag}",
                                 self.rank
                             );
-                            bufs[block.buf.0 as usize]
-                                [block.off as usize..block.end() as usize]
+                            bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
                                 .copy_from_slice(&msg);
                         }
                     }
                 }
                 Op::Copy { src, dst } => {
-                    let data = bufs[src.buf.0 as usize]
-                        [src.off as usize..src.end() as usize]
-                        .to_vec();
+                    let data =
+                        bufs[src.buf.0 as usize][src.off as usize..src.end() as usize].to_vec();
                     bufs[dst.buf.0 as usize][dst.off as usize..dst.end() as usize]
                         .copy_from_slice(&data);
                 }

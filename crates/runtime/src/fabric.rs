@@ -2,9 +2,7 @@
 //! matching, FIFO within a key, and a world barrier.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Barrier;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Barrier, Condvar, Mutex};
 
 type Key = (u32, u32); // (source rank, tag)
 
@@ -46,7 +44,7 @@ impl Fabric {
     /// Buffered send: never blocks.
     pub fn send(&self, from: u32, to: u32, tag: u32, data: Vec<u8>) {
         let mbox = &self.boxes[to as usize];
-        let mut st = mbox.state.lock();
+        let mut st = mbox.state.lock().expect("mailbox poisoned");
         st.queues.entry((from, tag)).or_default().push_back(data);
         mbox.arrived.notify_all();
     }
@@ -55,21 +53,21 @@ impl Fabric {
     /// with `tag`, FIFO within that key.
     pub fn recv(&self, me: u32, from: u32, tag: u32) -> Vec<u8> {
         let mbox = &self.boxes[me as usize];
-        let mut st = mbox.state.lock();
+        let mut st = mbox.state.lock().expect("mailbox poisoned");
         loop {
             if let Some(q) = st.queues.get_mut(&(from, tag)) {
                 if let Some(msg) = q.pop_front() {
                     return msg;
                 }
             }
-            mbox.arrived.wait(&mut st);
+            st = mbox.arrived.wait(st).expect("mailbox poisoned");
         }
     }
 
     /// Non-blocking probe-and-receive.
     pub fn try_recv(&self, me: u32, from: u32, tag: u32) -> Option<Vec<u8>> {
         let mbox = &self.boxes[me as usize];
-        let mut st = mbox.state.lock();
+        let mut st = mbox.state.lock().expect("mailbox poisoned");
         st.queues.get_mut(&(from, tag)).and_then(|q| q.pop_front())
     }
 

@@ -52,15 +52,14 @@ impl ThreadWorld {
         assert!(n > 0, "world must have at least one rank");
         let fabric = Arc::new(Fabric::new(n));
         let body = &body;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|rank| {
                     let fabric = Arc::clone(&fabric);
-                    scope
-                        .builder()
+                    std::thread::Builder::new()
                         .name(format!("rank-{rank}"))
                         .stack_size(512 * 1024)
-                        .spawn(move |_| {
+                        .spawn_scoped(scope, move || {
                             let comm = ThreadComm::new(rank as u32, fabric);
                             body(&comm)
                         })
@@ -72,7 +71,6 @@ impl ThreadWorld {
                 .map(|h| h.join().expect("rank thread panicked"))
                 .collect()
         })
-        .expect("world scope panicked")
     }
 }
 

@@ -182,7 +182,14 @@ mod tests {
         let p = b.finish();
         assert_eq!(p.ops.len(), 3);
         assert!(matches!(p.ops[0].op, Op::Isend { to: 3, req: 0, .. }));
-        assert!(matches!(p.ops[1].op, Op::Irecv { from: 4, req: 1, .. }));
+        assert!(matches!(
+            p.ops[1].op,
+            Op::Irecv {
+                from: 4,
+                req: 1,
+                ..
+            }
+        ));
         assert!(matches!(
             p.ops[2].op,
             Op::WaitAll {

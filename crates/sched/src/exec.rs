@@ -283,17 +283,28 @@ impl DataExecutor {
             let top = st.prog.ops[st.pc];
             match top.op {
                 Op::Isend {
-                    to, block, tag, req, ..
+                    to,
+                    block,
+                    tag,
+                    req,
+                    ..
                 } => {
                     self.check_block(rank, block)?;
                     let data = self.read_block(rank, block);
-                    self.mail.entry((rank, to, tag)).or_default().push_back(data);
+                    self.mail
+                        .entry((rank, to, tag))
+                        .or_default()
+                        .push_back(data);
                     let st = &mut self.ranks[rank as usize];
                     st.req_done[req as usize] = true;
                     st.pc += 1;
                 }
                 Op::Irecv {
-                    from, block, tag, req, ..
+                    from,
+                    block,
+                    tag,
+                    req,
+                    ..
                 } => {
                     self.check_block(rank, block)?;
                     let st = &mut self.ranks[rank as usize];
@@ -500,7 +511,14 @@ mod tests {
         b.copy(Block::new(SBUF, 4, 8), Block::new(RBUF, 0, 8));
         let progs = vec![b.finish(), RankProgram::default()];
         let err = DataExecutor::run(&TwoRank { progs, bufsize: 8 }, |_, _| {}).unwrap_err();
-        assert!(matches!(err, ExecError::OutOfBounds { end: 12, size: 8, .. }));
+        assert!(matches!(
+            err,
+            ExecError::OutOfBounds {
+                end: 12,
+                size: 8,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! local copy (the paper's "Repack Data" steps). Blocking calls are sugar
 //! lowered by the builder.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use a2a_topo::Rank;
@@ -15,7 +16,8 @@ pub type Bytes = u64;
 /// Identifies one of a rank's buffers. By convention `SBUF` (0) is the
 /// user send buffer, `RBUF` (1) the user receive buffer; higher ids are
 /// algorithm-internal temporaries declared via `ScheduleSource::buffers`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BufId(pub u8);
 
 /// The user send buffer.
@@ -30,7 +32,8 @@ pub const TMP1: BufId = BufId(3);
 pub const TMP2: BufId = BufId(4);
 
 /// A contiguous byte range within one buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Block {
     pub buf: BufId,
     pub off: Bytes,
@@ -51,12 +54,14 @@ impl Block {
 /// Phase label, indexing `ScheduleSource::phase_names`. Drives the paper's
 /// per-phase timing breakdowns (Figures 13–16): the simulator accumulates
 /// time per phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Phase(pub u8);
 
 /// One MPI-shaped operation. Request ids are rank-local and allocated
 /// densely by the builder; `WaitAll` names a contiguous id range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Op {
     /// Post a non-blocking send of `block` to world rank `to`.
     Isend {
@@ -90,14 +95,16 @@ impl Op {
 }
 
 /// An op tagged with the phase it belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TimedOp {
     pub op: Op,
     pub phase: Phase,
 }
 
 /// One rank's complete program.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RankProgram {
     pub ops: Vec<TimedOp>,
     /// Number of request ids allocated (ids are `0..n_reqs`).

@@ -15,13 +15,21 @@ use a2a_topo::{Level, ProcGrid, Rank};
 use crate::ir::{Block, Bytes, Op};
 use crate::ScheduleSource;
 
+/// Message-matching ledger: `(from, to, tag)` -> (send lengths, recv
+/// lengths), each in program order.
+type MatchLedger = HashMap<(Rank, Rank, u32), (Vec<Bytes>, Vec<Bytes>)>;
+
 /// Why a schedule is malformed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
     /// Schedule rank count differs from the grid's world size.
     WorldSizeMismatch { schedule: usize, grid: usize },
     /// Block exceeds its declared buffer size (or names an undeclared one).
-    BadBlock { rank: Rank, block: Block, bufsize: Option<Bytes> },
+    BadBlock {
+        rank: Rank,
+        block: Block,
+        bufsize: Option<Bytes>,
+    },
     /// `Isend` addressed to the sending rank itself.
     SelfMessage { rank: Rank },
     /// A message peer outside `0..nranks`.
@@ -109,7 +117,10 @@ impl ScheduleStats {
 }
 
 /// Validate `source` against `grid` and collect traffic statistics.
-pub fn validate(source: &dyn ScheduleSource, grid: &ProcGrid) -> Result<ScheduleStats, ValidationError> {
+pub fn validate(
+    source: &dyn ScheduleSource,
+    grid: &ProcGrid,
+) -> Result<ScheduleStats, ValidationError> {
     let n = source.nranks();
     if n != grid.world_size() {
         return Err(ValidationError::WorldSizeMismatch {
@@ -119,8 +130,7 @@ pub fn validate(source: &dyn ScheduleSource, grid: &ProcGrid) -> Result<Schedule
     }
 
     let mut stats = ScheduleStats::default();
-    // (from, to, tag) -> (send lengths, recv lengths), in program order.
-    let mut matching: HashMap<(Rank, Rank, u32), (Vec<Bytes>, Vec<Bytes>)> = HashMap::new();
+    let mut matching: MatchLedger = HashMap::new();
 
     for rank in 0..n as Rank {
         let sizes = source.buffers(rank);
@@ -158,7 +168,12 @@ pub fn validate(source: &dyn ScheduleSource, grid: &ProcGrid) -> Result<Schedule
 
         for top in &prog.ops {
             match top.op {
-                Op::Isend { to, block, tag, req } => {
+                Op::Isend {
+                    to,
+                    block,
+                    tag,
+                    req,
+                } => {
                     check_block(block)?;
                     post(req, &mut posted)?;
                     if to == rank {
@@ -180,7 +195,12 @@ pub fn validate(source: &dyn ScheduleSource, grid: &ProcGrid) -> Result<Schedule
                         internode_sends += 1;
                     }
                 }
-                Op::Irecv { from, block, tag, req } => {
+                Op::Irecv {
+                    from,
+                    block,
+                    tag,
+                    req,
+                } => {
                     check_block(block)?;
                     post(req, &mut posted)?;
                     if from == rank {
@@ -314,7 +334,10 @@ mod tests {
         let g = ProcGrid::new(a2a_topo::Machine::custom("t", 1, 1, 1, 3));
         assert!(matches!(
             validate(&swap(), &g),
-            Err(ValidationError::WorldSizeMismatch { schedule: 2, grid: 3 })
+            Err(ValidationError::WorldSizeMismatch {
+                schedule: 2,
+                grid: 3
+            })
         ));
     }
 
@@ -328,7 +351,11 @@ mod tests {
         };
         assert!(matches!(
             validate(&f, &grid2()),
-            Err(ValidationError::MatchFailure { sends: 1, recvs: 0, .. })
+            Err(ValidationError::MatchFailure {
+                sends: 1,
+                recvs: 0,
+                ..
+            })
         ));
     }
 

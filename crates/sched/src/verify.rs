@@ -31,7 +31,10 @@ pub fn pattern_byte(src: Rank, dst: Rank, idx: u64) -> u8 {
 /// # Panics
 /// Panics if the buffer is smaller than `n * s`.
 pub fn fill_alltoall_sbuf(rank: Rank, n: usize, s: Bytes, buf: &mut [u8]) {
-    assert!(buf.len() as Bytes >= n as Bytes * s, "send buffer too small");
+    assert!(
+        buf.len() as Bytes >= n as Bytes * s,
+        "send buffer too small"
+    );
     for dst in 0..n {
         for k in 0..s {
             buf[(dst as Bytes * s + k) as usize] = pattern_byte(rank, dst as Rank, k);
@@ -108,7 +111,10 @@ pub fn check_allgather_rbuf(rank: Rank, n: usize, s: Bytes, buf: &[u8]) -> Resul
 
 /// Execute an allgather schedule (each rank contributes `s` bytes) and
 /// verify every rank assembled all contributions in rank order.
-pub fn run_and_verify_allgather(source: &dyn ScheduleSource, s: Bytes) -> Result<ExecResult, String> {
+pub fn run_and_verify_allgather(
+    source: &dyn ScheduleSource,
+    s: Bytes,
+) -> Result<ExecResult, String> {
     let n = source.nranks();
     let res = DataExecutor::run(source, |r, buf| fill_allgather_sbuf(r, s, buf))
         .map_err(|e| e.to_string())?;
@@ -213,7 +219,10 @@ mod tests {
             let peer = 1 - r;
             let s = self.s;
             let mut b = ProgBuilder::new(Phase(0));
-            b.copy(Block::new(SBUF, r as u64 * s, s), Block::new(RBUF, r as u64 * s, s));
+            b.copy(
+                Block::new(SBUF, r as u64 * s, s),
+                Block::new(RBUF, r as u64 * s, s),
+            );
             b.sendrecv(
                 peer,
                 Block::new(SBUF, peer as u64 * s, s),
@@ -249,7 +258,10 @@ mod tests {
             let peer = 1 - r;
             let mut b = ProgBuilder::new(Phase(0));
             // Bug: sends the block meant for *itself* to the peer.
-            b.copy(Block::new(SBUF, peer as u64 * 16, 16), Block::new(RBUF, r as u64 * 16, 16));
+            b.copy(
+                Block::new(SBUF, peer as u64 * 16, 16),
+                Block::new(RBUF, r as u64 * 16, 16),
+            );
             b.sendrecv(
                 peer,
                 Block::new(SBUF, r as u64 * 16, 16),

@@ -1,0 +1,129 @@
+//! SplitMix64: tiny, fast, and statistically solid for test-case generation
+//! (it is the seeding generator recommended for xoshiro). Deterministic
+//! across platforms — no floating point in the core step.
+
+/// A 64-bit SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping is biased for huge spans, but
+        // test ranges are tiny; simple modulo with a wide draw is fine.
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// True with probability `num/denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.range_u64(0, denom) < num
+    }
+
+    /// A uniformly chosen element of `items`. Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// A uniformly chosen divisor of `n` (always succeeds: 1 divides n).
+    pub fn divisor_of(&mut self, n: usize) -> usize {
+        let divs: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
+        *self.pick(&divs)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// An independent generator derived from this one's stream (for
+    /// spawning per-case RNGs that don't overlap).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a: Vec<u64> = (0..8).map(|_| Rng::new(42).next_u64()).collect();
+        let mut r = Rng::new(42);
+        assert!(a.iter().all(|&x| x == a[0]));
+        let b: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(b.len(), 8);
+        assert_ne!(b[0], b[1], "stream must advance");
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values for seed 1234567 (from the canonical C code).
+        let mut r = Rng::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let x = r.range_u64(3, 17);
+            assert!((3..17).contains(&x));
+            let y = r.range_usize(0, 1);
+            assert_eq!(y, 0);
+        }
+    }
+
+    #[test]
+    fn divisors_divide() {
+        let mut r = Rng::new(9);
+        for n in 1..=64usize {
+            for _ in 0..8 {
+                assert_eq!(n % r.divisor_of(n), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(13);
+        assert!(!(0..100).any(|_| r.chance(0, 8)));
+        assert!((0..100).all(|_| r.chance(8, 8)));
+    }
+}

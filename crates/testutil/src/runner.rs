@@ -1,0 +1,170 @@
+//! Seeded randomized case runner: the proptest replacement.
+//!
+//! Each suite calls [`run_cases`] with a generator (params from an [`Rng`])
+//! and a checker. Every case gets its own derived seed, so a failure message
+//! contains everything needed to replay exactly that case:
+//!
+//! ```text
+//! hierarchical_always_transposes: case 17/64 FAILED (case seed 0x8c5…)
+//!   params: (ProcGrid { … }, Pairwise, 12)
+//!   error: mlna(4,pairwise) wrong: rbuf mismatch at rank 3 …
+//!   replay: A2A_TEST_SEED=0xa2a05eed A2A_TEST_CASES=18 cargo test <name>
+//! ```
+
+use std::fmt::Debug;
+
+use crate::rng::Rng;
+
+/// Default base seed (overridable with `A2A_TEST_SEED`).
+pub const DEFAULT_SEED: u64 = 0xA2A0_5EED;
+
+/// The base seed for this process: `A2A_TEST_SEED` (decimal or `0x…` hex) or
+/// [`DEFAULT_SEED`].
+pub fn base_seed() -> u64 {
+    match std::env::var("A2A_TEST_SEED") {
+        Ok(s) => parse_u64(&s)
+            .unwrap_or_else(|| panic!("A2A_TEST_SEED must be a u64 (decimal or 0x-hex): {s:?}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// The number of cases to run: `A2A_TEST_CASES` or the suite's default.
+pub fn case_count(default_cases: usize) -> usize {
+    match std::env::var("A2A_TEST_CASES") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("A2A_TEST_CASES must be a usize: {s:?}")),
+        Err(_) => default_cases,
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// FNV-1a, so each named suite draws an independent stream from the same
+/// base seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Generate and check `default_cases` randomized cases (override with
+/// `A2A_TEST_CASES`); panic with a replayable message on the first failure.
+///
+/// `generate` draws a case's parameters from a per-case [`Rng`]; `check` returns
+/// `Err(description)` for a failing case. The panic message prints the case
+/// seed, the `Debug` form of the generated parameters, and the environment
+/// settings that replay the failure.
+pub fn run_cases<P: Debug>(
+    name: &str,
+    default_cases: usize,
+    mut generate: impl FnMut(&mut Rng) -> P,
+    mut check: impl FnMut(&P) -> Result<(), String>,
+) {
+    let base = base_seed();
+    let cases = case_count(default_cases);
+    let mut seeder = Rng::new(base ^ hash_name(name));
+    for case in 0..cases {
+        let case_seed = seeder.next_u64();
+        let mut rng = Rng::new(case_seed);
+        let params = generate(&mut rng);
+        if let Err(err) = check(&params) {
+            panic!(
+                "{name}: case {case}/{cases} FAILED (case seed {case_seed:#x})\n  \
+                 params: {params:?}\n  \
+                 error: {err}\n  \
+                 replay: A2A_TEST_SEED={base:#x} A2A_TEST_CASES={} cargo test {name}",
+                case + 1,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_all_cases_pass() {
+        let mut seen = Vec::new();
+        run_cases(
+            "all_pass",
+            10,
+            |rng| rng.range_u64(0, 100),
+            |&x| {
+                seen.push(x);
+                Ok(())
+            },
+        );
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let collect = || {
+            let mut v = Vec::new();
+            run_cases(
+                "det",
+                5,
+                |rng| rng.next_u64(),
+                |&x| {
+                    v.push(x);
+                    Ok(())
+                },
+            );
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn distinct_names_draw_distinct_streams() {
+        let stream = |name: &str| {
+            let mut v = Vec::new();
+            run_cases(
+                name,
+                5,
+                |rng| rng.next_u64(),
+                |&x| {
+                    v.push(x);
+                    Ok(())
+                },
+            );
+            v
+        };
+        assert_ne!(stream("a"), stream("b"));
+    }
+
+    #[test]
+    fn failure_message_contains_seed_and_params() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases(
+                "boom",
+                10,
+                |rng| rng.range_u64(0, 5),
+                |&x| {
+                    if x < 10 {
+                        Err("too small".to_string())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("boom: case 0/10 FAILED"), "{msg}");
+        assert!(msg.contains("case seed 0x"), "{msg}");
+        assert!(msg.contains("params:"), "{msg}");
+        assert!(msg.contains("error: too small"), "{msg}");
+        assert!(msg.contains("A2A_TEST_SEED="), "{msg}");
+    }
+}

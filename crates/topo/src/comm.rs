@@ -18,13 +18,15 @@
 //! All communicators list ranks in ascending world-rank order, which (with
 //! the block rank mapping) equals ordering by `(node, subset, offset)`.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::machine::ProcGrid;
 use crate::Rank;
 
 /// An ordered sub-communicator: a sorted list of world ranks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct CommView {
     ranks: Vec<Rank>,
 }
@@ -74,7 +76,7 @@ impl ProcGrid {
     fn assert_group(&self, g: usize) {
         let ppn = self.machine().ppn();
         assert!(
-            g > 0 && ppn % g == 0,
+            g > 0 && ppn.is_multiple_of(g),
             "group size {g} must divide ppn {ppn}"
         );
     }
@@ -149,11 +151,7 @@ impl ProcGrid {
     pub fn cross_region_comm(&self, rank: Rank, g: usize) -> CommView {
         let o = self.subset_offset(rank, g) as Rank;
         let regions = self.region_count(g);
-        CommView::new(
-            (0..regions)
-                .map(|r| self.region_base(r, g) + o)
-                .collect(),
-        )
+        CommView::new((0..regions).map(|r| self.region_base(r, g) + o).collect())
     }
 
     /// Algorithm 5 `group_comm`: the leaders of `rank`'s subset index on

@@ -1,12 +1,14 @@
 //! The cluster shape and the rank -> hardware mapping.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::Rank;
 
 /// Shape of a homogeneous cluster: every node has the same socket/NUMA/core
 /// structure. Mirrors the architectures in the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Machine {
     /// Human-readable name ("dane", "amber", "tuolumne", ...).
     pub name: String,
@@ -70,7 +72,8 @@ impl Machine {
 }
 
 /// Hardware placement of a rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Location {
     pub node: usize,
     /// Socket index within the node.
@@ -83,7 +86,8 @@ pub struct Location {
 
 /// Locality level of a rank pair, from closest to farthest. The cost model
 /// assigns each level its own latency/bandwidth tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Level {
     /// Same rank (self copy).
     SelfRank,
@@ -113,7 +117,8 @@ impl Level {
 }
 
 /// How consecutive local ranks land on a node's cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum MapOrder {
     /// `--map-by core`: fill one NUMA domain before the next. Consecutive
     /// local ranks share a NUMA domain, so small consecutive groups are
@@ -130,10 +135,11 @@ pub enum MapOrder {
 
 /// A `Machine` plus the rank mapping: ranks fill node 0, then node 1, and
 /// so on; within a node, cores are assigned per [`MapOrder`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ProcGrid {
     machine: Machine,
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     mapping: MapOrder,
 }
 
@@ -312,7 +318,7 @@ mod tests {
         assert!(Level::IntraNuma < Level::IntraSocket);
         assert!(Level::IntraSocket < Level::InterSocket);
         assert!(Level::InterSocket < Level::InterNode);
-        assert!(Level::InterNode.is_intra_node() == false);
+        assert!(!Level::InterNode.is_intra_node());
         assert!(Level::IntraSocket.is_intra_node());
     }
 
@@ -350,7 +356,7 @@ mod tests {
         assert_eq!(g.level(0, 1), Level::IntraSocket);
         assert_eq!(g.level(0, 2), Level::InterSocket);
         assert_eq!(g.level(0, 4), Level::IntraNuma); // same domain, next core
-        // Under core-major, ranks 0..3 share a NUMA domain instead.
+                                                     // Under core-major, ranks 0..3 share a NUMA domain instead.
         let cm = ProcGrid::new(Machine::custom("t", 1, 2, 2, 3));
         assert_eq!(cm.level(0, 1), Level::IntraNuma);
     }

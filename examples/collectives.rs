@@ -55,7 +55,10 @@ fn main() {
         ("ring", Box::new(RingAllgather)),
         ("bruck", Box::new(BruckAllgather)),
         ("locality(ppg=4)", Box::new(LocalityAwareAllgather::new(4))),
-        ("node-aware(ppg=112)", Box::new(LocalityAwareAllgather::new(112))),
+        (
+            "node-aware(ppg=112)",
+            Box::new(LocalityAwareAllgather::new(112)),
+        ),
     ];
     for (name, algo) in &algos {
         let sched = AllgatherSchedule::new(algo.as_ref(), A2AContext::new(dane.clone(), s));

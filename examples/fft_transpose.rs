@@ -112,9 +112,9 @@ fn dft(x: &[C64]) -> Vec<C64> {
     let n = x.len();
     (0..n)
         .map(|k| {
-            x.iter()
-                .enumerate()
-                .fold(C64::ZERO, |acc, (i, &v)| acc.add(v.mul(C64::root(i * k, n))))
+            x.iter().enumerate().fold(C64::ZERO, |acc, (i, &v)| {
+                acc.add(v.mul(C64::root(i * k, n)))
+            })
         })
         .collect()
 }
@@ -193,7 +193,7 @@ fn main() {
         let mine: Vec<C64> = iref[me * rb * c..(me + 1) * rb * c].to_vec();
 
         // Step 1: transpose so I own columns (length-R vectors).
-        let mut cols_mine = transpose(comm, gref, aref, &mine, r, c, );
+        let mut cols_mine = transpose(comm, gref, aref, &mine, r, c);
 
         // Step 2: length-R FFT per owned column + twiddle W_N^{n2*k1}.
         let cb = c / p;

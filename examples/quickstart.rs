@@ -49,7 +49,8 @@ fn main() {
     for (name, algo) in [
         (
             "system MPI ",
-            Box::new(SystemMpiAlltoall::default()) as Box<dyn alltoall_suite::algos::AlltoallAlgorithm>,
+            Box::new(SystemMpiAlltoall::default())
+                as Box<dyn alltoall_suite::algos::AlltoallAlgorithm>,
         ),
         (
             "node-aware ",

@@ -1,0 +1,188 @@
+//! Randomized property tests: random machine shapes, group sizes, and block
+//! sizes must always yield (a) structurally valid schedules and (b) exact
+//! transposes, for every algorithm family.
+//!
+//! Ported from proptest to the in-tree seeded runner (`a2a-testutil`): every
+//! suite runs 64 generated cases (the proptest versions ran 48) and a failure
+//! prints the case seed plus the generated parameters, with the environment
+//! settings to replay exactly that case.
+
+use a2a_testutil::{run_cases, Rng};
+use alltoall_suite::algos::*;
+use alltoall_suite::sched::{run_and_verify, validate};
+use alltoall_suite::topo::{Machine, ProcGrid};
+
+const CASES: usize = 64;
+
+/// Random small machine: up to ~48 ranks so the data executor stays fast.
+fn arb_machine(rng: &mut Rng) -> ProcGrid {
+    let nodes = rng.range_usize(1, 5);
+    let sockets = rng.range_usize(1, 3);
+    let numa = rng.range_usize(1, 3);
+    let cores = rng.range_usize(1, 4);
+    ProcGrid::new(Machine::custom("prop", nodes, sockets, numa, cores))
+}
+
+fn arb_inner(rng: &mut Rng) -> ExchangeKind {
+    match rng.range_usize(0, 4) {
+        0 => ExchangeKind::Pairwise,
+        1 => ExchangeKind::Nonblocking,
+        2 => ExchangeKind::Bruck,
+        _ => ExchangeKind::Batched {
+            batch: rng.range_usize(1, 6),
+        },
+    }
+}
+
+fn check(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, s: u64) -> Result<(), String> {
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), s));
+    validate(&sched, grid).map_err(|e| format!("{} invalid: {e}", algo.name()))?;
+    run_and_verify(&sched, s).map_err(|e| format!("{} wrong: {e}", algo.name()))?;
+    Ok(())
+}
+
+#[test]
+fn flat_exchanges_always_transpose() {
+    run_cases(
+        "flat_exchanges_always_transpose",
+        CASES,
+        |rng| (arb_machine(rng), arb_inner(rng), rng.range_u64(1, 40)),
+        |(grid, inner, s)| match *inner {
+            ExchangeKind::Pairwise => check(&PairwiseAlltoall, grid, *s),
+            ExchangeKind::Nonblocking => check(&NonblockingAlltoall, grid, *s),
+            ExchangeKind::Bruck => check(&BruckAlltoall, grid, *s),
+            ExchangeKind::Batched { batch } => check(&BatchedAlltoall::new(batch), grid, *s),
+        },
+    );
+}
+
+#[test]
+fn hierarchical_always_transposes() {
+    run_cases(
+        "hierarchical_always_transposes",
+        CASES,
+        |rng| {
+            let grid = arb_machine(rng);
+            let ppl = rng.divisor_of(grid.machine().ppn());
+            (grid, ppl, arb_inner(rng), rng.range_u64(1, 24))
+        },
+        |(grid, ppl, inner, s)| check(&HierarchicalAlltoall::new(*ppl, *inner), grid, *s),
+    );
+}
+
+#[test]
+fn locality_aware_always_transposes() {
+    run_cases(
+        "locality_aware_always_transposes",
+        CASES,
+        |rng| {
+            let grid = arb_machine(rng);
+            let ppg = rng.divisor_of(grid.machine().ppn());
+            (grid, ppg, arb_inner(rng), rng.range_u64(1, 24))
+        },
+        |(grid, ppg, inner, s)| check(&NodeAwareAlltoall::locality_aware(*ppg, *inner), grid, *s),
+    );
+}
+
+#[test]
+fn mlna_always_transposes() {
+    run_cases(
+        "mlna_always_transposes",
+        CASES,
+        |rng| {
+            let grid = arb_machine(rng);
+            let ppl = rng.divisor_of(grid.machine().ppn());
+            (grid, ppl, arb_inner(rng), rng.range_u64(1, 24))
+        },
+        |(grid, ppl, inner, s)| check(&MultileaderNodeAwareAlltoall::new(*ppl, *inner), grid, *s),
+    );
+}
+
+#[test]
+fn mpich_shm_always_transposes() {
+    run_cases(
+        "mpich_shm_always_transposes",
+        CASES,
+        |rng| (arb_machine(rng), arb_inner(rng), rng.range_u64(1, 24)),
+        |(grid, inner, s)| check(&MpichShmAlltoall::new(*inner), grid, *s),
+    );
+}
+
+#[test]
+fn binomial_trees_always_transpose() {
+    run_cases(
+        "binomial_trees_always_transpose",
+        CASES,
+        |rng| {
+            let grid = arb_machine(rng);
+            let ppl = rng.divisor_of(grid.machine().ppn());
+            (grid, ppl, rng.range_u64(1, 16))
+        },
+        |(grid, ppl, s)| {
+            check(
+                &HierarchicalAlltoall::new(*ppl, ExchangeKind::Pairwise)
+                    .with_gather(GatherKind::Binomial),
+                grid,
+                *s,
+            )?;
+            check(
+                &MultileaderNodeAwareAlltoall::new(*ppl, ExchangeKind::Pairwise)
+                    .with_gather(GatherKind::Binomial),
+                grid,
+                *s,
+            )
+        },
+    );
+}
+
+#[test]
+fn network_volume_is_exactly_minimal_for_aggregators() {
+    run_cases(
+        "network_volume_is_exactly_minimal_for_aggregators",
+        CASES,
+        |rng| {
+            let grid = arb_machine(rng);
+            let group = rng.divisor_of(grid.machine().ppn());
+            (grid, group, rng.range_u64(1, 16))
+        },
+        |(grid, group, s)| {
+            let m = grid.machine();
+            let min = (m.nodes * (m.nodes - 1)) as u64 * (m.ppn() * m.ppn()) as u64 * s;
+            for algo in [
+                Box::new(NodeAwareAlltoall::locality_aware(
+                    *group,
+                    ExchangeKind::Pairwise,
+                )) as Box<dyn AlltoallAlgorithm>,
+                Box::new(MultileaderNodeAwareAlltoall::new(
+                    *group,
+                    ExchangeKind::Pairwise,
+                )),
+                Box::new(HierarchicalAlltoall::new(*group, ExchangeKind::Pairwise)),
+            ] {
+                let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), *s));
+                let st = validate(&sched, grid).map_err(|e| format!("{}: {e}", algo.name()))?;
+                if st.inter_node_bytes() != min {
+                    return Err(format!(
+                        "{}: inter-node bytes {} != minimal {min}",
+                        algo.name(),
+                        st.inter_node_bytes()
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bruck_handles_any_world_size() {
+    run_cases(
+        "bruck_handles_any_world_size",
+        CASES,
+        |rng| (rng.range_usize(1, 40), rng.range_u64(1, 16)),
+        |(m, s)| {
+            let grid = ProcGrid::new(Machine::custom("flat", *m, 1, 1, 1));
+            check(&BruckAlltoall, &grid, *s)
+        },
+    );
+}

@@ -142,6 +142,10 @@ fn large_blocks_transpose() {
     // Push past the simulated eager thresholds to cover rendezvous-size
     // blocks in the data executor too.
     let grid = ProcGrid::new(Machine::custom("m", 2, 1, 1, 2));
-    verify(&NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise), &grid, 9000);
+    verify(
+        &NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise),
+        &grid,
+        9000,
+    );
     verify(&PairwiseAlltoall, &grid, 9000);
 }

@@ -4,43 +4,53 @@
 
 use std::sync::Arc;
 
+use a2a_testutil::run_cases;
 use alltoall_suite::algos::alltoallv::*;
 use alltoall_suite::netsim::{models, simulate, SimOptions};
 use alltoall_suite::sched::validate;
 use alltoall_suite::topo::{Machine, ProcGrid};
-use proptest::prelude::*;
 
 fn grid(nodes: usize, ppn_cores: usize) -> ProcGrid {
     ProcGrid::new(Machine::custom("v", nodes, 2, 1, ppn_cores))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn random_count_matrices_route_exactly(
-        nodes in 1usize..4,
-        cores in 1usize..3,
-        seed in 0u64..1000,
-        zero_bias in 0u64..8,
-    ) {
-        let g = grid(nodes, cores);
-        let n = g.world_size() as u64;
-        let counts: CountsFn = Arc::new(move |s, d| {
-            let mut x = seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((s as u64 * n + d as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
-            x ^= x >> 31;
-            if x % 8 < zero_bias { 0 } else { x % 97 }
-        });
-        let ctx = VContext::new(g, counts);
-        run_and_verify_v(&PairwiseAlltoallv, &ctx)
-            .map_err(TestCaseError::fail)?;
-        run_and_verify_v(&NonblockingAlltoallv, &ctx)
-            .map_err(TestCaseError::fail)?;
-        run_and_verify_v(&NodeAwareAlltoallv, &ctx)
-            .map_err(TestCaseError::fail)?;
-    }
+#[test]
+fn random_count_matrices_route_exactly() {
+    // Ported from proptest (40 cases) to the seeded runner with 64 cases; a
+    // failure prints the case seed and the generated (nodes, cores, seed,
+    // zero_bias) tuple.
+    run_cases(
+        "random_count_matrices_route_exactly",
+        64,
+        |rng| {
+            (
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 3),
+                rng.range_u64(0, 1000),
+                rng.range_u64(0, 8),
+            )
+        },
+        |&(nodes, cores, seed, zero_bias)| {
+            let g = grid(nodes, cores);
+            let n = g.world_size() as u64;
+            let counts: CountsFn = Arc::new(move |s, d| {
+                let mut x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((s as u64 * n + d as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+                x ^= x >> 31;
+                if x % 8 < zero_bias {
+                    0
+                } else {
+                    x % 97
+                }
+            });
+            let ctx = VContext::new(g, counts);
+            run_and_verify_v(&PairwiseAlltoallv, &ctx)?;
+            run_and_verify_v(&NonblockingAlltoallv, &ctx)?;
+            run_and_verify_v(&NodeAwareAlltoallv, &ctx)?;
+            Ok(())
+        },
+    );
 }
 
 #[test]

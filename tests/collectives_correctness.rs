@@ -2,6 +2,7 @@
 //! data executor, parity on the threaded runtime, and locality properties
 //! on the simulator.
 
+use a2a_testutil::run_cases;
 use alltoall_suite::algos::collectives::*;
 use alltoall_suite::algos::{A2AContext, GatherKind};
 use alltoall_suite::netsim::{models, simulate, SimOptions};
@@ -10,7 +11,6 @@ use alltoall_suite::sched::{
     pattern_byte, run_and_verify_allgather, run_and_verify_bcast, validate,
 };
 use alltoall_suite::topo::{Machine, ProcGrid};
-use proptest::prelude::*;
 
 fn ctx(nodes: usize, s: u64) -> A2AContext {
     A2AContext::new(ProcGrid::new(Machine::custom("c", nodes, 2, 1, 3)), s)
@@ -30,8 +30,7 @@ fn allgather_algorithms_verify_and_validate() {
         for algo in &algos {
             let sched = AllgatherSchedule::new(algo.as_ref(), c.clone());
             validate(&sched, &grid).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
-            run_and_verify_allgather(&sched, 16)
-                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            run_and_verify_allgather(&sched, 16).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
         }
     }
 }
@@ -126,52 +125,72 @@ fn hierarchical_bcast_network_messages_are_nodes_minus_one() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+// The two property suites below were ported from proptest (32 cases) to the
+// seeded runner with 48 cases each; failures print the case seed and the
+// generated parameter tuple.
 
-    #[test]
-    fn allgather_property(
-        nodes in 1usize..4,
-        sk in 1usize..3,
-        co in 1usize..3,
-        s in 1u64..32,
-        which in 0usize..3,
-    ) {
-        let grid = ProcGrid::new(Machine::custom("p", nodes, sk, 1, co));
-        let ppn = grid.machine().ppn();
-        let c = A2AContext::new(grid, s);
-        let algo: Box<dyn AllgatherAlgorithm> = match which {
-            0 => Box::new(RingAllgather),
-            1 => Box::new(BruckAllgather),
-            _ => {
-                let g = (1..=ppn).rev().find(|g| ppn % g == 0).unwrap();
-                Box::new(LocalityAwareAllgather::new(g))
-            }
-        };
-        let sched = AllgatherSchedule::new(algo.as_ref(), c);
-        run_and_verify_allgather(&sched, s)
-            .map_err(|e| TestCaseError::fail(format!("{}: {e}", algo.name())))?;
-    }
+#[test]
+fn allgather_property() {
+    run_cases(
+        "allgather_property",
+        48,
+        |rng| {
+            (
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 3),
+                rng.range_usize(1, 3),
+                rng.range_u64(1, 32),
+                rng.range_usize(0, 3),
+            )
+        },
+        |&(nodes, sk, co, s, which)| {
+            let grid = ProcGrid::new(Machine::custom("p", nodes, sk, 1, co));
+            let ppn = grid.machine().ppn();
+            let c = A2AContext::new(grid, s);
+            let algo: Box<dyn AllgatherAlgorithm> = match which {
+                0 => Box::new(RingAllgather),
+                1 => Box::new(BruckAllgather),
+                _ => {
+                    let g = (1..=ppn).rev().find(|g| ppn.is_multiple_of(*g)).unwrap();
+                    Box::new(LocalityAwareAllgather::new(g))
+                }
+            };
+            let sched = AllgatherSchedule::new(algo.as_ref(), c);
+            run_and_verify_allgather(&sched, s)
+                .map(|_| ())
+                .map_err(|e| format!("{}: {e}", algo.name()))
+        },
+    );
+}
 
-    #[test]
-    fn bcast_property(
-        nodes in 1usize..4,
-        co in 1usize..4,
-        len in 1u64..200,
-        root_sel in 0usize..8,
-        which in 0usize..3,
-    ) {
-        let grid = ProcGrid::new(Machine::custom("p", nodes, 2, 1, co));
-        let n = grid.world_size();
-        let root = (root_sel % n) as u32;
-        let c = A2AContext::new(grid, len);
-        let algo: Box<dyn BcastAlgorithm> = match which {
-            0 => Box::new(LinearBcast),
-            1 => Box::new(BinomialBcast),
-            _ => Box::new(HierarchicalBcast),
-        };
-        let sched = BcastSchedule::new(algo.as_ref(), c, root);
-        run_and_verify_bcast(&sched, root, len)
-            .map_err(|e| TestCaseError::fail(format!("{} root {root}: {e}", algo.name())))?;
-    }
+#[test]
+fn bcast_property() {
+    run_cases(
+        "bcast_property",
+        48,
+        |rng| {
+            (
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 4),
+                rng.range_u64(1, 200),
+                rng.range_usize(0, 8),
+                rng.range_usize(0, 3),
+            )
+        },
+        |&(nodes, co, len, root_sel, which)| {
+            let grid = ProcGrid::new(Machine::custom("p", nodes, 2, 1, co));
+            let n = grid.world_size();
+            let root = (root_sel % n) as u32;
+            let c = A2AContext::new(grid, len);
+            let algo: Box<dyn BcastAlgorithm> = match which {
+                0 => Box::new(LinearBcast),
+                1 => Box::new(BinomialBcast),
+                _ => Box::new(HierarchicalBcast),
+            };
+            let sched = BcastSchedule::new(algo.as_ref(), c, root);
+            run_and_verify_bcast(&sched, root, len)
+                .map(|_| ())
+                .map_err(|e| format!("{} root {root}: {e}", algo.name()))
+        },
+    );
 }

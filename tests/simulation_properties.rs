@@ -147,7 +147,10 @@ fn faster_network_is_faster_collective() {
     let tuo = simulate(&sched, &g, &models::tuolumne(), &SimOptions::default())
         .unwrap()
         .total_us;
-    assert!(tuo < dane, "slingshot {tuo} not faster than omni-path {dane}");
+    assert!(
+        tuo < dane,
+        "slingshot {tuo} not faster than omni-path {dane}"
+    );
 }
 
 #[test]
@@ -160,12 +163,14 @@ fn engine_traffic_counters_agree_with_static_validator() {
         let stats = validate(&sched, &g).unwrap();
         let rep = sim(algo.as_ref(), &g, 128);
         assert_eq!(
-            rep.msgs_per_level, stats.msgs,
+            rep.msgs_per_level,
+            stats.msgs,
             "{}: message counts disagree",
             algo.name()
         );
         assert_eq!(
-            rep.bytes_per_level, stats.bytes,
+            rep.bytes_per_level,
+            stats.bytes,
             "{}: byte counts disagree",
             algo.name()
         );

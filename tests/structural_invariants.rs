@@ -52,19 +52,31 @@ fn hierarchical_internode_messages_scale_with_leaders() {
     let nodes = 4usize;
     for ppl in [2usize, 4, 8] {
         let leaders_per_node = 8 / ppl;
-        let st = stats(&HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise), &g, 8);
+        let st = stats(
+            &HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise),
+            &g,
+            8,
+        );
         // Each leader messages every leader on every other node.
         let expect = nodes * leaders_per_node * (nodes - 1) * leaders_per_node;
         assert_eq!(st.inter_node_msgs(), expect, "ppl={ppl}");
         // Aggregation keeps network volume minimal.
-        assert_eq!(st.inter_node_bytes(), min_internode_bytes(&g, 8), "ppl={ppl}");
+        assert_eq!(
+            st.inter_node_bytes(),
+            min_internode_bytes(&g, 8),
+            "ppl={ppl}"
+        );
     }
 }
 
 #[test]
 fn node_aware_internode_messages_are_one_per_rank_per_node() {
     let g = grid();
-    let st = stats(&NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise), &g, 8);
+    let st = stats(
+        &NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise),
+        &g,
+        8,
+    );
     assert_eq!(st.max_internode_sends_per_rank, 3); // nodes - 1
     assert_eq!(st.inter_node_msgs(), 32 * 3);
     assert_eq!(st.inter_node_bytes(), min_internode_bytes(&g, 8));
@@ -75,8 +87,12 @@ fn locality_aware_trades_intra_for_inter_messages() {
     let g = grid();
     let n = g.world_size();
     let ppn = g.machine().ppn();
-    let mut prev_inter = stats(&NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise), &g, 8)
-        .inter_node_msgs();
+    let mut prev_inter = stats(
+        &NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise),
+        &g,
+        8,
+    )
+    .inter_node_msgs();
     for ppg in [4usize, 2, 1] {
         let la = stats(
             &NodeAwareAlltoall::locality_aware(ppg, ExchangeKind::Pairwise),
@@ -108,7 +124,11 @@ fn mlna_internode_count_beats_multileader() {
             &g,
             8,
         );
-        let ml = stats(&HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise), &g, 8);
+        let ml = stats(
+            &HierarchicalAlltoall::new(ppl, ExchangeKind::Pairwise),
+            &g,
+            8,
+        );
         assert_eq!(mlna.inter_node_msgs(), leaders * 3, "ppl={ppl}");
         assert!(mlna.inter_node_msgs() < ml.inter_node_msgs(), "ppl={ppl}");
         assert_eq!(mlna.inter_node_bytes(), min_internode_bytes(&g, 8));

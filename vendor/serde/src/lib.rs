@@ -1,0 +1,432 @@
+//! Hermetic in-tree stand-in for `serde`.
+//!
+//! The real `serde` cannot be fetched in this build environment (no registry
+//! access), and the workspace only needs a narrow slice of it: derived
+//! `Serialize`/`Deserialize` on plain structs and enums, consumed by the
+//! in-tree `serde_json` for figure/result emission. This crate provides that
+//! slice with the same surface syntax — `use serde::{Serialize, Deserialize}`
+//! plus `#[derive(Serialize, Deserialize)]` and `#[serde(default)]` — over a
+//! simple self-describing [`Value`] data model instead of serde's
+//! visitor-based core.
+//!
+//! Supported derive input shapes (everything this workspace uses):
+//! * structs with named fields (any visibility),
+//! * enums with unit variants and named-field variants (externally tagged,
+//!   matching serde's default representation),
+//! * the `#[serde(default)]` field attribute.
+
+// Derive-generated code names this crate by its public name (`serde::...`),
+// which inside the crate itself needs an explicit self-alias.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree: the intermediate form every `Serialize` impl
+/// produces and every `Deserialize` impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers (all unsigned sources, plus non-negative `i64`).
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Field order is preserved (unlike a map), so emitted JSON is stable.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: any integer widens losslessly enough for the float
+    /// fields used here (microsecond timings, byte counts).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::U64(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Ordered-object field lookup (derive-generated code calls this).
+pub fn get_field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(u).map_err(|_| {
+                    Error::custom(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::U64(i as u64)
+                } else {
+                    Value::I64(i)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::custom(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected tuple array, got {v:?}")))?;
+                let want = 0 $(+ { let _ = stringify!($t); 1 })+;
+                if items.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {want}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-7i64).serialize()), Ok(-7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(String::deserialize(&"hi".serialize()), Ok("hi".to_string()));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+    }
+
+    #[test]
+    fn integers_coerce_across_signedness() {
+        // A non-negative i64 serializes as U64 and deserializes back.
+        assert_eq!(i64::deserialize(&Value::U64(5)), Ok(5));
+        assert_eq!(u64::deserialize(&Value::I64(5)), Ok(5));
+        assert!(u64::deserialize(&Value::I64(-5)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        assert_eq!(Vec::<(f64, f64)>::deserialize(&v.serialize()), Ok(v));
+        let a = [1u64, 2, 3];
+        assert_eq!(<[u64; 3]>::deserialize(&a.serialize()), Ok(a));
+        assert!(<[u64; 4]>::deserialize(&a.serialize()).is_err());
+        assert_eq!(Option::<u32>::deserialize(&Value::Null), Ok(None));
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        x: u64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        inner: Inner,
+        points: Vec<(f64, f64)>,
+        #[serde(default)]
+        flag: bool,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Other,
+        Tagged { batch: usize, deep: Inner },
+    }
+
+    #[test]
+    fn derived_struct_roundtrips() {
+        let o = Outer {
+            inner: Inner {
+                x: 9,
+                label: "L".into(),
+            },
+            points: vec![(1.0, 2.0)],
+            flag: true,
+        };
+        assert_eq!(Outer::deserialize(&o.serialize()), Ok(o));
+    }
+
+    #[test]
+    fn derived_default_field_may_be_missing() {
+        let o = Outer {
+            inner: Inner {
+                x: 1,
+                label: String::new(),
+            },
+            points: vec![],
+            flag: true,
+        };
+        let v = o.serialize();
+        let Value::Object(mut fields) = v else {
+            panic!("expected object")
+        };
+        fields.retain(|(k, _)| k != "flag");
+        let back = Outer::deserialize(&Value::Object(fields)).unwrap();
+        assert!(!back.flag, "missing #[serde(default)] field defaults");
+    }
+
+    #[test]
+    fn derived_enum_roundtrips() {
+        for k in [
+            Kind::Unit,
+            Kind::Other,
+            Kind::Tagged {
+                batch: 3,
+                deep: Inner {
+                    x: 2,
+                    label: "d".into(),
+                },
+            },
+        ] {
+            assert_eq!(Kind::deserialize(&k.serialize()), Ok(k));
+        }
+        // Unit variants use serde's externally-tagged string form.
+        assert_eq!(Kind::Unit.serialize(), Value::Str("Unit".into()));
+    }
+
+    #[test]
+    fn derived_enum_rejects_unknown_variant() {
+        assert!(Kind::deserialize(&Value::Str("Nope".into())).is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree serde
+//! stand-in.
+//!
+//! `syn`/`quote` are unavailable in this hermetic workspace, so the input is
+//! parsed directly from the `proc_macro` token stream and the impl is emitted
+//! as source text. Only the shapes this workspace actually derives are
+//! supported — named-field structs and enums of unit / named-field variants,
+//! no generics — anything else produces a compile error naming the
+//! limitation.
+//!
+//! Supported attribute: `#[serde(default)]` on a struct field (missing field
+//! deserializes via `Default::default()`). Other `#[serde(...)]` attributes
+//! are rejected rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing field deserializes to `Default::default()`.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, field list for a named-field variant.
+    fields: Option<Vec<Field>>,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Tuple struct with this many fields (newtype when 1).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            return format!("::std::compile_error!(\"{escaped}\");")
+                .parse()
+                .expect("compile_error tokens");
+        }
+    };
+    let body = match (which, &shape) {
+        (Trait::Serialize, Shape::Struct(fields)) => gen_struct_ser(&name, fields),
+        (Trait::Serialize, Shape::TupleStruct(n)) => gen_tuple_ser(&name, *n),
+        (Trait::Serialize, Shape::Enum(variants)) => gen_enum_ser(&name, variants),
+        (Trait::Deserialize, Shape::Struct(fields)) => gen_struct_de(&name, fields),
+        (Trait::Deserialize, Shape::TupleStruct(n)) => gen_tuple_de(&name, *n),
+        (Trait::Deserialize, Shape::Enum(variants)) => gen_enum_de(&name, variants),
+    };
+    body.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => match kw.as_str() {
+            "struct" => Shape::Struct(parse_fields(g.stream())?),
+            "enum" => Shape::Enum(parse_variants(g.stream())?),
+            other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kw == "struct" => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        _ => {
+            return Err(format!(
+                "serde stand-in derive: `{name}` must be a braced {kw} or tuple struct"
+            ))
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Skip attributes; returns the `serde(...)` attribute arguments seen, as
+/// flat identifier strings (e.g. `["default"]`).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut serde_args = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => return Err(format!("malformed attribute: {other:?}")),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                match inner.get(1) {
+                    Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+                        for tt in args.stream() {
+                            match tt {
+                                TokenTree::Ident(arg) => serde_args.push(arg.to_string()),
+                                TokenTree::Punct(ref p) if p.as_char() == ',' => {}
+                                other => {
+                                    return Err(format!(
+                                        "unsupported serde attribute token: {other}"
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    other => return Err(format!("malformed serde attribute: {other:?}")),
+                }
+            }
+        }
+    }
+    Ok(serde_args)
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    take_attrs(tokens, i).map(drop)
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)`, `pub(super)`, ...
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let serde_args = take_attrs(&tokens, &mut i)?;
+        let mut default = false;
+        for arg in serde_args {
+            match arg.as_str() {
+                "default" => default = true,
+                other => {
+                    return Err(format!(
+                        "serde stand-in derive: unsupported attribute `#[serde({other})]`"
+                    ))
+                }
+            }
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        // Consume the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body (top-level commas + trailing
+/// element, angle-bracket aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                in_field = false;
+            }
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes (e.g. `#[default]`) carry no serde meaning here.
+        let serde_args = take_attrs(&tokens, &mut i)?;
+        if !serde_args.is_empty() {
+            return Err(
+                "serde stand-in derive: serde attributes on enum variants unsupported".into(),
+            );
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_fields(g.stream())?;
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stand-in derive: tuple variant `{name}` unsupported (use named fields)"
+                ))
+            }
+            _ => None,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => return Err(format!("expected `,` after variant, found {other:?}")),
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+const IMPL_HEADER: &str = "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic)]\n";
+
+fn ser_fields(receiver: &str, fields: &[Field]) -> String {
+    let mut out = String::from("{ let mut fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{n}\"), serde::Serialize::serialize({receiver}{n})));\n",
+            n = f.name
+        ));
+    }
+    out.push_str("serde::Value::Object(fields) }");
+    out
+}
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    format!(
+        "{IMPL_HEADER}impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {}\n}}",
+        ser_fields("&self.", fields)
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(serde::Error::custom(\
+                 \"{name}: missing field `{n}`\"))",
+                n = f.name
+            )
+        };
+        body.push_str(&format!(
+            "{n}: match serde::get_field(obj, \"{n}\") {{\n\
+             ::std::option::Option::Some(v) => serde::Deserialize::deserialize(v)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "{IMPL_HEADER}impl serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         let obj = v.as_object().ok_or_else(|| serde::Error::custom(\"{name}: expected object\"))?;\n\
+         ::std::result::Result::Ok({name} {{\n{body}}})\n}}\n}}"
+    )
+}
+
+fn gen_tuple_ser(name: &str, n: usize) -> String {
+    let body = if n == 1 {
+        // Newtype: serialize transparently as the inner value (serde's
+        // newtype-struct convention).
+        "serde::Serialize::serialize(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+            .collect();
+        format!("serde::Value::Array(vec![{}])", items.join(", "))
+    };
+    format!(
+        "{IMPL_HEADER}impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_tuple_de(name: &str, n: usize) -> String {
+    let body = if n == 1 {
+        format!("::std::result::Result::Ok({name}(serde::Deserialize::deserialize(v)?))")
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("serde::Deserialize::deserialize(&items[{i}])?"))
+            .collect();
+        format!(
+            "let items = v.as_array().ok_or_else(|| \
+             serde::Error::custom(\"{name}: expected array\"))?;\n\
+             if items.len() != {n} {{\n\
+             return ::std::result::Result::Err(serde::Error::custom(\
+             \"{name}: expected {n} elements\"));\n}}\n\
+             ::std::result::Result::Ok({name}({items}))",
+            items = items.join(", ")
+        )
+    };
+    format!(
+        "{IMPL_HEADER}impl serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{v} => serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                v = v.name
+            )),
+            Some(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {binds} }} => {{\n\
+                     let inner = {ser};\n\
+                     serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), inner)])\n}}\n",
+                    v = v.name,
+                    binds = bindings.join(", "),
+                    ser = ser_fields("", fields)
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_HEADER}impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => unit_arms.push_str(&format!(
+                "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )),
+            Some(fields) => {
+                let mut body = String::new();
+                for f in fields {
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(serde::Error::custom(\
+                             \"{name}::{v}: missing field `{n}`\"))",
+                            v = v.name,
+                            n = f.name
+                        )
+                    };
+                    body.push_str(&format!(
+                        "{n}: match serde::get_field(obj, \"{n}\") {{\n\
+                         ::std::option::Option::Some(fv) => serde::Deserialize::deserialize(fv)?,\n\
+                         ::std::option::Option::None => {missing},\n}},\n",
+                        n = f.name
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     let obj = inner.as_object().ok_or_else(|| \
+                     serde::Error::custom(\"{name}::{v}: expected object\"))?;\n\
+                     return ::std::result::Result::Ok({name}::{v} {{\n{body}}});\n}}\n",
+                    v = v.name
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_HEADER}impl serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+         match s {{\n{unit_arms}\
+         _ => return ::std::result::Result::Err(serde::Error::custom(\
+         ::std::format!(\"{name}: unknown variant `{{s}}`\"))),\n}}\n}}\n\
+         if let ::std::option::Option::Some(fields) = v.as_object() {{\n\
+         if fields.len() == 1 {{\n\
+         let (tag, inner) = &fields[0];\n\
+         let _ = inner;\n\
+         match tag.as_str() {{\n{tagged_arms}\
+         _ => {{}}\n}}\n}}\n}}\n\
+         ::std::result::Result::Err(serde::Error::custom(\
+         ::std::format!(\"{name}: unrecognized value {{v:?}}\")))\n}}\n}}"
+    )
+}

@@ -1,0 +1,455 @@
+//! Hermetic in-tree stand-in for `serde_json`, matching the call sites this
+//! workspace uses: [`to_string`], [`to_string_pretty`], and [`from_str`],
+//! over the in-tree serde stand-in's [`Value`] model.
+//!
+//! Output conventions follow real `serde_json` where observable: two-space
+//! pretty indentation, minimal string escapes, non-finite floats emitted as
+//! `null`.
+
+pub use serde::Value;
+use serde::{Deserialize, Error, Serialize};
+
+/// Compact JSON encoding of any `Serialize` type.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Pretty JSON encoding (two-space indent) of any `Serialize` type.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::deserialize(&parse_value(s)?)
+}
+
+/// Parse JSON text into a raw [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), items.len(), indent, depth, |o, x, d| {
+                write_value(o, x, indent, d)
+            })
+        }
+        Value::Object(fields) => {
+            write_seq(
+                out,
+                fields.iter(),
+                fields.len(),
+                indent,
+                depth,
+                |o, (k, x), d| {
+                    write_string(o, k);
+                    o.push(':');
+                    if indent.is_some() {
+                        o.push(' ');
+                    }
+                    write_value(o, x, indent, d);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) where
+    I::Item: IsObjectEntry,
+{
+    let (open, close) = if I::Item::IS_ENTRY {
+        ('{', '}')
+    } else {
+        ('[', ']')
+    };
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+/// Picks `{}` vs `[]` delimiters for [`write_seq`] at compile time.
+trait IsObjectEntry {
+    const IS_ENTRY: bool;
+}
+
+impl IsObjectEntry for &Value {
+    const IS_ENTRY: bool = false;
+}
+
+impl IsObjectEntry for &(String, Value) {
+    const IS_ENTRY: bool = true;
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 prints the shortest text that round-trips; integral values
+    // get an explicit `.0` so the value re-parses as a float.
+    let s = f.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::custom(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: peek for a `\uXXXX` low half.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos + 1..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                Error::custom(format!("bad \\u escape at byte {}", self.pos))
+                            })?);
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 character (input is a &str, so
+                    // char boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error::custom("bad utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Four hex digits after `\u`; leaves `pos` on the final digit.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error::custom("bad \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| Error::custom("bad \\u escape"))?;
+        self.pos = end - 1;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Point {
+        label: String,
+        xy: Vec<(f64, f64)>,
+        count: u64,
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let p = Point {
+            label: "a/b \"q\"".into(),
+            xy: vec![(4.0, 10.25)],
+            count: 3,
+        };
+        let s = to_string_pretty(&p).unwrap();
+        assert!(s.contains("\"label\": \"a/b \\\"q\\\"\""));
+        assert!(s.contains("  \"count\": 3"));
+        assert!(
+            s.contains("4.0"),
+            "integral floats keep a decimal point: {s}"
+        );
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let p = Point {
+            label: "série\n".into(),
+            xy: vec![(1.5, -2.0), (0.0, 1e-3)],
+            count: u64::MAX,
+        };
+        let compact: Point = from_str(&to_string(&p).unwrap()).unwrap();
+        assert_eq!(compact, p);
+        let pretty: Point = from_str(&to_string_pretty(&p).unwrap()).unwrap();
+        assert_eq!(pretty, p);
+    }
+
+    #[test]
+    fn parses_standard_json() {
+        let v = parse_value(r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "A😀"}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[0], Value::U64(1));
+        assert_eq!(arr[1], Value::I64(-2));
+        assert_eq!(arr[2], Value::F64(3.5));
+        assert_eq!(arr[3], Value::Bool(true));
+        assert_eq!(arr[4], Value::Null);
+        let inner = obj[1].1.as_object().unwrap();
+        assert_eq!(inner[0].1.as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_value("{\"a\": }").is_err());
+        assert!(parse_value("[1, 2").is_err());
+        assert!(parse_value("12 34").is_err());
+        assert!(parse_value("nul").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        write_value(&mut out, &Value::F64(f64::NAN), None, 0);
+        assert_eq!(out, "null");
+    }
+}
