@@ -36,7 +36,7 @@ fn bench_runtime(c: &mut Criterion) {
                         let mut sbuf = vec![0u8; total];
                         let mut rbuf = vec![0u8; total];
                         fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
-                        comm.alltoall(algo, grid, s, &sbuf, &mut rbuf);
+                        comm.alltoall(algo, grid, s, &sbuf, &mut rbuf).unwrap();
                         rbuf[0]
                     });
                     black_box(out)

@@ -74,9 +74,10 @@ fn main() -> ExitCode {
             "all" => figures.extend(known_figures().iter().map(|s| s.to_string())),
             "table1" => want_table1 = true,
             "tune" => figures.push("tune".into()),
+            "chaos" => figures.push("chaos".into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tune|fig7..fig18|headline|ablation-*]... [options]"
+                    "usage: repro [all|table1|tune|chaos|fig7..fig18|headline|ablation-*]... [options]"
                 );
                 println!("figures: {:?}", known_figures());
                 println!(
@@ -140,6 +141,19 @@ fn main() -> ExitCode {
             )
             .expect("write selector table");
             println!("  [tune done in {:.1?}]", start.elapsed());
+            continue;
+        }
+        if name == "chaos" {
+            let res = a2a_bench::chaos(&cfg);
+            println!("\n{}", res.table());
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(out_dir.join("chaos.csv"), res.csv()).expect("write chaos csv");
+            std::fs::write(
+                out_dir.join("chaos.json"),
+                serde_json::to_string_pretty(&res).expect("serialize"),
+            )
+            .expect("write chaos json");
+            println!("  [chaos done in {:.1?}]", start.elapsed());
             continue;
         }
         let fig = figure_by_name(name, &cfg);

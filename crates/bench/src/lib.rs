@@ -14,11 +14,13 @@
 //! hierarchy) with fewer cores per NUMA domain so the full sweep runs on a
 //! laptop-class host; `--scale full` uses the real 112/96-core nodes.
 
+pub mod chaos;
 pub mod figures;
 pub mod harness;
 pub mod microbench;
 pub mod tune;
 
+pub use chaos::{chaos, ChaosPoint, ChaosResult};
 pub use figures::{figure_by_name, known_figures};
 pub use harness::{
     machine_for, run_min, FigureData, RunConfig, Series, DEFAULT_SIZES, PAPER_GROUP_SIZES,

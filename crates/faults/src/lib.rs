@@ -1,0 +1,445 @@
+//! Deterministic, seeded fault injection for every executor in the suite.
+//!
+//! A [`FaultPlan`] is a pure function of `(seed, nranks, spec)`. It answers
+//! the same questions for all three executors:
+//!
+//! * **per message** — should this `(from, to, tag, seq)` transfer be
+//!   dropped, duplicated, or corrupted? ([`FaultPlan::message_fault`],
+//!   which also implements [`a2a_sched::FaultInjector`] so the sequential
+//!   `DataExecutor` and the threaded fabric perturb identically);
+//! * **per rank** — is this rank a straggler (CPU slowdown multiplier) or
+//!   dead (never participates)? ([`FaultPlan::slowdown`],
+//!   [`FaultPlan::is_dead`]);
+//! * **per link** — is this directed node pair degraded (bandwidth/latency
+//!   cost multiplier for the simulator)? ([`FaultPlan::link_multiplier`]).
+//!
+//! # Determinism
+//!
+//! Message fate is a *stateless* SplitMix64-style hash of
+//! `(seed, stream, from, to, tag, seq, attempt)` — not a draw from a shared
+//! mutable RNG — so the outcome of any transfer is independent of thread
+//! interleaving, executor choice, and how many other messages were sent
+//! first. Retransmits pass an incremented `attempt`, re-rolling the dice:
+//! a dropped packet is eventually delivered with probability 1, and the
+//! whole pipeline is byte-deterministic given a seed.
+//!
+//! Rank-level fates (stragglers, dead ranks) are precomputed in
+//! [`FaultPlan::new`] from a forked [`a2a_testutil::Rng`] stream so caps
+//! like [`FaultSpec::max_dead`] can be enforced; they are fixed for the
+//! plan's lifetime and listable for diagnostics.
+
+use a2a_sched::{FaultInjector, MessageFault};
+use a2a_testutil::Rng;
+use a2a_topo::Rank;
+
+/// Per-fault-class probabilities and magnitudes. Probabilities are in
+/// `[0.0, 1.0]`; `0.0` disables the class. All fields are plain data so a
+/// spec can be built in CI scripts and printed for replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-message drop probability (each retransmit attempt re-rolls).
+    pub drop: f64,
+    /// Per-message duplication probability.
+    pub duplicate: f64,
+    /// Per-message payload-corruption probability (one byte is flipped).
+    pub corrupt: f64,
+    /// Per-rank probability of being a straggler.
+    pub straggler: f64,
+    /// CPU slowdown multiplier applied to straggler ranks (e.g. `4.0`).
+    pub straggler_slowdown: f64,
+    /// Per-directed-node-pair probability of a degraded link.
+    pub degraded_link: f64,
+    /// Cost multiplier applied to degraded links (e.g. `8.0`).
+    pub link_multiplier: f64,
+    /// Per-rank probability of being dead (never participates).
+    pub dead: f64,
+    /// Hard cap on the number of dead ranks (a world where most ranks are
+    /// dead is not an interesting experiment).
+    pub max_dead: usize,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+impl FaultSpec {
+    /// No faults at all: every query returns the clean answer.
+    pub fn none() -> Self {
+        FaultSpec {
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            straggler: 0.0,
+            straggler_slowdown: 1.0,
+            degraded_link: 0.0,
+            link_multiplier: 1.0,
+            dead: 0.0,
+            max_dead: 0,
+        }
+    }
+
+    /// Message drops only, at probability `p` — the canonical retransmit
+    /// stress test.
+    pub fn drops(p: f64) -> Self {
+        FaultSpec {
+            drop: p,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// A light mixed workload: a few percent of messages perturbed, one
+    /// straggler class, occasional degraded links. Good CI default.
+    pub fn chaos_light() -> Self {
+        FaultSpec {
+            drop: 0.05,
+            duplicate: 0.02,
+            corrupt: 0.02,
+            straggler: 0.1,
+            straggler_slowdown: 4.0,
+            degraded_link: 0.1,
+            link_multiplier: 8.0,
+            dead: 0.0,
+            max_dead: 0,
+        }
+    }
+
+    /// Builder-style setters so call sites read declaratively.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+    pub fn with_stragglers(mut self, p: f64, slowdown: f64) -> Self {
+        self.straggler = p;
+        self.straggler_slowdown = slowdown;
+        self
+    }
+    pub fn with_degraded_links(mut self, p: f64, multiplier: f64) -> Self {
+        self.degraded_link = p;
+        self.link_multiplier = multiplier;
+        self
+    }
+    pub fn with_dead(mut self, p: f64, max_dead: usize) -> Self {
+        self.dead = p;
+        self.max_dead = max_dead;
+        self
+    }
+}
+
+/// Independent hash streams so the fault classes don't correlate: a message
+/// that is dropped on attempt 0 is not thereby more likely to be corrupted
+/// on attempt 1.
+mod stream {
+    pub const DROP: u64 = 0xD809;
+    pub const DUPLICATE: u64 = 0xD7B1;
+    pub const CORRUPT: u64 = 0xC0BB;
+    pub const CORRUPT_BYTE: u64 = 0xC0BE;
+    pub const LINK: u64 = 0x71CC;
+    pub const RANKS: u64 = 0xBA2D;
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix used to turn message
+/// coordinates into an independent uniform draw.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Probability → threshold on a uniform `u64` draw. Saturates at 1.0.
+fn threshold(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * (u64::MAX as f64)) as u64
+    }
+}
+
+/// A concrete, seeded realization of a [`FaultSpec`] over an `nranks`-rank
+/// world. See the module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    n: usize,
+    spec: FaultSpec,
+    /// Sorted straggler ranks (precomputed for listing/diagnostics).
+    stragglers: Vec<Rank>,
+    /// Sorted dead ranks, capped at `spec.max_dead`.
+    dead: Vec<Rank>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64, nranks: usize, spec: FaultSpec) -> Self {
+        let mut rng = Rng::new(mix(seed ^ stream::RANKS));
+        let mut stragglers = Vec::new();
+        let straggler_t = threshold(spec.straggler);
+        for r in 0..nranks as Rank {
+            if rng.next_u64() < straggler_t {
+                stragglers.push(r);
+            }
+        }
+        let mut dead = Vec::new();
+        let dead_t = threshold(spec.dead);
+        for r in 0..nranks as Rank {
+            if dead.len() < spec.max_dead && rng.next_u64() < dead_t {
+                dead.push(r);
+            }
+        }
+        FaultPlan {
+            seed,
+            n: nranks,
+            spec,
+            stragglers,
+            dead,
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.n
+    }
+
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// One stateless uniform draw for `stream` at the given coordinates.
+    fn draw(&self, stream: u64, a: u64, b: u64, c: u64) -> u64 {
+        let mut h = mix(self.seed ^ stream);
+        h = mix(h ^ a);
+        h = mix(h ^ b.rotate_left(17));
+        mix(h ^ c.rotate_left(41))
+    }
+
+    /// Fault fate of transfer `(from, to, tag, seq)` on its first attempt.
+    pub fn message_fault(&self, from: Rank, to: Rank, tag: u32, seq: u64) -> MessageFault {
+        self.message_fault_attempt(from, to, tag, seq, 0)
+    }
+
+    /// Fault fate on retransmit attempt `attempt` (0 = original send). Each
+    /// attempt is an independent roll, so bounded retries recover drops with
+    /// overwhelming probability while staying fully deterministic.
+    pub fn message_fault_attempt(
+        &self,
+        from: Rank,
+        to: Rank,
+        tag: u32,
+        seq: u64,
+        attempt: u32,
+    ) -> MessageFault {
+        let a = (from as u64) << 32 | to as u64;
+        let b = (tag as u64) << 32 | attempt as u64;
+        let drop = self.draw(stream::DROP, a, b, seq) < threshold(self.spec.drop);
+        let duplicate = self.draw(stream::DUPLICATE, a, b, seq) < threshold(self.spec.duplicate);
+        let corrupt = (self.draw(stream::CORRUPT, a, b, seq) < threshold(self.spec.corrupt))
+            .then(|| self.draw(stream::CORRUPT_BYTE, a, b, seq));
+        MessageFault {
+            drop,
+            duplicate,
+            corrupt,
+        }
+    }
+
+    pub fn is_straggler(&self, rank: Rank) -> bool {
+        self.stragglers.binary_search(&rank).is_ok()
+    }
+
+    /// CPU slowdown multiplier for `rank` (1.0 for healthy ranks).
+    pub fn slowdown(&self, rank: Rank) -> f64 {
+        if self.is_straggler(rank) {
+            self.spec.straggler_slowdown
+        } else {
+            1.0
+        }
+    }
+
+    /// Sorted straggler ranks.
+    pub fn stragglers(&self) -> &[Rank] {
+        &self.stragglers
+    }
+
+    pub fn is_dead(&self, rank: Rank) -> bool {
+        self.dead.binary_search(&rank).is_ok()
+    }
+
+    /// Sorted dead ranks (capped at [`FaultSpec::max_dead`]).
+    pub fn dead_ranks(&self) -> &[Rank] {
+        &self.dead
+    }
+
+    /// Cost multiplier for the directed inter-node link `from_node →
+    /// to_node` (1.0 for healthy links). Stateless, so the simulator can
+    /// query arbitrary node pairs without the plan knowing the topology.
+    pub fn link_multiplier(&self, from_node: usize, to_node: usize) -> f64 {
+        if from_node == to_node {
+            return 1.0;
+        }
+        let hit = self.draw(stream::LINK, from_node as u64, to_node as u64, 0)
+            < threshold(self.spec.degraded_link);
+        if hit {
+            self.spec.link_multiplier
+        } else {
+            1.0
+        }
+    }
+
+    /// All degraded directed links among `nodes` nodes, for diagnostics.
+    pub fn degraded_links(&self, nodes: usize) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for a in 0..nodes {
+            for b in 0..nodes {
+                let m = self.link_multiplier(a, b);
+                if m != 1.0 {
+                    out.push((a, b, m));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn on_message(&self, from: Rank, to: Rank, tag: u32, seq: u64) -> MessageFault {
+        self.message_fault(from, to, tag, seq)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FaultPlan(seed={:#x}, n={}, drop={}, dup={}, corrupt={}, stragglers={:?}x{}, dead={:?})",
+            self.seed,
+            self.n,
+            self.spec.drop,
+            self.spec.duplicate,
+            self.spec.corrupt,
+            self.stragglers,
+            self.spec.straggler_slowdown,
+            self.dead,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::new(42, 64, FaultSpec::chaos_light());
+        let b = FaultPlan::new(42, 64, FaultSpec::chaos_light());
+        assert_eq!(a.stragglers(), b.stragglers());
+        for seq in 0..256 {
+            assert_eq!(a.message_fault(3, 7, 1, seq), b.message_fault(3, 7, 1, seq));
+        }
+        for from in 0..8 {
+            for to in 0..8 {
+                assert_eq!(a.link_multiplier(from, to), b.link_multiplier(from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1, 16, FaultSpec::drops(0.5));
+        let b = FaultPlan::new(2, 16, FaultSpec::drops(0.5));
+        let fate = |p: &FaultPlan| -> Vec<bool> {
+            (0..64).map(|s| p.message_fault(0, 1, 0, s).drop).collect()
+        };
+        assert_ne!(fate(&a), fate(&b));
+    }
+
+    #[test]
+    fn none_spec_is_clean() {
+        let p = FaultPlan::new(7, 32, FaultSpec::none());
+        assert!(p.stragglers().is_empty());
+        assert!(p.dead_ranks().is_empty());
+        for seq in 0..128 {
+            assert!(p.message_fault(1, 2, 0, seq).is_clean());
+        }
+        assert_eq!(p.link_multiplier(0, 1), 1.0);
+        assert_eq!(p.slowdown(5), 1.0);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let p = FaultPlan::new(99, 2, FaultSpec::drops(0.25));
+        let dropped = (0..4000)
+            .filter(|&s| p.message_fault(0, 1, 0, s).drop)
+            .count();
+        // 4000 Bernoulli(0.25) trials: expect ~1000, allow wide slack.
+        assert!((800..1200).contains(&dropped), "dropped = {dropped}");
+    }
+
+    #[test]
+    fn retransmit_attempts_reroll() {
+        let p = FaultPlan::new(5, 2, FaultSpec::drops(0.5));
+        // For every message some attempt within a small bound succeeds.
+        for seq in 0..200 {
+            let recovered = (0..32).any(|a| !p.message_fault_attempt(0, 1, 0, seq, a).drop);
+            assert!(recovered, "seq {seq} never recovered");
+        }
+    }
+
+    #[test]
+    fn dead_ranks_respect_cap() {
+        let p = FaultPlan::new(11, 128, FaultSpec::none().with_dead(0.9, 3));
+        assert!(p.dead_ranks().len() <= 3);
+        assert!(!p.dead_ranks().is_empty());
+        for &r in p.dead_ranks() {
+            assert!(p.is_dead(r));
+        }
+    }
+
+    #[test]
+    fn straggler_slowdown_applies_only_to_stragglers() {
+        let p = FaultPlan::new(21, 64, FaultSpec::none().with_stragglers(0.2, 4.0));
+        assert!(!p.stragglers().is_empty());
+        for r in 0..64u32 {
+            let want = if p.is_straggler(r) { 4.0 } else { 1.0 };
+            assert_eq!(p.slowdown(r), want);
+        }
+    }
+
+    #[test]
+    fn self_links_never_degraded() {
+        let p = FaultPlan::new(3, 8, FaultSpec::none().with_degraded_links(1.0, 9.0));
+        for n in 0..8 {
+            assert_eq!(p.link_multiplier(n, n), 1.0);
+        }
+        assert_eq!(p.link_multiplier(0, 1), 9.0);
+    }
+
+    #[test]
+    fn corruption_carries_byte_hint() {
+        let p = FaultPlan::new(13, 2, FaultSpec::none().with_corrupt(1.0));
+        let f = p.message_fault(0, 1, 0, 0);
+        assert!(f.corrupt.is_some());
+        assert!(!f.drop && !f.duplicate);
+    }
+
+    #[test]
+    fn plan_drives_data_executor_identically_to_direct_queries() {
+        // FaultInjector impl must agree with message_fault (attempt 0).
+        let p = FaultPlan::new(17, 4, FaultSpec::chaos_light());
+        for seq in 0..64 {
+            assert_eq!(p.on_message(1, 2, 3, seq), p.message_fault(1, 2, 3, seq));
+        }
+    }
+}

@@ -39,6 +39,45 @@ pub struct SimOptions {
     pub seed: u64,
 }
 
+/// Deterministic perturbations applied on top of the cost model: straggler
+/// CPU slowdowns and degraded inter-node links. Plain data so any fault
+/// layer (e.g. `a2a_faults::FaultPlan`) can be lowered onto the simulator
+/// without the engine depending on it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Perturb {
+    /// Per-rank CPU slowdown multipliers (index = rank; missing ranks and
+    /// an empty vec mean 1.0). Scales copy costs and send/recv overheads —
+    /// the straggler model.
+    pub rank_slowdown: Vec<f64>,
+    /// Directed degraded links: `(from_node, to_node, multiplier)` scales
+    /// NIC occupancy and wire time for traffic on that link.
+    pub link_multiplier: Vec<(usize, usize, f64)>,
+}
+
+impl Perturb {
+    pub fn is_empty(&self) -> bool {
+        self.rank_slowdown.iter().all(|&s| s == 1.0)
+            && self.link_multiplier.iter().all(|&(_, _, m)| m == 1.0)
+    }
+
+    /// CPU slowdown for `rank` (1.0 if unspecified).
+    pub fn slowdown(&self, rank: Rank) -> f64 {
+        self.rank_slowdown
+            .get(rank as usize)
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Cost multiplier for the directed link `from_node -> to_node`.
+    pub fn link(&self, from_node: usize, to_node: usize) -> f64 {
+        self.link_multiplier
+            .iter()
+            .find(|&&(f, t, _)| f == from_node && t == to_node)
+            .map(|&(_, _, m)| m)
+            .unwrap_or(1.0)
+    }
+}
+
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -123,6 +162,7 @@ struct Engine<'a> {
     grid: &'a ProcGrid,
     model: &'a CostModel,
     jitter: f64,
+    perturb: &'a Perturb,
     ranks: Vec<RankSim>,
     heap: BinaryHeap<Reverse<Key>>,
     nic_tx: Vec<f64>,
@@ -138,10 +178,12 @@ struct Engine<'a> {
 }
 
 impl Engine<'_> {
-    /// Deterministic per-rank noise factor in `[1-j, 1+j]` (xorshift64*).
+    /// Deterministic per-rank noise factor in `[1-j, 1+j]` (xorshift64*),
+    /// scaled by the rank's perturbation slowdown (straggler model).
     fn noise(&mut self, rank: Rank) -> f64 {
+        let slow = self.perturb.slowdown(rank);
         if self.jitter == 0.0 {
-            return 1.0;
+            return slow;
         }
         let st = &mut self.ranks[rank as usize];
         let mut x = st.rng;
@@ -150,7 +192,7 @@ impl Engine<'_> {
         x ^= x >> 27;
         st.rng = x;
         let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
-        1.0 + self.jitter * (2.0 * u - 1.0)
+        (1.0 + self.jitter * (2.0 * u - 1.0)) * slow
     }
 
     /// Reserve resources for a message and return `(arrival, tx_end)`.
@@ -170,11 +212,13 @@ impl Engine<'_> {
         if level == Level::InterNode {
             let sn = self.grid.node_of(from);
             let dn = self.grid.node_of(to);
-            let occ = self.model.nic_occupancy(bytes);
+            // A degraded link stretches both NIC occupancy and wire time.
+            let lm = self.perturb.link(sn, dn);
+            let occ = self.model.nic_occupancy(bytes) * lm;
             let tx_start = t0.max(self.nic_tx[sn]);
             let tx_end = tx_start + occ;
             self.nic_tx[sn] = tx_end;
-            let wire_arrive = tx_end + lc.wire(bytes);
+            let wire_arrive = tx_end + lc.wire(bytes) * lm;
             let rx_start = wire_arrive.max(self.nic_rx[dn]);
             let rx_end = rx_start + occ;
             self.nic_rx[dn] = rx_end;
@@ -446,6 +490,18 @@ pub fn simulate(
     model: &CostModel,
     opts: &SimOptions,
 ) -> Result<SimReport, SimError> {
+    simulate_perturbed(source, grid, model, opts, &Perturb::default())
+}
+
+/// [`simulate`] with straggler/degraded-link perturbations applied — the
+/// substrate for chaos sweeps measuring slowdown-under-faults.
+pub fn simulate_perturbed(
+    source: &dyn ScheduleSource,
+    grid: &ProcGrid,
+    model: &CostModel,
+    opts: &SimOptions,
+    perturb: &Perturb,
+) -> Result<SimReport, SimError> {
     let n = source.nranks();
     assert_eq!(n, grid.world_size(), "schedule/grid world size mismatch");
     let phase_names: Vec<String> = source.phase_names().iter().map(|s| s.to_string()).collect();
@@ -483,6 +539,7 @@ pub fn simulate(
         grid,
         model,
         jitter: opts.jitter,
+        perturb,
         ranks,
         heap: BinaryHeap::with_capacity(n),
         nic_tx: vec![0.0; nodes],
@@ -852,6 +909,75 @@ mod tests {
             ser > par + 0.5 * occupancy,
             "UPI serialization invisible: parallel {par}, crossing {ser}"
         );
+    }
+
+    #[test]
+    fn empty_perturb_matches_plain_simulate() {
+        let src = Swap::internode(1024);
+        let m = crate::models::dane();
+        let a = simulate(&src, &src.grid, &m, &SimOptions::default()).unwrap();
+        let b = simulate_perturbed(
+            &src,
+            &src.grid,
+            &m,
+            &SimOptions::default(),
+            &Perturb::default(),
+        )
+        .unwrap();
+        assert_eq!(a.total_us, b.total_us);
+        assert_eq!(a.rank_finish, b.rank_finish);
+    }
+
+    #[test]
+    fn straggler_slowdown_stretches_completion() {
+        let src = Swap::intranode(4096);
+        let m = crate::models::dane();
+        let clean = simulate(&src, &src.grid, &m, &SimOptions::default()).unwrap();
+        let p = Perturb {
+            rank_slowdown: vec![8.0, 1.0],
+            link_multiplier: vec![],
+        };
+        let slow = simulate_perturbed(&src, &src.grid, &m, &SimOptions::default(), &p).unwrap();
+        assert!(
+            slow.total_us > clean.total_us,
+            "straggler invisible: {} vs {}",
+            slow.total_us,
+            clean.total_us
+        );
+    }
+
+    #[test]
+    fn degraded_link_stretches_internode_traffic_only() {
+        let m = crate::models::dane();
+        let inter = Swap::internode(65536);
+        let clean = simulate(&inter, &inter.grid, &m, &SimOptions::default()).unwrap();
+        let p = Perturb {
+            rank_slowdown: vec![],
+            link_multiplier: vec![(0, 1, 10.0), (1, 0, 10.0)],
+        };
+        let degraded =
+            simulate_perturbed(&inter, &inter.grid, &m, &SimOptions::default(), &p).unwrap();
+        assert!(degraded.total_us > clean.total_us * 2.0);
+
+        // Intra-node traffic never touches the degraded link.
+        let intra = Swap::intranode(65536);
+        let a = simulate(&intra, &intra.grid, &m, &SimOptions::default()).unwrap();
+        let b = simulate_perturbed(&intra, &intra.grid, &m, &SimOptions::default(), &p).unwrap();
+        assert_eq!(a.total_us, b.total_us);
+    }
+
+    #[test]
+    fn perturbed_sim_is_deterministic() {
+        let src = Swap::internode(2048);
+        let m = crate::models::dane();
+        let p = Perturb {
+            rank_slowdown: vec![3.0, 1.0],
+            link_multiplier: vec![(0, 1, 5.0)],
+        };
+        let a = simulate_perturbed(&src, &src.grid, &m, &SimOptions::default(), &p).unwrap();
+        let b = simulate_perturbed(&src, &src.grid, &m, &SimOptions::default(), &p).unwrap();
+        assert_eq!(a.total_us, b.total_us);
+        assert_eq!(a.rank_finish, b.rank_finish);
     }
 
     #[test]

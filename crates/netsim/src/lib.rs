@@ -41,7 +41,7 @@ pub mod model;
 pub mod models;
 pub mod report;
 
-pub use engine::{simulate, SimError, SimOptions};
+pub use engine::{simulate, simulate_perturbed, Perturb, SimError, SimOptions};
 pub use model::{CostModel, LevelCost};
 pub use report::SimReport;
 

@@ -8,10 +8,13 @@ use a2a_core::{A2AContext, AlltoallAlgorithm};
 use a2a_sched::{Block, Op};
 use a2a_topo::ProcGrid;
 
+use crate::error::RuntimeError;
 use crate::fabric::Fabric;
 
 /// One rank's view of the world: MPI-shaped point-to-point plus the
-/// all-to-all schedule interpreter.
+/// all-to-all schedule interpreter. Every blocking primitive returns
+/// `Result<_, RuntimeError>`; the first error any rank hits is broadcast
+/// so the whole collective fails together instead of hanging.
 pub struct ThreadComm {
     rank: u32,
     fabric: Arc<Fabric>,
@@ -37,24 +40,36 @@ impl ThreadComm {
         self.fabric.size() as u32
     }
 
-    /// Buffered (eager) send: never blocks.
-    pub fn send(&self, to: u32, tag: u32, data: &[u8]) {
-        assert!(to < self.size(), "send to rank {to} out of range");
-        self.fabric.send(self.rank, to, tag, data.to_vec());
+    /// Latch `err` as the world's failure (first error wins, waking every
+    /// blocked rank) and return the winning error. Use this to fail a
+    /// collective from a rank-local check so peers do not hang.
+    pub fn fail(&self, err: RuntimeError) -> RuntimeError {
+        self.fabric.abort(err)
     }
 
-    /// Blocking matched receive into `buf` (length must match the message).
-    pub fn recv(&self, from: u32, tag: u32, buf: &mut [u8]) {
-        let msg = self.fabric.recv(self.rank, from, tag);
-        assert_eq!(
-            msg.len(),
-            buf.len(),
-            "rank {}: message from {from} tag {tag} has {} bytes, buffer {}",
-            self.rank,
-            msg.len(),
-            buf.len()
-        );
+    /// Buffered (eager) send: never blocks. Fails fast once the world has
+    /// aborted.
+    pub fn send(&self, to: u32, tag: u32, data: &[u8]) -> Result<(), RuntimeError> {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        self.fabric.send(self.rank, to, tag, data.to_vec())
+    }
+
+    /// Blocking matched receive into `buf` (length must match the
+    /// message). Recovers injected drops via retransmit; a hung match is
+    /// bounded by the watchdog.
+    pub fn recv(&self, from: u32, tag: u32, buf: &mut [u8]) -> Result<(), RuntimeError> {
+        let msg = self.fabric.recv(self.rank, from, tag, None)?;
+        if msg.len() != buf.len() {
+            return Err(self.fail(RuntimeError::LengthMismatch {
+                rank: self.rank,
+                from,
+                tag,
+                got: msg.len(),
+                want: buf.len(),
+            }));
+        }
         buf.copy_from_slice(&msg);
+        Ok(())
     }
 
     /// `MPI_Sendrecv`: safe under buffered sends (send first, then recv).
@@ -66,14 +81,14 @@ impl ThreadComm {
         from: u32,
         rtag: u32,
         rbuf: &mut [u8],
-    ) {
-        self.send(to, stag, sdata);
-        self.recv(from, rtag, rbuf);
+    ) -> Result<(), RuntimeError> {
+        self.send(to, stag, sdata)?;
+        self.recv(from, rtag, rbuf)
     }
 
-    /// World barrier.
-    pub fn barrier(&self) {
-        self.fabric.barrier();
+    /// World barrier: abort-aware and watchdog-guarded.
+    pub fn barrier(&self) -> Result<(), RuntimeError> {
+        self.fabric.barrier(self.rank)
     }
 
     /// Execute an all-to-all using `algo`'s compiled schedule: `sbuf` holds
@@ -82,7 +97,7 @@ impl ThreadComm {
     ///
     /// # Panics
     /// Panics if `grid` does not match the world size or the buffers are
-    /// not `n * block_bytes` long.
+    /// not `n * block_bytes` long (caller bugs, not runtime faults).
     pub fn alltoall(
         &self,
         algo: &dyn AlltoallAlgorithm,
@@ -90,7 +105,7 @@ impl ThreadComm {
         block_bytes: u64,
         sbuf: &[u8],
         rbuf: &mut [u8],
-    ) {
+    ) -> Result<(), RuntimeError> {
         let n = grid.world_size();
         assert_eq!(n as u32, self.size(), "grid/world size mismatch");
         let total = n as u64 * block_bytes;
@@ -100,8 +115,9 @@ impl ThreadComm {
         let ctx = A2AContext::new(grid.clone(), block_bytes);
         let sizes = algo.buffers(&ctx, self.rank);
         let prog = algo.build_rank(&ctx, self.rank);
-        let out = self.run_program(&sizes, &prog, sbuf);
+        let out = self.run_program(&sizes, &prog, sbuf)?;
         rbuf.copy_from_slice(&out);
+        Ok(())
     }
 
     /// Execute an allgather: `contribution` is this rank's `block_bytes`
@@ -114,7 +130,7 @@ impl ThreadComm {
         block_bytes: u64,
         contribution: &[u8],
         rbuf: &mut [u8],
-    ) {
+    ) -> Result<(), RuntimeError> {
         let n = grid.world_size();
         assert_eq!(n as u32, self.size(), "grid/world size mismatch");
         assert_eq!(contribution.len() as u64, block_bytes, "contribution size");
@@ -126,12 +142,15 @@ impl ThreadComm {
         let ctx = A2AContext::new(grid.clone(), block_bytes);
         let sizes = algo.buffers(&ctx, self.rank);
         let prog = algo.build_rank(&ctx, self.rank);
-        let out = self.run_program(&sizes, &prog, contribution);
+        let out = self.run_program(&sizes, &prog, contribution)?;
         rbuf.copy_from_slice(&out);
+        Ok(())
     }
 
-    /// Execute a broadcast: on the root, `payload` must be `Some(bytes)`;
-    /// on return `rbuf` holds the payload on every rank.
+    /// Execute a broadcast: on the root, `payload` must be `Some(bytes)`
+    /// (a missing payload is [`RuntimeError::MissingRootPayload`], failing
+    /// the collective on every rank); on return `rbuf` holds the payload
+    /// on every rank.
     pub fn bcast(
         &self,
         algo: &dyn a2a_core::collectives::BcastAlgorithm,
@@ -139,29 +158,35 @@ impl ThreadComm {
         root: u32,
         payload: Option<&[u8]>,
         rbuf: &mut [u8],
-    ) {
+    ) -> Result<(), RuntimeError> {
         assert_eq!(grid.world_size() as u32, self.size(), "grid/world size");
         let len = rbuf.len() as u64;
         let ctx = A2AContext::new(grid.clone(), len);
         let sizes = algo.buffers(&ctx, self.rank, root);
         let prog = algo.build_rank(&ctx, self.rank, root);
         let sbuf: &[u8] = if self.rank == root {
-            payload.expect("root must supply the payload")
+            match payload {
+                Some(p) => p,
+                None => return Err(self.fail(RuntimeError::MissingRootPayload { root })),
+            }
         } else {
             &[]
         };
-        let out = self.run_program(&sizes, &prog, sbuf);
+        let out = self.run_program(&sizes, &prog, sbuf)?;
         rbuf.copy_from_slice(&out);
+        Ok(())
     }
 
     /// Interpret one rank's compiled program with real buffers: `sbuf_init`
-    /// seeds buffer 0; buffer 1 (`RBUF`) is returned.
+    /// seeds buffer 0; buffer 1 (`RBUF`) is returned. The op index of each
+    /// blocking receive is threaded into the fabric so watchdog dumps can
+    /// name the exact schedule position a rank is stuck at.
     fn run_program(
         &self,
         sizes: &[u64],
         prog: &a2a_sched::RankProgram,
         sbuf_init: &[u8],
-    ) -> Vec<u8> {
+    ) -> Result<Vec<u8>, RuntimeError> {
         let mut bufs: Vec<Vec<u8>> = sizes.iter().map(|&s| vec![0u8; s as usize]).collect();
         assert!(
             bufs[0].len() >= sbuf_init.len(),
@@ -172,12 +197,12 @@ impl ThreadComm {
 
         // Pending receive requests: req id -> (from, tag, destination).
         let mut pending: HashMap<u32, (u32, u32, Block)> = HashMap::new();
-        for top in &prog.ops {
+        for (op_index, top) in prog.ops.iter().enumerate() {
             match top.op {
                 Op::Isend { to, block, tag, .. } => {
                     let data = bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
                         .to_vec();
-                    self.fabric.send(self.rank, to, tag, data);
+                    self.fabric.send(self.rank, to, tag, data)?;
                 }
                 Op::Irecv {
                     from,
@@ -192,13 +217,16 @@ impl ThreadComm {
                     // order (request ids are allocated in program order).
                     for req in first_req..first_req + count {
                         if let Some((from, tag, block)) = pending.remove(&req) {
-                            let msg = self.fabric.recv(self.rank, from, tag);
-                            assert_eq!(
-                                msg.len() as u64,
-                                block.len,
-                                "rank {}: schedule length mismatch from {from} tag {tag}",
-                                self.rank
-                            );
+                            let msg = self.fabric.recv(self.rank, from, tag, Some(op_index))?;
+                            if msg.len() as u64 != block.len {
+                                return Err(self.fail(RuntimeError::LengthMismatch {
+                                    rank: self.rank,
+                                    from,
+                                    tag,
+                                    got: msg.len(),
+                                    want: block.len as usize,
+                                }));
+                            }
                             bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
                                 .copy_from_slice(&msg);
                         }
@@ -218,7 +246,7 @@ impl ThreadComm {
             self.rank,
             pending.len()
         );
-        bufs.swap_remove(1)
+        Ok(bufs.swap_remove(1))
     }
 
     /// Barrier-synchronized, timed all-to-all (for benchmarking).
@@ -229,20 +257,20 @@ impl ThreadComm {
         block_bytes: u64,
         sbuf: &[u8],
         rbuf: &mut [u8],
-    ) -> AlltoallRun {
-        self.barrier();
+    ) -> Result<AlltoallRun, RuntimeError> {
+        self.barrier()?;
         let start = Instant::now();
-        self.alltoall(algo, grid, block_bytes, sbuf, rbuf);
+        self.alltoall(algo, grid, block_bytes, sbuf, rbuf)?;
         let elapsed = start.elapsed();
-        self.barrier();
-        AlltoallRun { elapsed }
+        self.barrier()?;
+        Ok(AlltoallRun { elapsed })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ThreadWorld;
+    use crate::{ThreadWorld, WorldOptions};
     use a2a_core::{
         BruckAlltoall, ExchangeKind, HierarchicalAlltoall, MpichShmAlltoall,
         MultileaderNodeAwareAlltoall, NodeAwareAlltoall, NonblockingAlltoall, PairwiseAlltoall,
@@ -254,14 +282,19 @@ mod tests {
         let n = grid.world_size();
         let total = (n as u64 * s) as usize;
         let grid = &grid;
-        ThreadWorld::run(n, move |comm| {
+        ThreadWorld::run_with(n, WorldOptions::default(), move |comm| {
             let mut sbuf = vec![0u8; total];
             let mut rbuf = vec![0u8; total];
             fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
-            comm.alltoall(algo, grid, s, &sbuf, &mut rbuf);
-            check_alltoall_rbuf(comm.rank(), n, s, &rbuf)
-                .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
-        });
+            comm.alltoall(algo, grid, s, &sbuf, &mut rbuf)?;
+            check_alltoall_rbuf(comm.rank(), n, s, &rbuf).map_err(|e| {
+                comm.fail(RuntimeError::VerificationFailed {
+                    rank: comm.rank(),
+                    detail: e.to_string(),
+                })
+            })
+        })
+        .unwrap();
     }
 
     fn grid(nodes: usize) -> ProcGrid {
@@ -272,15 +305,15 @@ mod tests {
     fn point_to_point_roundtrip() {
         ThreadWorld::run(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, b"hello");
+                comm.send(1, 1, b"hello").unwrap();
                 let mut buf = [0u8; 5];
-                comm.recv(1, 2, &mut buf);
+                comm.recv(1, 2, &mut buf).unwrap();
                 assert_eq!(&buf, b"world");
             } else {
                 let mut buf = [0u8; 5];
-                comm.recv(0, 1, &mut buf);
+                comm.recv(0, 1, &mut buf).unwrap();
                 assert_eq!(&buf, b"hello");
-                comm.send(0, 2, b"world");
+                comm.send(0, 2, b"world").unwrap();
             }
         });
     }
@@ -292,10 +325,58 @@ mod tests {
             let right = (comm.rank() + 1) % n;
             let left = (comm.rank() + n - 1) % n;
             let mut got = [0u8; 1];
-            comm.sendrecv(right, 0, &[comm.rank() as u8], left, 0, &mut got);
+            comm.sendrecv(right, 0, &[comm.rank() as u8], left, 0, &mut got)
+                .unwrap();
             got[0]
         });
         assert_eq!(vals, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn length_mismatch_is_typed_not_a_panic() {
+        let res: Result<Vec<()>, RuntimeError> =
+            ThreadWorld::run_with(2, WorldOptions::default(), |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, &[1, 2, 3])?;
+                    Ok(())
+                } else {
+                    let mut buf = [0u8; 5]; // wrong size
+                    comm.recv(0, 0, &mut buf)?;
+                    Ok(())
+                }
+            });
+        assert_eq!(
+            res.unwrap_err(),
+            RuntimeError::LengthMismatch {
+                rank: 1,
+                from: 0,
+                tag: 0,
+                got: 3,
+                want: 5
+            }
+        );
+    }
+
+    #[test]
+    fn bcast_missing_root_payload_is_typed() {
+        let res: Result<Vec<()>, RuntimeError> =
+            ThreadWorld::run_with(4, WorldOptions::default(), |comm| {
+                let g = ProcGrid::new(Machine::custom("t", 1, 2, 1, 2));
+                let mut rbuf = vec![0u8; 8];
+                // Nobody supplies the payload, including the root.
+                comm.bcast(
+                    &a2a_core::collectives::BinomialBcast,
+                    &g,
+                    1,
+                    None,
+                    &mut rbuf,
+                )?;
+                Ok(())
+            });
+        assert_eq!(
+            res.unwrap_err(),
+            RuntimeError::MissingRootPayload { root: 1 }
+        );
     }
 
     #[test]
@@ -362,7 +443,9 @@ mod tests {
             let mut sbuf = vec![0u8; total];
             let mut rbuf = vec![0u8; total];
             fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
-            let run = comm.timed_alltoall(&PairwiseAlltoall, gref, s, &sbuf, &mut rbuf);
+            let run = comm
+                .timed_alltoall(&PairwiseAlltoall, gref, s, &sbuf, &mut rbuf)
+                .unwrap();
             check_alltoall_rbuf(comm.rank(), n, s, &rbuf).unwrap();
             run.elapsed
         });

@@ -1,0 +1,165 @@
+//! Typed failures for the threaded runtime.
+//!
+//! Every blocking primitive in the fabric returns `Result<_, RuntimeError>`
+//! instead of panicking or hanging: a lost message surfaces as
+//! [`RuntimeError::MessageDropped`] / [`RuntimeError::RetriesExhausted`], a
+//! silent hang as [`RuntimeError::WatchdogTimeout`] with per-rank
+//! diagnostics mirroring `a2a_sched::ExecError::Deadlock`, and the first
+//! error any rank hits is broadcast so one failed rank fails the collective
+//! everywhere instead of deadlocking the world.
+
+use std::time::Duration;
+
+/// What a rank was blocked on when the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedKind {
+    /// Waiting for a matched message.
+    Recv { peer: u32, tag: u32 },
+    /// Waiting at the world barrier.
+    Barrier,
+}
+
+/// One rank's blocked state, reported by [`RuntimeError::WatchdogTimeout`].
+/// Mirrors the `(rank, program counter)` diagnostics of
+/// `a2a_sched::ExecError::Deadlock`, extended with the peer and tag the
+/// rank was waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedOp {
+    pub rank: u32,
+    /// Index of the schedule op being executed, when the block happened
+    /// inside a compiled program (`None` for ad-hoc point-to-point).
+    pub op_index: Option<usize>,
+    pub kind: BlockedKind,
+}
+
+impl std::fmt::Display for BlockedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {}", self.rank)?;
+        if let Some(i) = self.op_index {
+            write!(f, " at op {i}")?;
+        }
+        match self.kind {
+            BlockedKind::Recv { peer, tag } => {
+                write!(f, " blocked in recv(from={peer}, tag={tag})")
+            }
+            BlockedKind::Barrier => write!(f, " blocked at barrier"),
+        }
+    }
+}
+
+/// A failure of the threaded runtime. Cloneable so the first error can be
+/// rebroadcast verbatim to every other rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// No rank made progress for `deadline`; `blocked` lists every rank
+    /// that was parked in the fabric when the watchdog fired.
+    WatchdogTimeout {
+        deadline: Duration,
+        blocked: Vec<BlockedOp>,
+    },
+    /// A message was lost in flight and retransmission is disabled.
+    MessageDropped {
+        from: u32,
+        to: u32,
+        tag: u32,
+        seq: u64,
+    },
+    /// A message stayed lost after the configured retransmit budget.
+    RetriesExhausted {
+        from: u32,
+        to: u32,
+        tag: u32,
+        seq: u64,
+        attempts: u32,
+    },
+    /// A delivered payload did not match the sender's pristine copy and
+    /// retransmission is disabled.
+    CorruptPayload {
+        from: u32,
+        to: u32,
+        tag: u32,
+        seq: u64,
+    },
+    /// A received message's length differed from the posted buffer.
+    LengthMismatch {
+        rank: u32,
+        from: u32,
+        tag: u32,
+        got: usize,
+        want: usize,
+    },
+    /// `bcast` was called on the root without a payload.
+    MissingRootPayload { root: u32 },
+    /// A rank's body panicked; the world was torn down.
+    RankPanicked { rank: u32 },
+    /// The fault plan marked this rank dead before the collective started.
+    DeadRank { rank: u32 },
+    /// Messages were sent but never received (counted after all ranks
+    /// returned successfully) — the threaded analogue of
+    /// `ExecError::UnconsumedMessages`.
+    UnconsumedMessages { count: usize },
+    /// A rank-level check failed (e.g. a transpose verification in a test
+    /// body); carries the rank and a human-readable detail string.
+    VerificationFailed { rank: u32, detail: String },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::WatchdogTimeout { deadline, blocked } => {
+                write!(
+                    f,
+                    "watchdog: no progress for {deadline:?}; {} rank(s) blocked:",
+                    blocked.len()
+                )?;
+                for b in blocked {
+                    write!(f, "\n  {b}")?;
+                }
+                Ok(())
+            }
+            RuntimeError::MessageDropped { from, to, tag, seq } => write!(
+                f,
+                "message {from}->{to} tag {tag} seq {seq} was dropped (retransmit disabled)"
+            ),
+            RuntimeError::RetriesExhausted {
+                from,
+                to,
+                tag,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "message {from}->{to} tag {tag} seq {seq} still lost after {attempts} retransmit(s)"
+            ),
+            RuntimeError::CorruptPayload { from, to, tag, seq } => write!(
+                f,
+                "message {from}->{to} tag {tag} seq {seq} corrupted in flight (retransmit disabled)"
+            ),
+            RuntimeError::LengthMismatch {
+                rank,
+                from,
+                tag,
+                got,
+                want,
+            } => write!(
+                f,
+                "rank {rank}: message from {from} tag {tag} has {got} bytes, buffer {want}"
+            ),
+            RuntimeError::MissingRootPayload { root } => {
+                write!(f, "bcast root {root} did not supply a payload")
+            }
+            RuntimeError::RankPanicked { rank } => write!(f, "rank {rank} panicked"),
+            RuntimeError::DeadRank { rank } => {
+                write!(f, "rank {rank} is dead (fault plan) and cannot participate")
+            }
+            RuntimeError::UnconsumedMessages { count } => {
+                write!(f, "{count} message(s) sent but never received")
+            }
+            RuntimeError::VerificationFailed { rank, detail } => {
+                write!(f, "rank {rank}: verification failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

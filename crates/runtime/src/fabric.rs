@@ -1,14 +1,108 @@
 //! The shared message fabric: per-rank mailboxes with `(source, tag)`
-//! matching, FIFO within a key, and a world barrier.
+//! matching and FIFO delivery within a key, hardened for fault injection.
+//!
+//! Every packet carries a per-`(source, tag)` sequence number assigned
+//! under the destination mailbox lock, so delivery order and fault fate
+//! are deterministic regardless of thread interleaving. When a
+//! [`FaultPlan`] is attached:
+//!
+//! * the sender keeps a pristine copy of each packet in a transmit log
+//!   until it is delivered (the **ack window**);
+//! * injected faults (drop / duplicate / corrupt) perturb only the visible
+//!   queue, never the log;
+//! * the receiver detects a missing or corrupted head-of-line packet
+//!   (expected seq absent from the queue but present in the log) and
+//!   **retransmits** it from the log with exponential backoff, re-rolling
+//!   the fault dice with an incremented attempt counter, up to
+//!   [`WorldOptions::max_retransmits`] times.
+//!
+//! All blocking waits are `Condvar::wait_timeout` slices feeding a
+//! watchdog: if the world-wide progress counter stalls for longer than
+//! [`WorldOptions::watchdog`], the waiter snapshots every rank's blocked
+//! state and aborts the world with [`RuntimeError::WatchdogTimeout`].
+//! Mutex poisoning is recovered via [`PoisonError::into_inner`] — a
+//! panicking peer must not cascade into a second panic here.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Barrier, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use a2a_faults::FaultPlan;
+use a2a_sched::MessageFault;
+
+use crate::error::{BlockedKind, BlockedOp, RuntimeError};
+
+/// Resilience knobs for a [`Fabric`] / `ThreadWorld`.
+#[derive(Clone)]
+pub struct WorldOptions {
+    /// Abort the world if no rank makes progress for this long.
+    pub watchdog: Duration,
+    /// Retransmit budget per lost packet (0 disables recovery: a lost
+    /// packet becomes an immediate [`RuntimeError::MessageDropped`]).
+    pub max_retransmits: u32,
+    /// Base delay before the first retransmit; doubles per attempt
+    /// (capped) so a flapping link is not hammered.
+    pub backoff: Duration,
+    /// Optional seeded fault plan perturbing every transfer.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for WorldOptions {
+    fn default() -> Self {
+        WorldOptions {
+            watchdog: Duration::from_secs(2),
+            max_retransmits: 16,
+            backoff: Duration::from_micros(50),
+            faults: None,
+        }
+    }
+}
+
+impl WorldOptions {
+    /// Shrink the watchdog deadline (tests probing hangs want it short).
+    pub fn with_watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = deadline;
+        self
+    }
+
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    pub fn with_max_retransmits(mut self, n: u32) -> Self {
+        self.max_retransmits = n;
+        self
+    }
+}
 
 type Key = (u32, u32); // (source rank, tag)
 
+struct Packet {
+    seq: u64,
+    data: Vec<u8>,
+}
+
+/// One `(source, tag)` stream into a mailbox.
+#[derive(Default)]
+struct Channel {
+    /// Next sequence number the sender will assign.
+    next_seq: u64,
+    /// Receiver watermark: all seqs below this were consumed.
+    delivered: u64,
+    /// Retransmit attempts spent on the current head-of-line seq.
+    head_attempts: u32,
+    /// Visible, possibly fault-perturbed in-flight packets.
+    queue: VecDeque<Packet>,
+    /// Pristine copies of sent-but-undelivered packets (ack window);
+    /// maintained only when a fault plan is attached.
+    log: VecDeque<(u64, Vec<u8>)>,
+}
+
 #[derive(Default)]
 struct MailState {
-    queues: HashMap<Key, VecDeque<Vec<u8>>>,
+    chans: HashMap<Key, Channel>,
 }
 
 struct Mailbox {
@@ -16,15 +110,69 @@ struct Mailbox {
     arrived: Condvar,
 }
 
-/// The world's communication state: one mailbox per rank plus a barrier.
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+/// Recover a possibly poisoned lock: a peer that panicked while holding a
+/// mailbox must not turn every other rank's error into a panic cascade.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Watches the fabric-wide progress counter from one blocked waiter.
+struct ProgressWatch {
+    last: u64,
+    since: Instant,
+}
+
+impl ProgressWatch {
+    fn new(f: &Fabric) -> Self {
+        ProgressWatch {
+            last: f.progress.load(Ordering::SeqCst),
+            since: Instant::now(),
+        }
+    }
+
+    /// `None` if the world progressed since the last check (timer resets);
+    /// otherwise how long it has been stalled.
+    fn stalled_for(&mut self, f: &Fabric) -> Option<Duration> {
+        let now = f.progress.load(Ordering::SeqCst);
+        if now != self.last {
+            self.last = now;
+            self.since = Instant::now();
+            None
+        } else {
+            Some(self.since.elapsed())
+        }
+    }
+}
+
+/// The world's communication state: one mailbox per rank, a barrier, the
+/// abort latch, and the watchdog bookkeeping.
 pub struct Fabric {
     boxes: Vec<Mailbox>,
-    barrier: Barrier,
     n: usize,
+    opts: WorldOptions,
+    /// Bumped on every send, delivery, retransmit, and barrier release;
+    /// the watchdog fires when this stalls.
+    progress: AtomicU64,
+    aborted: AtomicBool,
+    /// First error wins; rebroadcast verbatim to every rank.
+    abort: Mutex<Option<RuntimeError>>,
+    /// rank -> what it is currently blocked on (watchdog diagnostics).
+    blocked: Mutex<HashMap<u32, BlockedOp>>,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
 }
 
 impl Fabric {
     pub fn new(n: usize) -> Self {
+        Self::with_options(n, WorldOptions::default())
+    }
+
+    pub fn with_options(n: usize, opts: WorldOptions) -> Self {
         Fabric {
             boxes: (0..n)
                 .map(|_| Mailbox {
@@ -32,8 +180,17 @@ impl Fabric {
                     arrived: Condvar::new(),
                 })
                 .collect(),
-            barrier: Barrier::new(n),
             n,
+            opts,
+            progress: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+            abort: Mutex::new(None),
+            blocked: Mutex::new(HashMap::new()),
+            barrier: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
+            barrier_cv: Condvar::new(),
         }
     }
 
@@ -41,70 +198,402 @@ impl Fabric {
         self.n
     }
 
-    /// Buffered send: never blocks.
-    pub fn send(&self, from: u32, to: u32, tag: u32, data: Vec<u8>) {
-        let mbox = &self.boxes[to as usize];
-        let mut st = mbox.state.lock().expect("mailbox poisoned");
-        st.queues.entry((from, tag)).or_default().push_back(data);
-        mbox.arrived.notify_all();
+    pub fn options(&self) -> &WorldOptions {
+        &self.opts
     }
 
-    /// Blocking matched receive: waits for the next message from `from`
-    /// with `tag`, FIFO within that key.
-    pub fn recv(&self, me: u32, from: u32, tag: u32) -> Vec<u8> {
-        let mbox = &self.boxes[me as usize];
-        let mut st = mbox.state.lock().expect("mailbox poisoned");
-        loop {
-            if let Some(q) = st.queues.get_mut(&(from, tag)) {
-                if let Some(msg) = q.pop_front() {
-                    return msg;
-                }
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.opts.faults.as_ref()
+    }
+
+    /// Latch `err` as the world's failure (first error wins), wake every
+    /// blocked rank, and return the winning error.
+    pub fn abort(&self, err: RuntimeError) -> RuntimeError {
+        let winner = {
+            let mut slot = lock_recover(&self.abort);
+            if slot.is_none() {
+                *slot = Some(err);
             }
-            st = mbox.arrived.wait(st).expect("mailbox poisoned");
+            slot.clone().unwrap()
+        };
+        self.aborted.store(true, Ordering::SeqCst);
+        // Waiters use bounded wait slices, so a lockless notify cannot
+        // strand anyone: a missed wakeup is re-checked within one slice.
+        for b in &self.boxes {
+            b.arrived.notify_all();
+        }
+        self.barrier_cv.notify_all();
+        winner
+    }
+
+    /// The world's failure, if any rank has aborted.
+    pub fn abort_error(&self) -> Option<RuntimeError> {
+        if self.aborted.load(Ordering::SeqCst) {
+            lock_recover(&self.abort).clone()
+        } else {
+            None
         }
     }
 
-    /// Non-blocking probe-and-receive.
-    pub fn try_recv(&self, me: u32, from: u32, tag: u32) -> Option<Vec<u8>> {
-        let mbox = &self.boxes[me as usize];
-        let mut st = mbox.state.lock().expect("mailbox poisoned");
-        st.queues.get_mut(&(from, tag)).and_then(|q| q.pop_front())
+    fn bump_progress(&self) {
+        self.progress.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// World barrier.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    fn register_blocked(&self, op: BlockedOp) {
+        lock_recover(&self.blocked).insert(op.rank, op);
     }
+
+    fn unregister_blocked(&self, rank: u32) {
+        lock_recover(&self.blocked).remove(&rank);
+    }
+
+    /// Snapshot every blocked rank and abort with `WatchdogTimeout`.
+    fn fire_watchdog(&self) -> RuntimeError {
+        let mut blocked: Vec<BlockedOp> = lock_recover(&self.blocked).values().copied().collect();
+        blocked.sort_by_key(|b| b.rank);
+        self.abort(RuntimeError::WatchdogTimeout {
+            deadline: self.opts.watchdog,
+            blocked,
+        })
+    }
+
+    /// The condvar slice between watchdog checks: fine-grained enough to
+    /// notice aborts promptly, coarse enough not to spin.
+    fn wait_slice(&self) -> Duration {
+        (self.opts.watchdog / 8).max(Duration::from_millis(1))
+    }
+
+    /// Apply `fault` to a packet and enqueue the surviving copies.
+    fn enqueue_faulty(chan: &mut Channel, seq: u64, mut data: Vec<u8>, fault: MessageFault) {
+        if fault.drop {
+            return;
+        }
+        if let Some(hint) = fault.corrupt {
+            if !data.is_empty() {
+                let idx = (hint % data.len() as u64) as usize;
+                data[idx] ^= 0xA5;
+            }
+        }
+        if fault.duplicate {
+            chan.queue.push_back(Packet {
+                seq,
+                data: data.clone(),
+            });
+        }
+        chan.queue.push_back(Packet { seq, data });
+    }
+
+    /// Buffered send: never blocks. Fails fast if the world has aborted.
+    pub fn send(&self, from: u32, to: u32, tag: u32, data: Vec<u8>) -> Result<(), RuntimeError> {
+        if let Some(e) = self.abort_error() {
+            return Err(e);
+        }
+        let mbox = &self.boxes[to as usize];
+        {
+            let mut st = lock_recover(&mbox.state);
+            let chan = st.chans.entry((from, tag)).or_default();
+            let seq = chan.next_seq;
+            chan.next_seq += 1;
+            if let Some(plan) = &self.opts.faults {
+                chan.log.push_back((seq, data.clone()));
+                let fault = plan.message_fault_attempt(from, to, tag, seq, 0);
+                Self::enqueue_faulty(chan, seq, data, fault);
+            } else {
+                chan.queue.push_back(Packet { seq, data });
+            }
+        }
+        self.bump_progress();
+        mbox.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Pop the head-of-line packet for `(from, tag)` if it is deliverable:
+    /// stale duplicates are discarded, and under a fault plan the payload
+    /// is checked against the sender's pristine log copy. Returns
+    /// `Ok(Some(bytes))` on delivery, `Ok(None)` if nothing deliverable
+    /// yet, `Err` on a detected-corrupt packet with retransmit disabled.
+    fn take_deliverable(
+        &self,
+        chan: &mut Channel,
+        from: u32,
+        me: u32,
+        tag: u32,
+    ) -> Result<Option<Vec<u8>>, RuntimeError> {
+        // Drop duplicates of already-delivered packets wherever they sit.
+        chan.queue.retain(|p| p.seq >= chan.delivered);
+        while let Some(idx) = chan.queue.iter().position(|p| p.seq == chan.delivered) {
+            let p = chan.queue.remove(idx).expect("index just found");
+            if self.opts.faults.is_some() {
+                let pristine = chan
+                    .log
+                    .iter()
+                    .find(|(s, _)| *s == p.seq)
+                    .map(|(_, d)| d.clone());
+                if let Some(orig) = pristine {
+                    if orig != p.data {
+                        // Corrupted in flight: discard this copy; a clean
+                        // duplicate or a retransmit must supply it.
+                        if self.opts.max_retransmits == 0 {
+                            return Err(RuntimeError::CorruptPayload {
+                                from,
+                                to: me,
+                                tag,
+                                seq: p.seq,
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            chan.delivered = p.seq + 1;
+            chan.head_attempts = 0;
+            while chan.log.front().is_some_and(|(s, _)| *s < chan.delivered) {
+                chan.log.pop_front();
+            }
+            return Ok(Some(p.data));
+        }
+        Ok(None)
+    }
+
+    /// Blocking matched receive with retransmit recovery and watchdog.
+    /// `op_index` labels the schedule op for watchdog diagnostics.
+    pub fn recv(
+        &self,
+        me: u32,
+        from: u32,
+        tag: u32,
+        op_index: Option<usize>,
+    ) -> Result<Vec<u8>, RuntimeError> {
+        let mbox = &self.boxes[me as usize];
+        let mut st = lock_recover(&mbox.state);
+        let mut watch = ProgressWatch::new(self);
+        let mut registered = false;
+        let result = loop {
+            if let Some(e) = self.abort_error() {
+                break Err(e);
+            }
+            let chan = st.chans.entry((from, tag)).or_default();
+            match self.take_deliverable(chan, from, me, tag) {
+                Err(e) => break Err(e),
+                Ok(Some(data)) => break Ok(data),
+                Ok(None) => {}
+            }
+
+            // Sent but not in the queue => lost in flight: retransmit from
+            // the pristine log with backoff, re-rolling the fault dice.
+            let lost = self
+                .opts
+                .faults
+                .as_ref()
+                .map(|_| chan.log.iter().any(|(s, _)| *s == chan.delivered))
+                .unwrap_or(false);
+            if lost {
+                let seq = chan.delivered;
+                if self.opts.max_retransmits == 0 {
+                    break Err(RuntimeError::MessageDropped {
+                        from,
+                        to: me,
+                        tag,
+                        seq,
+                    });
+                }
+                if chan.head_attempts >= self.opts.max_retransmits {
+                    break Err(RuntimeError::RetriesExhausted {
+                        from,
+                        to: me,
+                        tag,
+                        seq,
+                        attempts: chan.head_attempts,
+                    });
+                }
+                chan.head_attempts += 1;
+                let attempt = chan.head_attempts;
+                let pristine = chan
+                    .log
+                    .iter()
+                    .find(|(s, _)| *s == seq)
+                    .map(|(_, d)| d.clone())
+                    .expect("lost implies logged");
+                let plan = Arc::clone(self.opts.faults.as_ref().expect("lost implies faults"));
+                // Exponential backoff, lock released while sleeping.
+                let delay = backoff_delay(self.opts.backoff, attempt);
+                let (g, _) = mbox
+                    .arrived
+                    .wait_timeout(st, delay)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = g;
+                if let Some(e) = self.abort_error() {
+                    break Err(e);
+                }
+                let chan = st.chans.entry((from, tag)).or_default();
+                if chan.delivered == seq {
+                    let fault = plan.message_fault_attempt(from, me, tag, seq, attempt);
+                    Self::enqueue_faulty(chan, seq, pristine, fault);
+                    self.bump_progress();
+                }
+                continue;
+            }
+
+            // Genuinely not sent yet: park with the watchdog running.
+            if !registered {
+                self.register_blocked(BlockedOp {
+                    rank: me,
+                    op_index,
+                    kind: BlockedKind::Recv { peer: from, tag },
+                });
+                registered = true;
+            }
+            let slice = self.wait_slice();
+            let (g, _) = mbox
+                .arrived
+                .wait_timeout(st, slice)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+            if let Some(stalled) = watch.stalled_for(self) {
+                if stalled >= self.opts.watchdog {
+                    drop(st);
+                    if registered {
+                        // Leave our entry visible to the snapshot, then
+                        // clear it after firing.
+                        let err = self.fire_watchdog();
+                        self.unregister_blocked(me);
+                        return Err(err);
+                    }
+                    let err = self.fire_watchdog();
+                    return Err(err);
+                }
+            }
+        };
+        drop(st);
+        if registered {
+            self.unregister_blocked(me);
+        }
+        match result {
+            Ok(data) => {
+                self.bump_progress();
+                Ok(data)
+            }
+            // Local delivery failures are world failures: latch and
+            // rebroadcast so peers do not hang waiting for this rank.
+            Err(e) => Err(self.abort(e)),
+        }
+    }
+
+    /// Non-blocking probe-and-receive. Never retransmits; a lost head
+    /// simply reads as "nothing available yet".
+    pub fn try_recv(&self, me: u32, from: u32, tag: u32) -> Option<Vec<u8>> {
+        let mbox = &self.boxes[me as usize];
+        let mut st = lock_recover(&mbox.state);
+        let chan = st.chans.entry((from, tag)).or_default();
+        self.take_deliverable(chan, from, me, tag)
+            .unwrap_or_default()
+    }
+
+    /// World barrier: abort-aware (a dead or failed rank releases everyone
+    /// with the world's error) and watchdog-guarded.
+    pub fn barrier(&self, me: u32) -> Result<(), RuntimeError> {
+        if let Some(e) = self.abort_error() {
+            return Err(e);
+        }
+        let mut st = lock_recover(&self.barrier);
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation += 1;
+            drop(st);
+            self.bump_progress();
+            self.barrier_cv.notify_all();
+            return Ok(());
+        }
+        let mut watch = ProgressWatch::new(self);
+        self.register_blocked(BlockedOp {
+            rank: me,
+            op_index: None,
+            kind: BlockedKind::Barrier,
+        });
+        let result = loop {
+            let slice = self.wait_slice();
+            let (g, _) = self
+                .barrier_cv
+                .wait_timeout(st, slice)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+            if st.generation != gen {
+                break Ok(());
+            }
+            if let Some(e) = self.abort_error() {
+                break Err(e);
+            }
+            if let Some(stalled) = watch.stalled_for(self) {
+                if stalled >= self.opts.watchdog {
+                    drop(st);
+                    let err = self.fire_watchdog();
+                    self.unregister_blocked(me);
+                    return Err(err);
+                }
+            }
+        };
+        drop(st);
+        self.unregister_blocked(me);
+        result
+    }
+
+    /// Packets sent but never received (stale duplicates excluded): the
+    /// world-teardown analogue of `ExecError::UnconsumedMessages`.
+    pub fn undelivered(&self) -> usize {
+        self.boxes
+            .iter()
+            .map(|b| {
+                let st = lock_recover(&b.state);
+                st.chans
+                    .values()
+                    .map(|c| c.queue.iter().filter(|p| p.seq >= c.delivered).count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// `backoff * 2^(attempt-1)`, capped so a long retry train cannot outlast
+/// the watchdog.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    let shift = (attempt.saturating_sub(1)).min(8);
+    (base.saturating_mul(1u32 << shift)).min(Duration::from_millis(20))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use a2a_faults::{FaultPlan, FaultSpec};
+
+    fn recv_ok(f: &Fabric, me: u32, from: u32, tag: u32) -> Vec<u8> {
+        f.recv(me, from, tag, None).unwrap()
+    }
 
     #[test]
     fn fifo_per_key() {
         let f = Fabric::new(2);
-        f.send(0, 1, 5, vec![1]);
-        f.send(0, 1, 5, vec![2]);
-        assert_eq!(f.recv(1, 0, 5), vec![1]);
-        assert_eq!(f.recv(1, 0, 5), vec![2]);
+        f.send(0, 1, 5, vec![1]).unwrap();
+        f.send(0, 1, 5, vec![2]).unwrap();
+        assert_eq!(recv_ok(&f, 1, 0, 5), vec![1]);
+        assert_eq!(recv_ok(&f, 1, 0, 5), vec![2]);
     }
 
     #[test]
     fn tags_do_not_cross_match() {
         let f = Fabric::new(2);
-        f.send(0, 1, 7, vec![7]);
-        f.send(0, 1, 8, vec![8]);
-        assert_eq!(f.recv(1, 0, 8), vec![8]);
-        assert_eq!(f.recv(1, 0, 7), vec![7]);
+        f.send(0, 1, 7, vec![7]).unwrap();
+        f.send(0, 1, 8, vec![8]).unwrap();
+        assert_eq!(recv_ok(&f, 1, 0, 8), vec![8]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![7]);
     }
 
     #[test]
     fn try_recv_nonblocking() {
         let f = Fabric::new(2);
         assert!(f.try_recv(1, 0, 0).is_none());
-        f.send(0, 1, 0, vec![9]);
+        f.send(0, 1, 0, vec![9]).unwrap();
         assert_eq!(f.try_recv(1, 0, 0), Some(vec![9]));
     }
 
@@ -112,9 +601,133 @@ mod tests {
     fn recv_wakes_on_late_send() {
         let f = Arc::new(Fabric::new(2));
         let f2 = Arc::clone(&f);
-        let h = std::thread::spawn(move || f2.recv(1, 0, 3));
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        f.send(0, 1, 3, vec![42]);
-        assert_eq!(h.join().unwrap(), vec![42]);
+        let h = std::thread::spawn(move || f2.recv(1, 0, 3, None));
+        std::thread::sleep(Duration::from_millis(20));
+        f.send(0, 1, 3, vec![42]).unwrap();
+        assert_eq!(h.join().unwrap().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn watchdog_fires_on_never_sent_message() {
+        let opts = WorldOptions::default().with_watchdog(Duration::from_millis(60));
+        let f = Fabric::with_options(2, opts);
+        let err = f.recv(1, 0, 9, Some(4)).unwrap_err();
+        match err {
+            RuntimeError::WatchdogTimeout { blocked, .. } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].rank, 1);
+                assert_eq!(blocked[0].op_index, Some(4));
+                assert_eq!(blocked[0].kind, BlockedKind::Recv { peer: 0, tag: 9 });
+            }
+            other => panic!("expected WatchdogTimeout, got {other}"),
+        }
+        // The failure latched: subsequent sends fail fast.
+        assert!(f.send(0, 1, 0, vec![1]).is_err());
+    }
+
+    #[test]
+    fn retransmit_recovers_heavy_drops() {
+        let plan = Arc::new(FaultPlan::new(0xD20B, 2, FaultSpec::drops(0.5)));
+        let f = Fabric::with_options(2, WorldOptions::default().with_faults(plan));
+        for i in 0..100u8 {
+            f.send(0, 1, 3, vec![i, i.wrapping_mul(7)]).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(recv_ok(&f, 1, 0, 3), vec![i, i.wrapping_mul(7)]);
+        }
+        assert_eq!(f.undelivered(), 0);
+    }
+
+    #[test]
+    fn drop_without_retransmit_is_a_typed_error() {
+        let plan = Arc::new(FaultPlan::new(1, 2, FaultSpec::drops(1.0)));
+        let f = Fabric::with_options(
+            2,
+            WorldOptions::default()
+                .with_faults(plan)
+                .with_max_retransmits(0),
+        );
+        f.send(0, 1, 0, vec![1, 2, 3]).unwrap();
+        let err = f.recv(1, 0, 0, None).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::MessageDropped {
+                from: 0,
+                to: 1,
+                tag: 0,
+                seq: 0
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_recovered_by_retransmit() {
+        let spec = FaultSpec::none().with_corrupt(0.5);
+        let plan = Arc::new(FaultPlan::new(0xC0DE, 2, spec));
+        let f = Fabric::with_options(2, WorldOptions::default().with_faults(plan));
+        for i in 0..50u8 {
+            f.send(0, 1, 1, vec![i; 16]).unwrap();
+        }
+        for i in 0..50u8 {
+            assert_eq!(recv_ok(&f, 1, 0, 1), vec![i; 16]);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let spec = FaultSpec::none().with_duplicate(1.0);
+        let plan = Arc::new(FaultPlan::new(7, 2, spec));
+        let f = Fabric::with_options(2, WorldOptions::default().with_faults(plan));
+        f.send(0, 1, 0, vec![1]).unwrap();
+        f.send(0, 1, 0, vec![2]).unwrap();
+        assert_eq!(recv_ok(&f, 1, 0, 0), vec![1]);
+        assert_eq!(recv_ok(&f, 1, 0, 0), vec![2]);
+        // The duplicate copies are stale, not undelivered traffic.
+        assert_eq!(f.undelivered(), 0);
+    }
+
+    #[test]
+    fn abort_releases_blocked_barrier() {
+        let f = Arc::new(Fabric::new(2));
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.barrier(1));
+        std::thread::sleep(Duration::from_millis(20));
+        f.abort(RuntimeError::RankPanicked { rank: 0 });
+        assert_eq!(
+            h.join().unwrap().unwrap_err(),
+            RuntimeError::RankPanicked { rank: 0 }
+        );
+    }
+
+    #[test]
+    fn first_abort_wins() {
+        let f = Fabric::new(2);
+        let a = f.abort(RuntimeError::RankPanicked { rank: 0 });
+        let b = f.abort(RuntimeError::DeadRank { rank: 1 });
+        assert_eq!(a, RuntimeError::RankPanicked { rank: 0 });
+        assert_eq!(b, RuntimeError::RankPanicked { rank: 0 });
+    }
+
+    #[test]
+    fn poisoned_mailbox_recovers_instead_of_cascading() {
+        let f = Arc::new(Fabric::new(2));
+        // Poison mailbox 1's mutex by panicking while holding it.
+        let f2 = Arc::clone(&f);
+        let _ = std::thread::spawn(move || {
+            let _guard = f2.boxes[1].state.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        // Sends and receives still work via PoisonError::into_inner.
+        f.send(0, 1, 0, vec![5]).unwrap();
+        assert_eq!(recv_ok(&f, 1, 0, 0), vec![5]);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let base = Duration::from_micros(50);
+        assert_eq!(backoff_delay(base, 1), base);
+        assert_eq!(backoff_delay(base, 3), base * 4);
+        assert!(backoff_delay(base, 30) <= Duration::from_millis(20));
     }
 }

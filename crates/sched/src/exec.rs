@@ -47,6 +47,15 @@ pub enum ExecError {
     DanglingReceives { rank: Rank, count: usize },
     /// A `WaitAll` named a request id never posted by a send or receive.
     UnknownRequest { rank: Rank, req: u32 },
+    /// The schedule failed *after* a [`FaultInjector`] perturbed its
+    /// messages: the underlying error plus what was injected, so a test can
+    /// tell a detected injected fault from a genuine schedule bug.
+    FaultInjected {
+        dropped: usize,
+        duplicated: usize,
+        corrupted: usize,
+        cause: Box<ExecError>,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -90,11 +99,66 @@ impl std::fmt::Display for ExecError {
             ExecError::UnknownRequest { rank, req } => {
                 write!(f, "rank {rank}: wait on unknown request {req}")
             }
+            ExecError::FaultInjected {
+                dropped,
+                duplicated,
+                corrupted,
+                cause,
+            } => write!(
+                f,
+                "after injected faults ({dropped} dropped, {duplicated} duplicated, \
+                 {corrupted} corrupted): {cause}"
+            ),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// One message's injected fate, decided by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageFault {
+    /// Silently discard the message.
+    pub drop: bool,
+    /// Deliver the message twice.
+    pub duplicate: bool,
+    /// Flip one payload byte at `hint % len` (no-op on empty payloads).
+    pub corrupt: Option<u64>,
+}
+
+impl MessageFault {
+    /// A fault that leaves the message untouched.
+    pub fn clean() -> Self {
+        MessageFault::default()
+    }
+
+    /// Whether this fault perturbs the message at all.
+    pub fn is_clean(&self) -> bool {
+        !self.drop && !self.duplicate && self.corrupt.is_none()
+    }
+}
+
+/// Decides each message's fate. `seq` numbers messages per
+/// `(from, to, tag)` stream in send order, so a deterministic injector
+/// (e.g. `a2a_faults::FaultPlan`) produces the same fate regardless of
+/// executor interleaving.
+pub trait FaultInjector: Sync {
+    fn on_message(&self, from: Rank, to: Rank, tag: u32, seq: u64) -> MessageFault;
+}
+
+/// What a fault-injected execution actually perturbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub dropped: usize,
+    pub duplicated: usize,
+    pub corrupted: usize,
+}
+
+impl FaultStats {
+    pub fn any(&self) -> bool {
+        self.dropped + self.duplicated + self.corrupted > 0
+    }
+}
 
 /// Summary of a successful execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,22 +197,47 @@ impl RankState {
 }
 
 /// Sequential round-robin executor. See module docs.
-pub struct DataExecutor {
+pub struct DataExecutor<'a> {
     ranks: Vec<RankState>,
     /// (from, to, tag) -> FIFO of message payloads.
     mail: HashMap<(Rank, Rank, u32), VecDeque<Vec<u8>>>,
     messages: usize,
     message_bytes: Bytes,
     copy_bytes: Bytes,
+    /// Optional fault layer applied to every sent message.
+    injector: Option<&'a dyn FaultInjector>,
+    /// Per-(from, to, tag) send counters for fault sequencing.
+    seqs: HashMap<(Rank, Rank, u32), u64>,
+    faults: FaultStats,
 }
 
-impl DataExecutor {
+impl<'a> DataExecutor<'a> {
     /// Execute `source`, filling each rank's send buffer with `fill`,
     /// and return the final receive buffers.
     pub fn run(
         source: &dyn ScheduleSource,
-        mut fill: impl FnMut(Rank, &mut [u8]),
+        fill: impl FnMut(Rank, &mut [u8]),
     ) -> Result<ExecResult, ExecError> {
+        Self::run_inner(source, fill, None).map(|(res, _)| res)
+    }
+
+    /// Execute `source` with `injector` perturbing every message. Returns
+    /// the result plus what was injected; failures caused after any
+    /// injection are wrapped in [`ExecError::FaultInjected`] so detection
+    /// tests can name the fault.
+    pub fn run_with_faults(
+        source: &dyn ScheduleSource,
+        fill: impl FnMut(Rank, &mut [u8]),
+        injector: &'a dyn FaultInjector,
+    ) -> Result<(ExecResult, FaultStats), ExecError> {
+        Self::run_inner(source, fill, Some(injector))
+    }
+
+    fn run_inner(
+        source: &dyn ScheduleSource,
+        mut fill: impl FnMut(Rank, &mut [u8]),
+        injector: Option<&'a dyn FaultInjector>,
+    ) -> Result<(ExecResult, FaultStats), ExecError> {
         let n = source.nranks();
         let mut ranks = Vec::with_capacity(n);
         for r in 0..n as Rank {
@@ -173,9 +262,25 @@ impl DataExecutor {
             messages: 0,
             message_bytes: 0,
             copy_bytes: 0,
+            injector,
+            seqs: HashMap::new(),
+            faults: FaultStats::default(),
         };
-        exec.drive()?;
-        exec.finish()
+        let driven = exec.drive();
+        let faults = exec.faults;
+        let res = driven.and_then(|()| exec.finish().map(|r| (r, faults)));
+        match res {
+            // Name the injection in the error: once faults were actually
+            // applied, a failure is the *expected* loud detection, and the
+            // stats let a test distinguish it from a genuine schedule bug.
+            Err(cause) if faults.any() => Err(ExecError::FaultInjected {
+                dropped: faults.dropped,
+                duplicated: faults.duplicated,
+                corrupted: faults.corrupted,
+                cause: Box::new(cause),
+            }),
+            other => other,
+        }
     }
 
     fn drive(&mut self) -> Result<(), ExecError> {
@@ -235,6 +340,44 @@ impl DataExecutor {
         buf[block.off as usize..block.end() as usize].copy_from_slice(data);
     }
 
+    /// Deliver a sent message into the mailbox, applying the fault layer
+    /// (drop / duplicate / corrupt) when one is installed. The send request
+    /// still completes eagerly either way — exactly like a buffered MPI
+    /// send whose payload is lost on the wire.
+    fn post_message(&mut self, from: Rank, to: Rank, tag: u32, mut data: Vec<u8>) {
+        if let Some(inj) = self.injector {
+            let seq = {
+                let c = self.seqs.entry((from, to, tag)).or_insert(0);
+                let s = *c;
+                *c += 1;
+                s
+            };
+            let fault = inj.on_message(from, to, tag, seq);
+            if fault.drop {
+                self.faults.dropped += 1;
+                return;
+            }
+            if let Some(hint) = fault.corrupt {
+                if !data.is_empty() {
+                    let idx = (hint % data.len() as u64) as usize;
+                    data[idx] ^= 0xA5;
+                    self.faults.corrupted += 1;
+                }
+            }
+            let q = self.mail.entry((from, to, tag)).or_default();
+            if fault.duplicate {
+                self.faults.duplicated += 1;
+                q.push_back(data.clone());
+            }
+            q.push_back(data);
+        } else {
+            self.mail
+                .entry((from, to, tag))
+                .or_default()
+                .push_back(data);
+        }
+    }
+
     /// Try to satisfy rank's pending receives, in posting order.
     fn progress_recvs(&mut self, rank: Rank) -> Result<bool, ExecError> {
         let mut any = false;
@@ -291,10 +434,7 @@ impl DataExecutor {
                 } => {
                     self.check_block(rank, block)?;
                     let data = self.read_block(rank, block);
-                    self.mail
-                        .entry((rank, to, tag))
-                        .or_default()
-                        .push_back(data);
+                    self.post_message(rank, to, tag, data);
                     let st = &mut self.ranks[rank as usize];
                     st.req_done[req as usize] = true;
                     st.pc += 1;
@@ -551,6 +691,93 @@ mod tests {
         .unwrap();
         assert_eq!(&res.rbufs[1][..4], &[0xAA; 4]);
         assert_eq!(&res.rbufs[1][4..], &[0xBB; 4]);
+    }
+
+    /// Deterministic injector for tests: faults messages by (to, seq) rule.
+    struct DropFirstTo1;
+    impl FaultInjector for DropFirstTo1 {
+        fn on_message(&self, _from: Rank, to: Rank, _tag: u32, seq: u64) -> MessageFault {
+            MessageFault {
+                drop: to == 1 && seq == 0,
+                ..MessageFault::default()
+            }
+        }
+    }
+
+    struct DupAll;
+    impl FaultInjector for DupAll {
+        fn on_message(&self, _f: Rank, _t: Rank, _tag: u32, _s: u64) -> MessageFault {
+            MessageFault {
+                duplicate: true,
+                ..MessageFault::default()
+            }
+        }
+    }
+
+    struct CorruptAll;
+    impl FaultInjector for CorruptAll {
+        fn on_message(&self, _f: Rank, _t: Rank, _tag: u32, _s: u64) -> MessageFault {
+            MessageFault {
+                corrupt: Some(3),
+                ..MessageFault::default()
+            }
+        }
+    }
+
+    #[test]
+    fn injected_drop_detected_as_fault_wrapped_deadlock() {
+        let err =
+            DataExecutor::run_with_faults(&swap_schedule(), |_, _| {}, &DropFirstTo1).unwrap_err();
+        match err {
+            ExecError::FaultInjected { dropped, cause, .. } => {
+                assert_eq!(dropped, 1);
+                assert!(matches!(*cause, ExecError::Deadlock { .. }), "{cause}");
+            }
+            other => panic!("expected FaultInjected, got {other}"),
+        }
+    }
+
+    #[test]
+    fn injected_duplicate_detected_as_unconsumed() {
+        let err = DataExecutor::run_with_faults(&swap_schedule(), |_, _| {}, &DupAll).unwrap_err();
+        match err {
+            ExecError::FaultInjected {
+                duplicated, cause, ..
+            } => {
+                assert_eq!(duplicated, 2);
+                assert!(matches!(*cause, ExecError::UnconsumedMessages { count: 2 }));
+            }
+            other => panic!("expected FaultInjected, got {other}"),
+        }
+    }
+
+    #[test]
+    fn injected_corruption_flips_exactly_one_byte() {
+        let (res, stats) = DataExecutor::run_with_faults(
+            &swap_schedule(),
+            |r, buf| buf.fill(r as u8 + 1),
+            &CorruptAll,
+        )
+        .unwrap();
+        assert_eq!(stats.corrupted, 2);
+        // Payloads still delivered, but one byte per message differs.
+        let diffs: usize = res.rbufs[0].iter().filter(|&&b| b != 2).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn clean_injector_behaves_like_plain_run() {
+        struct Clean;
+        impl FaultInjector for Clean {
+            fn on_message(&self, _f: Rank, _t: Rank, _tag: u32, _s: u64) -> MessageFault {
+                MessageFault::clean()
+            }
+        }
+        let (res, stats) =
+            DataExecutor::run_with_faults(&swap_schedule(), |r, buf| buf.fill(r as u8 + 1), &Clean)
+                .unwrap();
+        assert!(!stats.any());
+        assert_eq!(res.rbufs[0], vec![2u8; 8]);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod validate;
 pub mod verify;
 
 pub use builder::ProgBuilder;
-pub use exec::{DataExecutor, ExecError};
+pub use exec::{DataExecutor, ExecError, FaultInjector, FaultStats, MessageFault};
 pub use ir::{Block, BufId, Bytes, Op, Phase, RankProgram, TimedOp, RBUF, SBUF, TMP0, TMP1, TMP2};
 pub use validate::{validate, ScheduleStats, ValidationError};
 pub use verify::{

@@ -30,7 +30,8 @@ fn main() {
             contrib[k as usize] = pattern_byte(comm.rank(), comm.rank(), k);
         }
         let mut all = vec![0u8; (n as u64 * s) as usize];
-        comm.allgather(agr, g, s, &contrib, &mut all);
+        comm.allgather(agr, g, s, &contrib, &mut all)
+            .unwrap_or_else(|e| panic!("{e}"));
         alltoall_suite::sched::check_allgather_rbuf(comm.rank(), n, s, &all)
             .unwrap_or_else(|e| panic!("{e}"));
 
@@ -38,7 +39,8 @@ fn main() {
         let payload: Vec<u8> = (0..200u32).map(|i| (i * 13) as u8).collect();
         let mut out = vec![0u8; payload.len()];
         let mine = (comm.rank() == 4).then_some(payload.as_slice());
-        comm.bcast(&HierarchicalBcast, g, 4, mine, &mut out);
+        comm.bcast(&HierarchicalBcast, g, 4, mine, &mut out)
+            .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(out, payload, "rank {}", comm.rank());
     });
     println!("  allgather + hierarchical bcast verified — PASS");

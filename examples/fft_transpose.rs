@@ -145,7 +145,8 @@ fn transpose(
         }
     }
     let mut rbuf = vec![0u8; blk * 16 * p];
-    comm.alltoall(algo, grid, (blk * 16) as u64, &sbuf, &mut rbuf);
+    comm.alltoall(algo, grid, (blk * 16) as u64, &sbuf, &mut rbuf)
+        .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
     // Unpack: from source j, element (a, b) lands at transposed[b][j*rb + a].
     let mut out = vec![C64::ZERO; cb * rows];
     for j in 0..p {

@@ -39,7 +39,8 @@ fn transpose_block(
         }
     }
     let mut rbuf = vec![0u8; blk * 8 * p];
-    comm.alltoall(algo, grid, (blk * 8) as u64, &sbuf, &mut rbuf);
+    comm.alltoall(algo, grid, (blk * 8) as u64, &sbuf, &mut rbuf)
+        .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
     let mut out = vec![0.0f64; rb * n];
     for j in 0..p {
         for a in 0..rb {

@@ -31,7 +31,8 @@ fn main() {
         let mut sbuf = vec![0u8; total];
         let mut rbuf = vec![0u8; total];
         fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
-        comm.alltoall(algo_ref, gref, s, &sbuf, &mut rbuf);
+        comm.alltoall(algo_ref, gref, s, &sbuf, &mut rbuf)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
         check_alltoall_rbuf(comm.rank(), n, s, &rbuf)
             .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
     });

@@ -7,10 +7,13 @@
 //! * [`algos`] — the all-to-all algorithms (the paper's contribution).
 //! * [`netsim`] — the deterministic discrete-event network simulator.
 //! * [`runtime`] — the threaded mini-MPI runtime with real data movement.
+//! * [`faults`] — seeded deterministic fault injection shared by all three
+//!   executors.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the architecture.
 
 pub use a2a_core as algos;
+pub use a2a_faults as faults;
 pub use a2a_netsim as netsim;
 pub use a2a_runtime as runtime;
 pub use a2a_sched as sched;

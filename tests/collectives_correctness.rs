@@ -66,7 +66,7 @@ fn runtime_allgather_matches_executor() {
             contrib[k as usize] = pattern_byte(comm.rank(), comm.rank(), k);
         }
         let mut rbuf = vec![0u8; (n as u64 * s) as usize];
-        comm.allgather(a, g, s, &contrib, &mut rbuf);
+        comm.allgather(a, g, s, &contrib, &mut rbuf).unwrap();
         rbuf
     });
     for rbuf in &outs {
@@ -85,7 +85,8 @@ fn runtime_bcast_delivers_payload() {
     let outs = ThreadWorld::run(n, move |comm| {
         let mut rbuf = vec![0u8; p.len()];
         let my_payload = (comm.rank() == root).then_some(p.as_slice());
-        comm.bcast(&HierarchicalBcast, g, root, my_payload, &mut rbuf);
+        comm.bcast(&HierarchicalBcast, g, root, my_payload, &mut rbuf)
+            .unwrap();
         rbuf
     });
     for (r, out) in outs.iter().enumerate() {

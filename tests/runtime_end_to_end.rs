@@ -14,7 +14,7 @@ fn thread_outputs(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, s: u64) -> Vec<
         let mut sbuf = vec![0u8; total];
         let mut rbuf = vec![0u8; total];
         fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
-        comm.alltoall(algo, grid, s, &sbuf, &mut rbuf);
+        comm.alltoall(algo, grid, s, &sbuf, &mut rbuf).unwrap();
         rbuf
     })
 }
@@ -67,10 +67,11 @@ fn repeated_collectives_on_one_world() {
                 s,
                 &sbuf,
                 &mut rbuf,
-            );
+            )
+            .unwrap();
             alltoall_suite::sched::check_alltoall_rbuf(comm.rank(), n, s, &rbuf)
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
-            comm.barrier();
+            comm.barrier().unwrap();
         }
     });
 }
@@ -94,7 +95,8 @@ fn mixed_algorithms_in_sequence() {
             let mut sbuf = vec![0u8; total];
             let mut rbuf = vec![0u8; total];
             fill_alltoall_sbuf(comm.rank(), n, s, &mut sbuf);
-            comm.alltoall(algo.as_ref(), g, s, &sbuf, &mut rbuf);
+            comm.alltoall(algo.as_ref(), g, s, &sbuf, &mut rbuf)
+                .unwrap();
             alltoall_suite::sched::check_alltoall_rbuf(comm.rank(), n, s, &rbuf)
                 .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
         }
