@@ -13,6 +13,8 @@
 //!   --seed S       base seed (default 1)
 //!   --scale full|small
 //!   --out DIR      output directory (default results)
+//!   --baseline F   (bench4 only) gate against a prior BENCH_4.json: fail
+//!                  if any cell's fast messages/sec regresses >20%
 //! ```
 
 use std::path::PathBuf;
@@ -53,6 +55,7 @@ fn main() -> ExitCode {
     let mut cfg = RunConfig::default();
     let mut out_dir = PathBuf::from("results");
     let mut want_table1 = false;
+    let mut baseline: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -71,17 +74,19 @@ fn main() -> ExitCode {
             "--seed" => cfg.seed = value("--seed").parse().expect("--seed: integer"),
             "--scale" => cfg.full_scale = value("--scale") == "full",
             "--out" => out_dir = PathBuf::from(value("--out")),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
             "all" => figures.extend(known_figures().iter().map(|s| s.to_string())),
             "table1" => want_table1 = true,
             "tune" => figures.push("tune".into()),
             "chaos" => figures.push("chaos".into()),
+            "bench4" => figures.push("bench4".into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tune|chaos|fig7..fig18|headline|ablation-*]... [options]"
+                    "usage: repro [all|table1|tune|chaos|bench4|fig7..fig18|headline|ablation-*]... [options]"
                 );
                 println!("figures: {:?}", known_figures());
                 println!(
-                    "options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR"
+                    "options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR --baseline FILE"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -141,6 +146,44 @@ fn main() -> ExitCode {
             )
             .expect("write selector table");
             println!("  [tune done in {:.1?}]", start.elapsed());
+            continue;
+        }
+        if name == "bench4" {
+            let report = a2a_bench::bench4(cfg.nodes);
+            println!("\n{}", report.table());
+            println!(
+                "  geomean speedup (fast vs legacy executor): {:.2}x",
+                report.geomean_speedup()
+            );
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("BENCH_4.json"),
+                serde_json::to_string_pretty(&report).expect("serialize"),
+            )
+            .expect("write BENCH_4.json");
+            println!("  [bench4 done in {:.1?}]", start.elapsed());
+            if let Some(path) = &baseline {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+                let base: a2a_bench::Bench4Report =
+                    serde_json::from_str(&text).expect("parse baseline BENCH_4.json");
+                let bad = report.regressions_against(&base);
+                if !bad.is_empty() {
+                    for (algo, bytes, ratio) in &bad {
+                        eprintln!(
+                            "REGRESSION: {algo} @ {bytes} B legacy-normalized msgs/sec at {:.2}x of baseline (floor {})",
+                            ratio,
+                            a2a_bench::REGRESSION_FLOOR
+                        );
+                    }
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "  baseline gate passed ({} cells vs {})",
+                    report.cells.len(),
+                    path.display()
+                );
+            }
             continue;
         }
         if name == "chaos" {

@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod figures;
 pub mod harness;
 pub mod microbench;
+pub mod throughput;
 pub mod tune;
 
 pub use chaos::{chaos, ChaosPoint, ChaosResult};
@@ -25,4 +26,5 @@ pub use figures::{figure_by_name, known_figures};
 pub use harness::{
     machine_for, run_min, FigureData, RunConfig, Series, DEFAULT_SIZES, PAPER_GROUP_SIZES,
 };
+pub use throughput::{bench4, Bench4Cell, Bench4Report, REGRESSION_FLOOR};
 pub use tune::{tune, TuneResult};

@@ -1,0 +1,341 @@
+//! BENCH_4: data-executor message throughput, fast path vs legacy.
+//!
+//! Measures the sequential data executor's end-to-end rate — messages/sec
+//! and payload bytes/sec — for the paper's eight all-to-all algorithms at
+//! the paper's per-process block sizes, on a 4-ppn bench machine. Each
+//! cell is timed twice:
+//!
+//! * **fast**: [`PreparedSchedule`] + [`ExecScratch`] reuse, i.e. the
+//!   zero-copy path (borrowed programs, arena mailboxes, stable-send
+//!   direct delivery);
+//! * **legacy**: [`LegacyDataExecutor`] over the same prepared schedule —
+//!   the verbatim pre-PR executor (per-rank program clones, tuple-keyed
+//!   hash mailboxes, one heap `Vec` per message). Schedule *construction*
+//!   and input production (the `fill` callback is a no-op in the timed
+//!   loops) are excluded from both paths, so the ratio isolates executor
+//!   cost rather than the cost of regenerating the test pattern.
+//!
+//! The first fast iteration of every cell verifies the transpose, so a
+//! throughput number can never come from a wrong answer. The report
+//! (`BENCH_4.json`) carries both rates plus the speedup per cell, and can
+//! be gated against a checked-in baseline (`repro bench4 --baseline`):
+//! the run fails if any cell's fast messages/sec regresses below
+//! [`REGRESSION_FLOOR`] of the baseline's.
+
+use std::time::{Duration, Instant};
+
+use a2a_core::{
+    A2AContext, AlgoSchedule, AlltoallAlgorithm, BruckAlltoall, ExchangeKind, HierarchicalAlltoall,
+    MpichShmAlltoall, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, NonblockingAlltoall,
+    PairwiseAlltoall,
+};
+use a2a_sched::{
+    check_alltoall_rbuf, fill_alltoall_sbuf, DataExecutor, ExecScratch, LegacyDataExecutor,
+    PreparedSchedule,
+};
+use a2a_topo::{Machine, ProcGrid};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::DEFAULT_SIZES;
+
+/// The sweep's geometric-mean messages/sec may fall to at most this
+/// fraction of the baseline's before the gate fails (i.e. a >20%
+/// regression fails). The gate compares legacy-normalized rates (the
+/// `speedup` column): both paths run on the same host in the same
+/// process, so the ratio is portable across runner hardware while
+/// absolute messages/sec are not. The geomean over the full sweep is
+/// stable to a few percent; individual cells are not (scheduling noise
+/// swings them ±25% on a busy host), so single cells get the looser
+/// [`CELL_FLOOR`].
+pub const REGRESSION_FLOOR: f64 = 0.8;
+
+/// Catastrophic per-cell floor: one algorithm path collapsing shows up
+/// here even when the sweep geomean hides it.
+pub const CELL_FLOOR: f64 = 0.5;
+
+/// Wall-clock budget per timed loop; iteration counts adapt to it.
+const TARGET: Duration = Duration::from_millis(150);
+
+/// The eight algorithms of the paper's evaluation, with group sizes that
+/// divide the bench machine's 4 ppn.
+pub fn bench4_roster() -> Vec<Box<dyn AlltoallAlgorithm>> {
+    vec![
+        Box::new(PairwiseAlltoall),
+        Box::new(NonblockingAlltoall),
+        Box::new(BruckAlltoall),
+        Box::new(HierarchicalAlltoall::new(4, ExchangeKind::Nonblocking)),
+        Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        Box::new(NodeAwareAlltoall::locality_aware(2, ExchangeKind::Pairwise)),
+        Box::new(MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise)),
+        Box::new(MpichShmAlltoall::default()),
+    ]
+}
+
+/// The bench machine: `nodes` x 2 sockets x 1 NUMA x 2 cores = 4 ppn,
+/// small enough that 32 nodes (128 ranks) sweeps in seconds.
+pub fn bench4_grid(nodes: usize) -> ProcGrid {
+    ProcGrid::new(Machine::custom("bench", nodes, 2, 1, 2))
+}
+
+/// One `(algorithm, block size)` measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bench4Cell {
+    pub algo: String,
+    /// Per-process block bytes.
+    pub bytes: u64,
+    /// Messages delivered by one execution of the schedule.
+    pub messages_per_run: usize,
+    /// Fast path (prepared + scratch reuse).
+    pub fast_msgs_per_sec: f64,
+    pub fast_bytes_per_sec: f64,
+    /// Legacy executor (pre-PR allocation behaviour).
+    pub legacy_msgs_per_sec: f64,
+    pub legacy_bytes_per_sec: f64,
+    /// `fast_msgs_per_sec / legacy_msgs_per_sec`.
+    pub speedup: f64,
+}
+
+/// The full BENCH_4 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bench4Report {
+    pub nodes: usize,
+    pub ppn: usize,
+    pub ranks: usize,
+    pub cells: Vec<Bench4Cell>,
+}
+
+impl Bench4Report {
+    /// Aligned ASCII rendering.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# BENCH_4: data-executor throughput ({} nodes x {} ppn = {} ranks)",
+            self.nodes, self.ppn, self.ranks
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} {:>8} {:>14} {:>14} {:>8}",
+            "algorithm", "bytes", "msgs", "fast msg/s", "legacy msg/s", "speedup"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>6} {:>8} {:>14.0} {:>14.0} {:>7.2}x",
+                truncate(&c.algo, 28),
+                c.bytes,
+                c.messages_per_run,
+                c.fast_msgs_per_sec,
+                c.legacy_msgs_per_sec,
+                c.speedup
+            );
+        }
+        out
+    }
+
+    /// Geometric-mean speedup across all cells (0.0 if empty).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self.cells.iter().map(|c| c.speedup.ln()).sum();
+        (log_sum / self.cells.len() as f64).exp()
+    }
+
+    /// Gate against `baseline` on legacy-normalized messages/sec (the
+    /// `speedup` column): the sweep geomean must retain
+    /// [`REGRESSION_FLOOR`] of the baseline's, and every cell present in
+    /// both reports must retain [`CELL_FLOOR`] of its baseline cell's.
+    /// Returns the offending `(scope, bytes, ratio)` rows; the geomean
+    /// row uses scope `"geomean"` and bytes 0.
+    pub fn regressions_against(&self, baseline: &Bench4Report) -> Vec<(String, u64, f64)> {
+        let mut bad = Vec::new();
+        let base_geo = baseline.geomean_speedup();
+        if base_geo > 0.0 {
+            let ratio = self.geomean_speedup() / base_geo;
+            if ratio < REGRESSION_FLOOR {
+                bad.push(("geomean".to_string(), 0, ratio));
+            }
+        }
+        for b in &baseline.cells {
+            if let Some(c) = self
+                .cells
+                .iter()
+                .find(|c| c.algo == b.algo && c.bytes == b.bytes)
+            {
+                let ratio = c.speedup / b.speedup;
+                if ratio < CELL_FLOOR {
+                    bad.push((c.algo.clone(), c.bytes, ratio));
+                }
+            }
+        }
+        bad
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("..{}", &s[s.len() - (n - 2)..])
+    }
+}
+
+/// Time `run` adaptively: one warmup, one probe to size the iteration
+/// count so three timed loops together fit [`TARGET`], then best-of-3
+/// timed loops. Scheduling noise only ever *lowers* a loop's rate, so
+/// taking the max filters it. Returns ops/sec (`iters / elapsed_secs`).
+fn time_adaptive(mut run: impl FnMut()) -> f64 {
+    run(); // warmup
+    let probe = Instant::now();
+    run();
+    let per_run = probe.elapsed().max(Duration::from_micros(20));
+    let iters = (TARGET.as_secs_f64() / 3.0 / per_run.as_secs_f64()).clamp(2.0, 2000.0) as u32;
+    let mut best = 0.0_f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            run();
+        }
+        best = best.max(iters as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measure one algorithm at one block size on `grid`.
+pub fn bench4_cell(algo: &dyn AlltoallAlgorithm, grid: &ProcGrid, bytes: u64) -> Bench4Cell {
+    let n = grid.world_size();
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), bytes));
+    let prep = PreparedSchedule::new(&sched);
+    let mut scratch = ExecScratch::new(&prep);
+
+    // Correctness first: one verified execution through the fast path.
+    let stats = DataExecutor::run_prepared(&prep, &mut scratch, |r, buf| {
+        fill_alltoall_sbuf(r, n, bytes, buf)
+    })
+    .unwrap_or_else(|e| panic!("{} (s={bytes}): {e}", algo.name()));
+    for r in 0..n as u32 {
+        check_alltoall_rbuf(r, n, bytes, scratch.rbuf(r))
+            .unwrap_or_else(|e| panic!("{} (s={bytes}) rank {r}: {e}", algo.name()));
+    }
+
+    // Timed loops use a no-op fill: the fast path's scratch retains the
+    // verified pattern across runs, and the legacy executor's internal
+    // zero-filled buffers move the same bytes through the same ops, so
+    // neither loop pays for regenerating the test pattern.
+    let runs_per_sec_fast = time_adaptive(|| {
+        DataExecutor::run_prepared(&prep, &mut scratch, |_, _| {})
+            .expect("verified schedule re-runs");
+    });
+    // The legacy executor sees the same prepared source, so both paths
+    // exclude schedule construction; it re-clones every rank program per
+    // run, exactly as the pre-PR executor did.
+    let runs_per_sec_legacy = time_adaptive(|| {
+        LegacyDataExecutor::run(&prep, |_, _| {}).expect("verified schedule re-runs");
+    });
+
+    let msgs = stats.messages as f64;
+    let payload = stats.message_bytes as f64;
+    Bench4Cell {
+        algo: algo.name(),
+        bytes,
+        messages_per_run: stats.messages,
+        fast_msgs_per_sec: msgs * runs_per_sec_fast,
+        fast_bytes_per_sec: payload * runs_per_sec_fast,
+        legacy_msgs_per_sec: msgs * runs_per_sec_legacy,
+        legacy_bytes_per_sec: payload * runs_per_sec_legacy,
+        speedup: runs_per_sec_fast / runs_per_sec_legacy,
+    }
+}
+
+/// The full sweep: eight algorithms x paper block sizes.
+pub fn bench4(nodes: usize) -> Bench4Report {
+    let grid = bench4_grid(nodes);
+    let mut cells = Vec::new();
+    for algo in bench4_roster() {
+        for &bytes in &DEFAULT_SIZES {
+            cells.push(bench4_cell(algo.as_ref(), &grid, bytes));
+        }
+    }
+    Bench4Report {
+        nodes,
+        ppn: grid.machine().ppn(),
+        ranks: grid.world_size(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench4_cell_measures_and_verifies() {
+        let grid = bench4_grid(1);
+        let cell = bench4_cell(&PairwiseAlltoall, &grid, 16);
+        assert_eq!(cell.bytes, 16);
+        assert!(cell.messages_per_run > 0);
+        assert!(cell.fast_msgs_per_sec > 0.0);
+        assert!(cell.legacy_msgs_per_sec > 0.0);
+        assert!(cell.speedup > 0.0);
+    }
+
+    #[test]
+    fn regression_gate_flags_slowdowns() {
+        let fast = Bench4Cell {
+            algo: "a".into(),
+            bytes: 64,
+            messages_per_run: 10,
+            fast_msgs_per_sec: 1000.0,
+            fast_bytes_per_sec: 64000.0,
+            legacy_msgs_per_sec: 500.0,
+            legacy_bytes_per_sec: 32000.0,
+            speedup: 2.0,
+        };
+        let report = |cell: &Bench4Cell| Bench4Report {
+            nodes: 1,
+            ppn: 4,
+            ranks: 4,
+            cells: vec![cell.clone()],
+        };
+        assert!(report(&fast).regressions_against(&report(&fast)).is_empty());
+        // 0.7x of baseline: trips the geomean floor (0.8) but not the
+        // catastrophic per-cell floor (0.5).
+        let mut slow = fast.clone();
+        slow.speedup = 1.4;
+        let bad = report(&slow).regressions_against(&report(&fast));
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "geomean");
+        // 0.4x of baseline: trips both floors.
+        let mut collapsed = fast.clone();
+        collapsed.speedup = 0.8;
+        let bad = report(&collapsed).regressions_against(&report(&fast));
+        assert_eq!(bad.len(), 2);
+        assert_eq!(bad[1].0, "a");
+        // Unmatched baseline cells are ignored, not errors; the geomean
+        // check still applies.
+        let mut other = fast.clone();
+        other.algo = "b".into();
+        let bad = report(&slow).regressions_against(&report(&other));
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "geomean");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let grid = bench4_grid(1);
+        let report = Bench4Report {
+            nodes: 1,
+            ppn: grid.machine().ppn(),
+            ranks: grid.world_size(),
+            cells: vec![bench4_cell(&NonblockingAlltoall, &grid, 4)],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: Bench4Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].algo, report.cells[0].algo);
+        assert!(report.table().contains("BENCH_4"));
+        assert!(report.geomean_speedup() > 0.0);
+    }
+}

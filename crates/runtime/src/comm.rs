@@ -9,7 +9,20 @@ use a2a_sched::{Block, Op};
 use a2a_topo::ProcGrid;
 
 use crate::error::RuntimeError;
-use crate::fabric::Fabric;
+use crate::fabric::{Fabric, RecvWant};
+
+/// Two distinct mutable elements of `v`. Used for cross-buffer copies
+/// without an intermediate allocation.
+pub(crate) fn split_two<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
 
 /// One rank's view of the world: MPI-shaped point-to-point plus the
 /// all-to-all schedule interpreter. Every blocking primitive returns
@@ -47,29 +60,19 @@ impl ThreadComm {
         self.fabric.abort(err)
     }
 
-    /// Buffered (eager) send: never blocks. Fails fast once the world has
-    /// aborted.
+    /// Buffered (eager) send: never blocks. The payload is copied once,
+    /// into a pooled fabric buffer. Fails fast once the world has aborted.
     pub fn send(&self, to: u32, tag: u32, data: &[u8]) -> Result<(), RuntimeError> {
         assert!(to < self.size(), "send to rank {to} out of range");
-        self.fabric.send(self.rank, to, tag, data.to_vec())
+        self.fabric.send(self.rank, to, tag, data)
     }
 
     /// Blocking matched receive into `buf` (length must match the
-    /// message). Recovers injected drops via retransmit; a hung match is
+    /// message, else a typed [`RuntimeError::LengthMismatch`] fails the
+    /// world). Recovers injected drops via retransmit; a hung match is
     /// bounded by the watchdog.
     pub fn recv(&self, from: u32, tag: u32, buf: &mut [u8]) -> Result<(), RuntimeError> {
-        let msg = self.fabric.recv(self.rank, from, tag, None)?;
-        if msg.len() != buf.len() {
-            return Err(self.fail(RuntimeError::LengthMismatch {
-                rank: self.rank,
-                from,
-                tag,
-                got: msg.len(),
-                want: buf.len(),
-            }));
-        }
-        buf.copy_from_slice(&msg);
-        Ok(())
+        self.fabric.recv_into(self.rank, from, tag, None, buf)
     }
 
     /// `MPI_Sendrecv`: safe under buffered sends (send first, then recv).
@@ -197,12 +200,19 @@ impl ThreadComm {
 
         // Pending receive requests: req id -> (from, tag, destination).
         let mut pending: HashMap<u32, (u32, u32, Block)> = HashMap::new();
+        let mut wants: Vec<RecvWant> = Vec::new();
+        let mut blocks: Vec<Block> = Vec::new();
         for (op_index, top) in prog.ops.iter().enumerate() {
             match top.op {
                 Op::Isend { to, block, tag, .. } => {
-                    let data = bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
-                        .to_vec();
-                    self.fabric.send(self.rank, to, tag, data)?;
+                    // The fabric copies straight out of the live buffer
+                    // into a pooled payload: one copy, no temporary.
+                    self.fabric.send(
+                        self.rank,
+                        to,
+                        tag,
+                        &bufs[block.buf.0 as usize][block.off as usize..block.end() as usize],
+                    )?;
                 }
                 Op::Irecv {
                     from,
@@ -213,30 +223,42 @@ impl ThreadComm {
                     pending.insert(req, (from, tag, block));
                 }
                 Op::WaitAll { first_req, count } => {
-                    // Sends complete eagerly; drain receives in posting
-                    // order (request ids are allocated in program order).
+                    // Sends complete eagerly; receives are drained as one
+                    // batch (matched in posting order per channel, since
+                    // request ids are allocated in program order) so the
+                    // whole WaitAll shares a single park/wake cycle.
+                    wants.clear();
+                    blocks.clear();
                     for req in first_req..first_req + count {
                         if let Some((from, tag, block)) = pending.remove(&req) {
-                            let msg = self.fabric.recv(self.rank, from, tag, Some(op_index))?;
-                            if msg.len() as u64 != block.len {
-                                return Err(self.fail(RuntimeError::LengthMismatch {
-                                    rank: self.rank,
-                                    from,
-                                    tag,
-                                    got: msg.len(),
-                                    want: block.len as usize,
-                                }));
-                            }
-                            bufs[block.buf.0 as usize][block.off as usize..block.end() as usize]
-                                .copy_from_slice(&msg);
+                            wants.push(RecvWant {
+                                from,
+                                tag,
+                                op_index: Some(op_index),
+                                len: Some(block.len as usize),
+                            });
+                            blocks.push(block);
                         }
+                    }
+                    if !wants.is_empty() {
+                        let bufs = &mut bufs;
+                        let blocks = &blocks;
+                        self.fabric.recv_many(self.rank, &wants, |i, payload| {
+                            let b = blocks[i];
+                            bufs[b.buf.0 as usize][b.off as usize..b.end() as usize]
+                                .copy_from_slice(payload);
+                        })?;
                     }
                 }
                 Op::Copy { src, dst } => {
-                    let data =
-                        bufs[src.buf.0 as usize][src.off as usize..src.end() as usize].to_vec();
-                    bufs[dst.buf.0 as usize][dst.off as usize..dst.end() as usize]
-                        .copy_from_slice(&data);
+                    if src.buf == dst.buf {
+                        bufs[src.buf.0 as usize]
+                            .copy_within(src.off as usize..src.end() as usize, dst.off as usize);
+                    } else {
+                        let (s, d) = split_two(&mut bufs, src.buf.0 as usize, dst.buf.0 as usize);
+                        d[dst.off as usize..dst.end() as usize]
+                            .copy_from_slice(&s[src.off as usize..src.end() as usize]);
+                    }
                 }
             }
         }

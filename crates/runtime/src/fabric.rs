@@ -1,25 +1,42 @@
 //! The shared message fabric: per-rank mailboxes with `(source, tag)`
 //! matching and FIFO delivery within a key, hardened for fault injection.
 //!
+//! # Store-once payloads and the buffer pool
+//!
+//! Every payload is written exactly once at send time, into a buffer drawn
+//! from a fabric-wide free list (the **pool**). A pooled buffer is cleared
+//! and fully rewritten on acquire, so no stale bytes from an earlier
+//! message can leak into a later one. The payload lives in the channel's
+//! `store` until it is delivered, at which point it is moved out, copied
+//! into the receiver's posted block, and released back to the pool.
+//!
+//! What travels through the visible queue are **views**: `(seq, fault)`
+//! descriptors that reference the stored payload. Faults perturb only the
+//! views — a drop enqueues nothing, a duplicate enqueues the view twice,
+//! corruption marks the view damaged — while the stored payload stays
+//! pristine. Retransmission therefore re-enqueues a fresh view (re-rolling
+//! the fault dice with an incremented attempt counter) without ever
+//! copying payload bytes, and a recovered message is byte-identical to the
+//! original send no matter how many faults it survived.
+//!
 //! Every packet carries a per-`(source, tag)` sequence number assigned
 //! under the destination mailbox lock, so delivery order and fault fate
-//! are deterministic regardless of thread interleaving. When a
-//! [`FaultPlan`] is attached:
+//! are deterministic regardless of thread interleaving.
 //!
-//! * the sender keeps a pristine copy of each packet in a transmit log
-//!   until it is delivered (the **ack window**);
-//! * injected faults (drop / duplicate / corrupt) perturb only the visible
-//!   queue, never the log;
-//! * the receiver detects a missing or corrupted head-of-line packet
-//!   (expected seq absent from the queue but present in the log) and
-//!   **retransmits** it from the log with exponential backoff, re-rolling
-//!   the fault dice with an incremented attempt counter, up to
-//!   [`WorldOptions::max_retransmits`] times.
+//! # Blocking, batching, and the watchdog
 //!
 //! All blocking waits are `Condvar::wait_timeout` slices feeding a
 //! watchdog: if the world-wide progress counter stalls for longer than
 //! [`WorldOptions::watchdog`], the waiter snapshots every rank's blocked
 //! state and aborts the world with [`RuntimeError::WatchdogTimeout`].
+//!
+//! [`Fabric::recv_many`] drains a whole batch of expected messages (one
+//! schedule `WaitAll`) under a single lock/wait cycle: one condvar park
+//! covers every outstanding receive instead of one park per message,
+//! which cuts wakeups by the WaitAll fan-in. [`Fabric::poll_recv_into`]
+//! is the non-blocking variant the parallel executor multiplexes many
+//! ranks over.
+//!
 //! Mutex poisoning is recovered via [`PoisonError::into_inner`] — a
 //! panicking peer must not cascade into a second panic here.
 
@@ -79,9 +96,23 @@ impl WorldOptions {
 
 type Key = (u32, u32); // (source rank, tag)
 
-struct Packet {
+/// One expected message in a [`Fabric::recv_many`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvWant {
+    pub from: u32,
+    pub tag: u32,
+    /// Index of the schedule op being executed (watchdog diagnostics).
+    pub op_index: Option<usize>,
+    /// Expected payload length; `Some` turns a size disagreement into a
+    /// typed [`RuntimeError::LengthMismatch`] before any bytes are copied.
+    pub len: Option<usize>,
+}
+
+/// A queue entry: references the stored payload by `seq`; carries its
+/// in-flight damage (the corruption hint) instead of damaged bytes.
+struct View {
     seq: u64,
-    data: Vec<u8>,
+    corrupt: Option<u64>,
 }
 
 /// One `(source, tag)` stream into a mailbox.
@@ -93,11 +124,11 @@ struct Channel {
     delivered: u64,
     /// Retransmit attempts spent on the current head-of-line seq.
     head_attempts: u32,
-    /// Visible, possibly fault-perturbed in-flight packets.
-    queue: VecDeque<Packet>,
-    /// Pristine copies of sent-but-undelivered packets (ack window);
-    /// maintained only when a fault plan is attached.
-    log: VecDeque<(u64, Vec<u8>)>,
+    /// Visible, possibly fault-perturbed in-flight views.
+    queue: VecDeque<View>,
+    /// The single pristine copy of each sent-but-undelivered payload,
+    /// in seq order. Moved out (and pooled) at delivery.
+    store: VecDeque<(u64, Vec<u8>)>,
 }
 
 #[derive(Default)]
@@ -122,13 +153,13 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Watches the fabric-wide progress counter from one blocked waiter.
-struct ProgressWatch {
+pub(crate) struct ProgressWatch {
     last: u64,
     since: Instant,
 }
 
 impl ProgressWatch {
-    fn new(f: &Fabric) -> Self {
+    pub(crate) fn new(f: &Fabric) -> Self {
         ProgressWatch {
             last: f.progress.load(Ordering::SeqCst),
             since: Instant::now(),
@@ -137,7 +168,7 @@ impl ProgressWatch {
 
     /// `None` if the world progressed since the last check (timer resets);
     /// otherwise how long it has been stalled.
-    fn stalled_for(&mut self, f: &Fabric) -> Option<Duration> {
+    pub(crate) fn stalled_for(&mut self, f: &Fabric) -> Option<Duration> {
         let now = f.progress.load(Ordering::SeqCst);
         if now != self.last {
             self.last = now;
@@ -149,12 +180,19 @@ impl ProgressWatch {
     }
 }
 
-/// The world's communication state: one mailbox per rank, a barrier, the
-/// abort latch, and the watchdog bookkeeping.
+/// Keep at most this many recycled buffers; beyond it, freed buffers are
+/// simply dropped (the pool is a fast path, not an obligation).
+const POOL_CAP: usize = 4096;
+
+/// The world's communication state: one mailbox per rank, the payload
+/// buffer pool, a barrier, the abort latch, and watchdog bookkeeping.
 pub struct Fabric {
     boxes: Vec<Mailbox>,
     n: usize,
     opts: WorldOptions,
+    /// Recycled payload buffers. Acquire = pop + clear + overwrite, so a
+    /// reused buffer never exposes bytes from a previous message.
+    pool: Mutex<Vec<Vec<u8>>>,
     /// Bumped on every send, delivery, retransmit, and barrier release;
     /// the watchdog fires when this stalls.
     progress: AtomicU64,
@@ -182,6 +220,7 @@ impl Fabric {
                 .collect(),
             n,
             opts,
+            pool: Mutex::new(Vec::new()),
             progress: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
             abort: Mutex::new(None),
@@ -239,16 +278,16 @@ impl Fabric {
         self.progress.fetch_add(1, Ordering::SeqCst);
     }
 
-    fn register_blocked(&self, op: BlockedOp) {
+    pub(crate) fn register_blocked(&self, op: BlockedOp) {
         lock_recover(&self.blocked).insert(op.rank, op);
     }
 
-    fn unregister_blocked(&self, rank: u32) {
+    pub(crate) fn unregister_blocked(&self, rank: u32) {
         lock_recover(&self.blocked).remove(&rank);
     }
 
     /// Snapshot every blocked rank and abort with `WatchdogTimeout`.
-    fn fire_watchdog(&self) -> RuntimeError {
+    pub(crate) fn fire_watchdog(&self) -> RuntimeError {
         let mut blocked: Vec<BlockedOp> = lock_recover(&self.blocked).values().copied().collect();
         blocked.sort_by_key(|b| b.rank);
         self.abort(RuntimeError::WatchdogTimeout {
@@ -263,55 +302,90 @@ impl Fabric {
         (self.opts.watchdog / 8).max(Duration::from_millis(1))
     }
 
-    /// Apply `fault` to a packet and enqueue the surviving copies.
-    fn enqueue_faulty(chan: &mut Channel, seq: u64, mut data: Vec<u8>, fault: MessageFault) {
+    /// Park on `me`'s mailbox for one wait slice (or until a message
+    /// arrives / the world aborts). The parallel executor uses this to
+    /// sleep between polling passes over its owned ranks.
+    pub(crate) fn wait_activity(&self, me: u32) {
+        let mbox = &self.boxes[me as usize];
+        let st = lock_recover(&mbox.state);
+        let _ = mbox
+            .arrived
+            .wait_timeout(st, self.wait_slice())
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+
+    /// Pull a recycled buffer (or allocate) and fill it with `data`. The
+    /// buffer is cleared first and then fully rewritten, so its previous
+    /// contents are unobservable.
+    fn acquire_buf(&self, data: &[u8]) -> Vec<u8> {
+        let recycled = lock_recover(&self.pool).pop();
+        let mut buf = recycled.unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(data);
+        buf
+    }
+
+    /// Return a delivered payload's buffer to the pool.
+    fn release_buf(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = lock_recover(&self.pool);
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
+    /// Enqueue the views `fault` leaves visible (none for a drop, two for
+    /// a duplicate). The stored payload is untouched.
+    fn enqueue_views(chan: &mut Channel, seq: u64, fault: MessageFault) {
         if fault.drop {
             return;
         }
-        if let Some(hint) = fault.corrupt {
-            if !data.is_empty() {
-                let idx = (hint % data.len() as u64) as usize;
-                data[idx] ^= 0xA5;
-            }
-        }
         if fault.duplicate {
-            chan.queue.push_back(Packet {
+            chan.queue.push_back(View {
                 seq,
-                data: data.clone(),
+                corrupt: fault.corrupt,
             });
         }
-        chan.queue.push_back(Packet { seq, data });
+        chan.queue.push_back(View {
+            seq,
+            corrupt: fault.corrupt,
+        });
     }
 
     /// Buffered send: never blocks. Fails fast if the world has aborted.
-    pub fn send(&self, from: u32, to: u32, tag: u32, data: Vec<u8>) -> Result<(), RuntimeError> {
+    /// The payload is copied once, into a pooled buffer.
+    pub fn send(&self, from: u32, to: u32, tag: u32, data: &[u8]) -> Result<(), RuntimeError> {
         if let Some(e) = self.abort_error() {
             return Err(e);
         }
+        let payload = self.acquire_buf(data);
         let mbox = &self.boxes[to as usize];
         {
             let mut st = lock_recover(&mbox.state);
             let chan = st.chans.entry((from, tag)).or_default();
             let seq = chan.next_seq;
             chan.next_seq += 1;
-            if let Some(plan) = &self.opts.faults {
-                chan.log.push_back((seq, data.clone()));
-                let fault = plan.message_fault_attempt(from, to, tag, seq, 0);
-                Self::enqueue_faulty(chan, seq, data, fault);
-            } else {
-                chan.queue.push_back(Packet { seq, data });
-            }
+            chan.store.push_back((seq, payload));
+            let fault = match &self.opts.faults {
+                Some(plan) => plan.message_fault_attempt(from, to, tag, seq, 0),
+                None => MessageFault::clean(),
+            };
+            Self::enqueue_views(chan, seq, fault);
         }
         self.bump_progress();
         mbox.arrived.notify_all();
         Ok(())
     }
 
-    /// Pop the head-of-line packet for `(from, tag)` if it is deliverable:
-    /// stale duplicates are discarded, and under a fault plan the payload
-    /// is checked against the sender's pristine log copy. Returns
-    /// `Ok(Some(bytes))` on delivery, `Ok(None)` if nothing deliverable
-    /// yet, `Err` on a detected-corrupt packet with retransmit disabled.
+    /// Pop the head-of-line payload for `(from, tag)` if it is deliverable:
+    /// stale duplicate views are discarded, and a corrupt-marked view is
+    /// detectably damaged (discarded in favour of a clean duplicate or a
+    /// retransmit) unless the payload is empty — there is nothing to flip
+    /// in a zero-byte message. Returns `Ok(Some(payload))` on delivery
+    /// (moved out of the store), `Ok(None)` if nothing deliverable yet,
+    /// `Err` on a detected-corrupt view with retransmit disabled.
     fn take_deliverable(
         &self,
         chan: &mut Channel,
@@ -320,51 +394,70 @@ impl Fabric {
         tag: u32,
     ) -> Result<Option<Vec<u8>>, RuntimeError> {
         // Drop duplicates of already-delivered packets wherever they sit.
-        chan.queue.retain(|p| p.seq >= chan.delivered);
-        while let Some(idx) = chan.queue.iter().position(|p| p.seq == chan.delivered) {
-            let p = chan.queue.remove(idx).expect("index just found");
-            if self.opts.faults.is_some() {
-                let pristine = chan
-                    .log
+        chan.queue.retain(|v| v.seq >= chan.delivered);
+        while let Some(idx) = chan.queue.iter().position(|v| v.seq == chan.delivered) {
+            let view = chan.queue.remove(idx).expect("index just found");
+            if view.corrupt.is_some() {
+                let len = chan
+                    .store
                     .iter()
-                    .find(|(s, _)| *s == p.seq)
-                    .map(|(_, d)| d.clone());
-                if let Some(orig) = pristine {
-                    if orig != p.data {
-                        // Corrupted in flight: discard this copy; a clean
-                        // duplicate or a retransmit must supply it.
-                        if self.opts.max_retransmits == 0 {
-                            return Err(RuntimeError::CorruptPayload {
-                                from,
-                                to: me,
-                                tag,
-                                seq: p.seq,
-                            });
-                        }
-                        continue;
+                    .find(|(s, _)| *s == view.seq)
+                    .map(|(_, d)| d.len())
+                    .unwrap_or(0);
+                if len > 0 {
+                    if self.opts.max_retransmits == 0 {
+                        return Err(RuntimeError::CorruptPayload {
+                            from,
+                            to: me,
+                            tag,
+                            seq: view.seq,
+                        });
                     }
+                    continue;
                 }
             }
-            chan.delivered = p.seq + 1;
+            let pos = chan
+                .store
+                .iter()
+                .position(|(s, _)| *s == view.seq)
+                .expect("undelivered view implies a stored payload");
+            let (_, payload) = chan.store.remove(pos).expect("index just found");
+            chan.delivered = view.seq + 1;
             chan.head_attempts = 0;
-            while chan.log.front().is_some_and(|(s, _)| *s < chan.delivered) {
-                chan.log.pop_front();
-            }
-            return Ok(Some(p.data));
+            return Ok(Some(payload));
         }
         Ok(None)
     }
 
-    /// Blocking matched receive with retransmit recovery and watchdog.
-    /// `op_index` labels the schedule op for watchdog diagnostics.
-    pub fn recv(
+    /// Whether the head-of-line seq was sent but has no surviving view:
+    /// lost in flight, recoverable only by retransmitting from the store.
+    fn head_lost(&self, chan: &Channel) -> bool {
+        self.opts.faults.is_some() && chan.store.iter().any(|(s, _)| *s == chan.delivered)
+    }
+
+    /// Blocking batched receive: block until every entry of `wants` has
+    /// been delivered, calling `deliver(index, payload)` as each arrives
+    /// (in matching order per channel, arbitrary order across channels).
+    ///
+    /// This is the schedule interpreter's `WaitAll` primitive: the whole
+    /// batch shares one lock acquisition per polling pass and one condvar
+    /// park per idle interval, instead of a park per message. Lost or
+    /// corrupted heads are retransmitted with exponential backoff,
+    /// re-rolling the fault dice per attempt; a hung match is bounded by
+    /// the watchdog. On any failure the world is aborted and every
+    /// remaining want is abandoned.
+    pub fn recv_many(
         &self,
         me: u32,
-        from: u32,
-        tag: u32,
-        op_index: Option<usize>,
-    ) -> Result<Vec<u8>, RuntimeError> {
+        wants: &[RecvWant],
+        mut deliver: impl FnMut(usize, &[u8]),
+    ) -> Result<(), RuntimeError> {
+        if wants.is_empty() {
+            return Ok(());
+        }
         let mbox = &self.boxes[me as usize];
+        let mut done = vec![false; wants.len()];
+        let mut remaining = wants.len();
         let mut st = lock_recover(&mbox.state);
         let mut watch = ProgressWatch::new(self);
         let mut registered = false;
@@ -372,51 +465,101 @@ impl Fabric {
             if let Some(e) = self.abort_error() {
                 break Err(e);
             }
-            let chan = st.chans.entry((from, tag)).or_default();
-            match self.take_deliverable(chan, from, me, tag) {
-                Err(e) => break Err(e),
-                Ok(Some(data)) => break Ok(data),
-                Ok(None) => {}
+            let mut delivered_any = false;
+            let mut err = None;
+            // Wants whose head-of-line seq is lost in flight this pass.
+            let mut lost: Vec<(usize, u64)> = Vec::new();
+            // Channels that already failed to deliver this pass: FIFO
+            // matching means later wants on the same channel cannot
+            // deliver either (and must not double-charge the head's
+            // retransmit budget).
+            let mut stalled: Vec<Key> = Vec::new();
+            for (i, w) in wants.iter().enumerate() {
+                if done[i] || stalled.contains(&(w.from, w.tag)) {
+                    continue;
+                }
+                let chan = st.chans.entry((w.from, w.tag)).or_default();
+                match self.take_deliverable(chan, w.from, me, w.tag) {
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                    Ok(Some(payload)) => {
+                        if let Some(want) = w.len {
+                            if payload.len() != want {
+                                err = Some(RuntimeError::LengthMismatch {
+                                    rank: me,
+                                    from: w.from,
+                                    tag: w.tag,
+                                    got: payload.len(),
+                                    want,
+                                });
+                                break;
+                            }
+                        }
+                        deliver(i, &payload);
+                        self.release_buf(payload);
+                        done[i] = true;
+                        remaining -= 1;
+                        delivered_any = true;
+                        self.bump_progress();
+                    }
+                    Ok(None) => {
+                        stalled.push((w.from, w.tag));
+                        if self.head_lost(chan) {
+                            let seq = chan.delivered;
+                            if self.opts.max_retransmits == 0 {
+                                err = Some(RuntimeError::MessageDropped {
+                                    from: w.from,
+                                    to: me,
+                                    tag: w.tag,
+                                    seq,
+                                });
+                                break;
+                            }
+                            if chan.head_attempts >= self.opts.max_retransmits {
+                                err = Some(RuntimeError::RetriesExhausted {
+                                    from: w.from,
+                                    to: me,
+                                    tag: w.tag,
+                                    seq,
+                                    attempts: chan.head_attempts,
+                                });
+                                break;
+                            }
+                            chan.head_attempts += 1;
+                            lost.push((i, seq));
+                        }
+                    }
+                }
+            }
+            if let Some(e) = err {
+                break Err(e);
+            }
+            if remaining == 0 {
+                break Ok(());
+            }
+            if delivered_any {
+                continue;
             }
 
-            // Sent but not in the queue => lost in flight: retransmit from
-            // the pristine log with backoff, re-rolling the fault dice.
-            let lost = self
-                .opts
-                .faults
-                .as_ref()
-                .map(|_| chan.log.iter().any(|(s, _)| *s == chan.delivered))
-                .unwrap_or(false);
-            if lost {
-                let seq = chan.delivered;
-                if self.opts.max_retransmits == 0 {
-                    break Err(RuntimeError::MessageDropped {
-                        from,
-                        to: me,
-                        tag,
-                        seq,
-                    });
-                }
-                if chan.head_attempts >= self.opts.max_retransmits {
-                    break Err(RuntimeError::RetriesExhausted {
-                        from,
-                        to: me,
-                        tag,
-                        seq,
-                        attempts: chan.head_attempts,
-                    });
-                }
-                chan.head_attempts += 1;
-                let attempt = chan.head_attempts;
-                let pristine = chan
-                    .log
-                    .iter()
-                    .find(|(s, _)| *s == seq)
-                    .map(|(_, d)| d.clone())
-                    .expect("lost implies logged");
+            if !lost.is_empty() {
+                // Back off (shortest pending delay wins), then retransmit
+                // every head that is still lost, re-rolling its fault.
                 let plan = Arc::clone(self.opts.faults.as_ref().expect("lost implies faults"));
-                // Exponential backoff, lock released while sleeping.
-                let delay = backoff_delay(self.opts.backoff, attempt);
+                let delay = lost
+                    .iter()
+                    .map(|&(i, _)| {
+                        let w = &wants[i];
+                        let attempts = st
+                            .chans
+                            .get(&(w.from, w.tag))
+                            .map(|c| c.head_attempts)
+                            .unwrap_or(1);
+                        backoff_delay(self.opts.backoff, attempts)
+                    })
+                    .min()
+                    .expect("lost is non-empty");
                 let (g, _) = mbox
                     .arrived
                     .wait_timeout(st, delay)
@@ -425,21 +568,35 @@ impl Fabric {
                 if let Some(e) = self.abort_error() {
                     break Err(e);
                 }
-                let chan = st.chans.entry((from, tag)).or_default();
-                if chan.delivered == seq {
-                    let fault = plan.message_fault_attempt(from, me, tag, seq, attempt);
-                    Self::enqueue_faulty(chan, seq, pristine, fault);
-                    self.bump_progress();
+                for &(i, seq) in &lost {
+                    let w = &wants[i];
+                    let chan = st.chans.entry((w.from, w.tag)).or_default();
+                    if chan.delivered == seq {
+                        let fault =
+                            plan.message_fault_attempt(w.from, me, w.tag, seq, chan.head_attempts);
+                        Self::enqueue_views(chan, seq, fault);
+                        self.bump_progress();
+                    }
                 }
                 continue;
             }
 
-            // Genuinely not sent yet: park with the watchdog running.
+            // Genuinely not sent yet: park with the watchdog running. One
+            // park covers the whole batch.
             if !registered {
+                let w = wants
+                    .iter()
+                    .zip(&done)
+                    .find(|(_, d)| !**d)
+                    .map(|(w, _)| w)
+                    .expect("remaining > 0");
                 self.register_blocked(BlockedOp {
                     rank: me,
-                    op_index,
-                    kind: BlockedKind::Recv { peer: from, tag },
+                    op_index: w.op_index,
+                    kind: BlockedKind::Recv {
+                        peer: w.from,
+                        tag: w.tag,
+                    },
                 });
                 registered = true;
             }
@@ -452,14 +609,10 @@ impl Fabric {
             if let Some(stalled) = watch.stalled_for(self) {
                 if stalled >= self.opts.watchdog {
                     drop(st);
-                    if registered {
-                        // Leave our entry visible to the snapshot, then
-                        // clear it after firing.
-                        let err = self.fire_watchdog();
-                        self.unregister_blocked(me);
-                        return Err(err);
-                    }
                     let err = self.fire_watchdog();
+                    if registered {
+                        self.unregister_blocked(me);
+                    }
                     return Err(err);
                 }
             }
@@ -469,13 +622,142 @@ impl Fabric {
             self.unregister_blocked(me);
         }
         match result {
-            Ok(data) => {
-                self.bump_progress();
-                Ok(data)
-            }
+            Ok(()) => Ok(()),
             // Local delivery failures are world failures: latch and
             // rebroadcast so peers do not hang waiting for this rank.
             Err(e) => Err(self.abort(e)),
+        }
+    }
+
+    /// Blocking matched receive with retransmit recovery and watchdog.
+    /// `op_index` labels the schedule op for watchdog diagnostics.
+    pub fn recv(
+        &self,
+        me: u32,
+        from: u32,
+        tag: u32,
+        op_index: Option<usize>,
+    ) -> Result<Vec<u8>, RuntimeError> {
+        let mut got: Option<Vec<u8>> = None;
+        self.recv_many(
+            me,
+            &[RecvWant {
+                from,
+                tag,
+                op_index,
+                len: None,
+            }],
+            |_, payload| got = Some(payload.to_vec()),
+        )?;
+        Ok(got.expect("recv_many succeeded without delivering"))
+    }
+
+    /// Blocking matched receive straight into `out`. The payload length
+    /// must equal `out.len()`; a disagreement is a typed
+    /// [`RuntimeError::LengthMismatch`] that aborts the world.
+    pub fn recv_into(
+        &self,
+        me: u32,
+        from: u32,
+        tag: u32,
+        op_index: Option<usize>,
+        out: &mut [u8],
+    ) -> Result<(), RuntimeError> {
+        let want = out.len();
+        self.recv_many(
+            me,
+            &[RecvWant {
+                from,
+                tag,
+                op_index,
+                len: Some(want),
+            }],
+            |_, payload| out.copy_from_slice(payload),
+        )
+    }
+
+    /// Non-blocking matched receive into `out`: `Ok(true)` on delivery,
+    /// `Ok(false)` if nothing is deliverable yet. A lost or corrupted head
+    /// is retransmitted immediately (no backoff — the caller's polling
+    /// loop provides the pacing), bounded by the retransmit budget. Errors
+    /// abort the world, exactly like [`Fabric::recv_many`].
+    pub fn poll_recv_into(
+        &self,
+        me: u32,
+        from: u32,
+        tag: u32,
+        out: &mut [u8],
+    ) -> Result<bool, RuntimeError> {
+        if let Some(e) = self.abort_error() {
+            return Err(e);
+        }
+        let mbox = &self.boxes[me as usize];
+        let mut st = lock_recover(&mbox.state);
+        let chan = st.chans.entry((from, tag)).or_default();
+        let res = self.poll_chan(chan, from, me, tag, out);
+        drop(st);
+        match res {
+            Ok(delivered) => {
+                if delivered {
+                    self.bump_progress();
+                    mbox.arrived.notify_all();
+                }
+                Ok(delivered)
+            }
+            Err(e) => Err(self.abort(e)),
+        }
+    }
+
+    fn poll_chan(
+        &self,
+        chan: &mut Channel,
+        from: u32,
+        me: u32,
+        tag: u32,
+        out: &mut [u8],
+    ) -> Result<bool, RuntimeError> {
+        loop {
+            if let Some(payload) = self.take_deliverable(chan, from, me, tag)? {
+                if payload.len() != out.len() {
+                    return Err(RuntimeError::LengthMismatch {
+                        rank: me,
+                        from,
+                        tag,
+                        got: payload.len(),
+                        want: out.len(),
+                    });
+                }
+                out.copy_from_slice(&payload);
+                self.release_buf(payload);
+                return Ok(true);
+            }
+            if !self.head_lost(chan) {
+                return Ok(false);
+            }
+            let seq = chan.delivered;
+            if self.opts.max_retransmits == 0 {
+                return Err(RuntimeError::MessageDropped {
+                    from,
+                    to: me,
+                    tag,
+                    seq,
+                });
+            }
+            if chan.head_attempts >= self.opts.max_retransmits {
+                return Err(RuntimeError::RetriesExhausted {
+                    from,
+                    to: me,
+                    tag,
+                    seq,
+                    attempts: chan.head_attempts,
+                });
+            }
+            chan.head_attempts += 1;
+            let plan = self.opts.faults.as_ref().expect("lost implies faults");
+            let fault = plan.message_fault_attempt(from, me, tag, seq, chan.head_attempts);
+            Self::enqueue_views(chan, seq, fault);
+            self.bump_progress();
+            // Loop: the retransmitted view may be deliverable right away.
         }
     }
 
@@ -548,7 +830,7 @@ impl Fabric {
                 let st = lock_recover(&b.state);
                 st.chans
                     .values()
-                    .map(|c| c.queue.iter().filter(|p| p.seq >= c.delivered).count())
+                    .map(|c| c.queue.iter().filter(|v| v.seq >= c.delivered).count())
                     .sum::<usize>()
             })
             .sum()
@@ -574,8 +856,8 @@ mod tests {
     #[test]
     fn fifo_per_key() {
         let f = Fabric::new(2);
-        f.send(0, 1, 5, vec![1]).unwrap();
-        f.send(0, 1, 5, vec![2]).unwrap();
+        f.send(0, 1, 5, &[1]).unwrap();
+        f.send(0, 1, 5, &[2]).unwrap();
         assert_eq!(recv_ok(&f, 1, 0, 5), vec![1]);
         assert_eq!(recv_ok(&f, 1, 0, 5), vec![2]);
     }
@@ -583,8 +865,8 @@ mod tests {
     #[test]
     fn tags_do_not_cross_match() {
         let f = Fabric::new(2);
-        f.send(0, 1, 7, vec![7]).unwrap();
-        f.send(0, 1, 8, vec![8]).unwrap();
+        f.send(0, 1, 7, &[7]).unwrap();
+        f.send(0, 1, 8, &[8]).unwrap();
         assert_eq!(recv_ok(&f, 1, 0, 8), vec![8]);
         assert_eq!(recv_ok(&f, 1, 0, 7), vec![7]);
     }
@@ -593,7 +875,7 @@ mod tests {
     fn try_recv_nonblocking() {
         let f = Fabric::new(2);
         assert!(f.try_recv(1, 0, 0).is_none());
-        f.send(0, 1, 0, vec![9]).unwrap();
+        f.send(0, 1, 0, &[9]).unwrap();
         assert_eq!(f.try_recv(1, 0, 0), Some(vec![9]));
     }
 
@@ -603,7 +885,7 @@ mod tests {
         let f2 = Arc::clone(&f);
         let h = std::thread::spawn(move || f2.recv(1, 0, 3, None));
         std::thread::sleep(Duration::from_millis(20));
-        f.send(0, 1, 3, vec![42]).unwrap();
+        f.send(0, 1, 3, &[42]).unwrap();
         assert_eq!(h.join().unwrap().unwrap(), vec![42]);
     }
 
@@ -622,7 +904,7 @@ mod tests {
             other => panic!("expected WatchdogTimeout, got {other}"),
         }
         // The failure latched: subsequent sends fail fast.
-        assert!(f.send(0, 1, 0, vec![1]).is_err());
+        assert!(f.send(0, 1, 0, &[1]).is_err());
     }
 
     #[test]
@@ -630,7 +912,7 @@ mod tests {
         let plan = Arc::new(FaultPlan::new(0xD20B, 2, FaultSpec::drops(0.5)));
         let f = Fabric::with_options(2, WorldOptions::default().with_faults(plan));
         for i in 0..100u8 {
-            f.send(0, 1, 3, vec![i, i.wrapping_mul(7)]).unwrap();
+            f.send(0, 1, 3, &[i, i.wrapping_mul(7)]).unwrap();
         }
         for i in 0..100u8 {
             assert_eq!(recv_ok(&f, 1, 0, 3), vec![i, i.wrapping_mul(7)]);
@@ -647,7 +929,7 @@ mod tests {
                 .with_faults(plan)
                 .with_max_retransmits(0),
         );
-        f.send(0, 1, 0, vec![1, 2, 3]).unwrap();
+        f.send(0, 1, 0, &[1, 2, 3]).unwrap();
         let err = f.recv(1, 0, 0, None).unwrap_err();
         assert_eq!(
             err,
@@ -666,7 +948,7 @@ mod tests {
         let plan = Arc::new(FaultPlan::new(0xC0DE, 2, spec));
         let f = Fabric::with_options(2, WorldOptions::default().with_faults(plan));
         for i in 0..50u8 {
-            f.send(0, 1, 1, vec![i; 16]).unwrap();
+            f.send(0, 1, 1, &[i; 16]).unwrap();
         }
         for i in 0..50u8 {
             assert_eq!(recv_ok(&f, 1, 0, 1), vec![i; 16]);
@@ -678,11 +960,11 @@ mod tests {
         let spec = FaultSpec::none().with_duplicate(1.0);
         let plan = Arc::new(FaultPlan::new(7, 2, spec));
         let f = Fabric::with_options(2, WorldOptions::default().with_faults(plan));
-        f.send(0, 1, 0, vec![1]).unwrap();
-        f.send(0, 1, 0, vec![2]).unwrap();
+        f.send(0, 1, 0, &[1]).unwrap();
+        f.send(0, 1, 0, &[2]).unwrap();
         assert_eq!(recv_ok(&f, 1, 0, 0), vec![1]);
         assert_eq!(recv_ok(&f, 1, 0, 0), vec![2]);
-        // The duplicate copies are stale, not undelivered traffic.
+        // The duplicate views are stale, not undelivered traffic.
         assert_eq!(f.undelivered(), 0);
     }
 
@@ -719,7 +1001,7 @@ mod tests {
         })
         .join();
         // Sends and receives still work via PoisonError::into_inner.
-        f.send(0, 1, 0, vec![5]).unwrap();
+        f.send(0, 1, 0, &[5]).unwrap();
         assert_eq!(recv_ok(&f, 1, 0, 0), vec![5]);
     }
 
@@ -729,5 +1011,149 @@ mod tests {
         assert_eq!(backoff_delay(base, 1), base);
         assert_eq!(backoff_delay(base, 3), base * 4);
         assert!(backoff_delay(base, 30) <= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn pooled_buffer_is_reused_and_fully_overwritten() {
+        let f = Fabric::new(2);
+        // First message fills a fresh buffer with 16 bytes of 0xAA...
+        f.send(0, 1, 0, &[0xAA; 16]).unwrap();
+        let mut out = [0u8; 16];
+        f.recv_into(1, 0, 0, None, &mut out).unwrap();
+        assert_eq!(out, [0xAA; 16]);
+        assert_eq!(lock_recover(&f.pool).len(), 1, "delivery pools the buffer");
+        // ...and the second, shorter message recycles that exact buffer.
+        // Its stale 0xAA suffix must be unobservable: the stored payload
+        // is 4 bytes of 0xBB, nothing more.
+        f.send(0, 1, 0, &[0xBB; 4]).unwrap();
+        assert_eq!(lock_recover(&f.pool).len(), 0, "send drains the pool");
+        {
+            let st = lock_recover(&f.boxes[1].state);
+            let chan = &st.chans[&(0, 0)];
+            assert_eq!(chan.store.len(), 1);
+            assert_eq!(chan.store[0].1, vec![0xBB; 4]);
+            assert!(chan.store[0].1.capacity() >= 16, "recycled, not realloc'd");
+        }
+        let mut out = [0u8; 4];
+        f.recv_into(1, 0, 0, None, &mut out).unwrap();
+        assert_eq!(out, [0xBB; 4]);
+    }
+
+    #[test]
+    fn recv_into_length_mismatch_is_typed() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 2, &[1, 2, 3]).unwrap();
+        let mut out = [0u8; 5];
+        let err = f.recv_into(1, 0, 2, None, &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::LengthMismatch {
+                rank: 1,
+                from: 0,
+                tag: 2,
+                got: 3,
+                want: 5
+            }
+        );
+    }
+
+    #[test]
+    fn recv_many_drains_a_batch_across_channels() {
+        let f = Arc::new(Fabric::new(3));
+        // Rank 2 expects one message from each peer plus a second from
+        // rank 0, posted before anything was sent.
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || {
+            let wants = [
+                RecvWant {
+                    from: 0,
+                    tag: 1,
+                    op_index: Some(7),
+                    len: Some(2),
+                },
+                RecvWant {
+                    from: 1,
+                    tag: 1,
+                    op_index: Some(7),
+                    len: Some(3),
+                },
+                RecvWant {
+                    from: 0,
+                    tag: 1,
+                    op_index: Some(7),
+                    len: Some(2),
+                },
+            ];
+            let mut got: Vec<Vec<u8>> = vec![Vec::new(); wants.len()];
+            f2.recv_many(2, &wants, |i, payload| got[i] = payload.to_vec())
+                .map(|()| got)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        f.send(1, 2, 1, &[9, 9, 9]).unwrap();
+        f.send(0, 2, 1, &[1, 2]).unwrap();
+        f.send(0, 2, 1, &[3, 4]).unwrap();
+        let got = h.join().unwrap().unwrap();
+        // Same-channel wants match in posting order; channels commute.
+        assert_eq!(got, vec![vec![1, 2], vec![9, 9, 9], vec![3, 4]]);
+        assert_eq!(f.undelivered(), 0);
+    }
+
+    #[test]
+    fn recv_many_recovers_drops_across_the_batch() {
+        let plan = Arc::new(FaultPlan::new(0xFEED, 4, FaultSpec::drops(0.4)));
+        let f = Fabric::with_options(4, WorldOptions::default().with_faults(plan));
+        for from in 0..3u32 {
+            for i in 0..20u8 {
+                f.send(from, 3, 0, &[from as u8, i]).unwrap();
+            }
+        }
+        let mut wants = Vec::new();
+        for from in 0..3u32 {
+            for _ in 0..20 {
+                wants.push(RecvWant {
+                    from,
+                    tag: 0,
+                    op_index: None,
+                    len: Some(2),
+                });
+            }
+        }
+        let mut got = vec![Vec::new(); wants.len()];
+        f.recv_many(3, &wants, |i, payload| got[i] = payload.to_vec())
+            .unwrap();
+        for (i, w) in wants.iter().enumerate() {
+            assert_eq!(got[i], vec![w.from as u8, (i % 20) as u8]);
+        }
+        assert_eq!(f.undelivered(), 0);
+    }
+
+    #[test]
+    fn poll_recv_into_delivers_and_retransmits() {
+        // No faults: poll sees nothing, then the payload.
+        let f = Fabric::new(2);
+        let mut out = [0u8; 2];
+        assert!(!f.poll_recv_into(1, 0, 0, &mut out).unwrap());
+        f.send(0, 1, 0, &[6, 7]).unwrap();
+        assert!(f.poll_recv_into(1, 0, 0, &mut out).unwrap());
+        assert_eq!(out, [6, 7]);
+
+        // Heavy drops: a single poll must recover each payload by
+        // retransmitting inline (no backoff), within the retry budget.
+        let plan = Arc::new(FaultPlan::new(3, 2, FaultSpec::drops(0.5)));
+        let f = Fabric::with_options(
+            2,
+            WorldOptions::default()
+                .with_faults(plan)
+                .with_max_retransmits(64),
+        );
+        for i in 0..30u8 {
+            f.send(0, 1, 0, &[i]).unwrap();
+            let mut out = [0u8; 1];
+            assert!(
+                f.poll_recv_into(1, 0, 0, &mut out).unwrap(),
+                "poll retransmits a lost head inline"
+            );
+            assert_eq!(out, [i]);
+        }
     }
 }

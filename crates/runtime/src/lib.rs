@@ -43,10 +43,12 @@
 mod comm;
 mod error;
 mod fabric;
+mod parallel;
 
 pub use comm::{AlltoallRun, ThreadComm};
 pub use error::{BlockedKind, BlockedOp, RuntimeError};
-pub use fabric::{Fabric, WorldOptions};
+pub use fabric::{Fabric, RecvWant, WorldOptions};
+pub use parallel::{ParallelExecutor, ParallelOutput};
 
 use std::sync::Arc;
 

@@ -1,0 +1,467 @@
+//! Parallel deterministic schedule execution: many ranks, few threads.
+//!
+//! [`ParallelExecutor`] runs every rank of a compiled schedule
+//! concurrently on a small pool of worker threads (`std::thread::scope`),
+//! multiplexing each worker over a static round-robin partition of the
+//! ranks. Workers interpret their ranks' programs cooperatively: sends
+//! are eager (never block), and a `WaitAll` polls the fabric with
+//! [`Fabric::poll_recv_into`] so one stuck rank never wedges its worker —
+//! the worker simply moves on to its next rank and parks only when *none*
+//! of its ranks can progress.
+//!
+//! # Determinism
+//!
+//! The output bytes are independent of thread interleaving, and equal to
+//! the sequential `a2a_sched::DataExecutor`'s, because:
+//!
+//! * each `(from, to, tag)` channel is posted by exactly one sender in
+//!   its program order, and sequence numbers are assigned under the
+//!   destination mailbox lock, so per-channel payload order is fixed;
+//! * the receiver matches a channel strictly in posting order (a stalled
+//!   head blocks later receives on the *same* channel, never on others);
+//! * injected fault fates are pure hashes of `(from, to, tag, seq,
+//!   attempt)`, and the fabric's store-once payloads make every recovered
+//!   message byte-identical to its original send;
+//! * verified schedules write each receive into its own disjoint block.
+//!
+//! The full fault-injection machinery applies unchanged: drops and
+//! corruption are healed by inline retransmission, a dead rank fails the
+//! world before any thread spawns, and a genuinely hung schedule is
+//! bounded by the progress watchdog, which names every blocked rank.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use a2a_sched::{Block, Bytes, Op, RankProgram, ScheduleSource};
+
+use crate::comm::split_two;
+use crate::error::{BlockedKind, BlockedOp, RuntimeError};
+use crate::fabric::{Fabric, ProgressWatch, WorldOptions};
+
+/// Result of a successful parallel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelOutput {
+    /// Every rank's final receive buffer (`RBUF`), rank-ordered.
+    pub rbufs: Vec<Vec<u8>>,
+    /// Messages delivered.
+    pub messages: usize,
+    /// Total message payload bytes.
+    pub message_bytes: Bytes,
+    /// Total locally copied (repack) bytes.
+    pub copy_bytes: Bytes,
+}
+
+/// One rank's interpreter state, owned by a single worker thread.
+struct RankCtx<'s> {
+    rank: u32,
+    prog: Cow<'s, RankProgram>,
+    bufs: Vec<Vec<u8>>,
+    pc: usize,
+    /// Posted-but-unmatched receives: req id -> (from, tag, destination).
+    pending: HashMap<u32, (u32, u32, Block)>,
+    /// Requests already complete (sends at post time, receives at match).
+    done_reqs: Vec<bool>,
+    finished: bool,
+    /// Whether this rank currently has a `BlockedOp` entry registered
+    /// for watchdog diagnostics.
+    registered: bool,
+    messages: usize,
+    message_bytes: Bytes,
+    copy_bytes: Bytes,
+}
+
+/// Runs all ranks of a schedule on a bounded worker pool.
+pub struct ParallelExecutor;
+
+impl ParallelExecutor {
+    /// Run `source` with default options; `workers = 0` means one worker
+    /// per available CPU (capped at the rank count).
+    pub fn run(
+        source: &dyn ScheduleSource,
+        workers: usize,
+        fill: impl FnMut(u32, &mut [u8]),
+    ) -> Result<ParallelOutput, RuntimeError> {
+        Self::run_with(source, WorldOptions::default(), workers, fill)
+    }
+
+    /// Run `source` under `opts` (watchdog, retransmit budget, fault
+    /// plan). `fill(rank, sbuf)` seeds each rank's send buffer before any
+    /// thread spawns. Returns rank-ordered receive buffers and summed
+    /// traffic counters; any rank's failure (or a fault-plan dead rank)
+    /// fails the whole collective with the first error.
+    pub fn run_with(
+        source: &dyn ScheduleSource,
+        opts: WorldOptions,
+        workers: usize,
+        mut fill: impl FnMut(u32, &mut [u8]),
+    ) -> Result<ParallelOutput, RuntimeError> {
+        let n = source.nranks();
+        assert!(n > 0, "schedule must have at least one rank");
+        let fabric = Fabric::with_options(n, opts);
+        if let Some(plan) = fabric.fault_plan() {
+            if let Some(rank) = (0..n as u32).find(|&r| plan.is_dead(r)) {
+                return Err(fabric.abort(RuntimeError::DeadRank { rank }));
+            }
+        }
+
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        }
+        .min(n)
+        .max(1);
+
+        // Build all interpreter state up front, on this thread: programs
+        // stay borrowed from the source (no per-run clones), buffers are
+        // zeroed and the send buffers seeded by `fill`.
+        let mut chunks: Vec<Vec<RankCtx<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+        for r in 0..n as u32 {
+            let prog = source.rank_program(r);
+            let mut bufs: Vec<Vec<u8>> = source
+                .buffers(r)
+                .into_iter()
+                .map(|s| vec![0u8; s as usize])
+                .collect();
+            fill(r, &mut bufs[0]);
+            chunks[r as usize % workers].push(RankCtx {
+                rank: r,
+                done_reqs: vec![false; prog.n_reqs as usize],
+                prog,
+                bufs,
+                pc: 0,
+                pending: HashMap::new(),
+                finished: false,
+                registered: false,
+                messages: 0,
+                message_bytes: 0,
+                copy_bytes: 0,
+            });
+        }
+
+        std::thread::scope(|scope| {
+            for chunk in chunks.iter_mut() {
+                let fabric = &fabric;
+                let first_rank = chunk[0].rank;
+                scope.spawn(move || {
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| Self::worker(fabric, chunk)))
+                    {
+                        // Unblock peers before re-raising so the scope's
+                        // implicit joins all complete.
+                        fabric.abort(RuntimeError::RankPanicked { rank: first_rank });
+                        resume_unwind(payload);
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = fabric.abort_error() {
+            return Err(e);
+        }
+        let leftover = fabric.undelivered();
+        if leftover > 0 {
+            return Err(RuntimeError::UnconsumedMessages { count: leftover });
+        }
+
+        let mut ctxs: Vec<RankCtx<'_>> = chunks.into_iter().flatten().collect();
+        ctxs.sort_by_key(|c| c.rank);
+        let mut out = ParallelOutput {
+            rbufs: Vec::with_capacity(n),
+            messages: 0,
+            message_bytes: 0,
+            copy_bytes: 0,
+        };
+        for mut ctx in ctxs {
+            out.rbufs.push(ctx.bufs.swap_remove(1));
+            out.messages += ctx.messages;
+            out.message_bytes += ctx.message_bytes;
+            out.copy_bytes += ctx.copy_bytes;
+        }
+        Ok(out)
+    }
+
+    /// One worker's life: round-robin over its owned ranks until all have
+    /// finished, the world aborts, or the watchdog fires. Parks for one
+    /// wait slice only when a full pass over every rank made no progress.
+    fn worker(fabric: &Fabric, ctxs: &mut [RankCtx<'_>]) {
+        let mut watch = ProgressWatch::new(fabric);
+        loop {
+            if fabric.abort_error().is_some() {
+                break;
+            }
+            let mut progressed = false;
+            let mut unfinished = false;
+            for ctx in ctxs.iter_mut() {
+                if ctx.finished {
+                    continue;
+                }
+                match Self::advance(ctx, fabric) {
+                    // The fabric already latched and broadcast the error.
+                    Err(_) => {
+                        Self::deregister_all(fabric, ctxs);
+                        return;
+                    }
+                    Ok(p) => {
+                        if ctx.pc >= ctx.prog.ops.len() {
+                            assert!(
+                                ctx.pending.is_empty(),
+                                "rank {}: {} receives never waited on",
+                                ctx.rank,
+                                ctx.pending.len()
+                            );
+                            ctx.finished = true;
+                            progressed = true;
+                        } else {
+                            unfinished = true;
+                            progressed |= p;
+                        }
+                        if (p || ctx.finished) && ctx.registered {
+                            fabric.unregister_blocked(ctx.rank);
+                            ctx.registered = false;
+                        }
+                    }
+                }
+            }
+            if !unfinished {
+                break;
+            }
+            if progressed {
+                continue;
+            }
+            // Full pass, zero progress: every live rank is stuck on a
+            // receive. Publish each blocked state for the watchdog, then
+            // park on the first stuck rank's mailbox for one slice (a
+            // message for any owned rank is picked up within a slice).
+            let mut park_rank = None;
+            for ctx in ctxs.iter_mut() {
+                if ctx.finished {
+                    continue;
+                }
+                if park_rank.is_none() {
+                    park_rank = Some(ctx.rank);
+                }
+                if !ctx.registered {
+                    if let Some(op) = Self::stuck_recv(ctx) {
+                        fabric.register_blocked(op);
+                        ctx.registered = true;
+                    }
+                }
+            }
+            fabric.wait_activity(park_rank.expect("unfinished implies a live rank"));
+            if let Some(stalled) = watch.stalled_for(fabric) {
+                if stalled >= fabric.options().watchdog {
+                    fabric.fire_watchdog();
+                    break;
+                }
+            }
+        }
+        Self::deregister_all(fabric, ctxs);
+    }
+
+    fn deregister_all(fabric: &Fabric, ctxs: &mut [RankCtx<'_>]) {
+        for ctx in ctxs.iter_mut() {
+            if ctx.registered {
+                fabric.unregister_blocked(ctx.rank);
+                ctx.registered = false;
+            }
+        }
+    }
+
+    /// What `ctx` is blocked on, for watchdog diagnostics: the first
+    /// unmatched receive of the `WaitAll` at its program counter.
+    fn stuck_recv(ctx: &RankCtx<'_>) -> Option<BlockedOp> {
+        if let Op::WaitAll { first_req, count } = ctx.prog.ops[ctx.pc].op {
+            for req in first_req..first_req + count {
+                if ctx.done_reqs[req as usize] {
+                    continue;
+                }
+                if let Some(&(from, tag, _)) = ctx.pending.get(&req) {
+                    return Some(BlockedOp {
+                        rank: ctx.rank,
+                        op_index: Some(ctx.pc),
+                        kind: BlockedKind::Recv { peer: from, tag },
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Run `ctx` forward until it finishes or blocks at a `WaitAll` with
+    /// undelivered receives. Returns whether anything progressed. Errors
+    /// have already aborted the world when returned.
+    fn advance(ctx: &mut RankCtx<'_>, fabric: &Fabric) -> Result<bool, RuntimeError> {
+        let mut progressed = false;
+        while ctx.pc < ctx.prog.ops.len() {
+            match ctx.prog.ops[ctx.pc].op {
+                Op::Isend {
+                    to,
+                    block,
+                    tag,
+                    req,
+                    ..
+                } => {
+                    fabric.send(
+                        ctx.rank,
+                        to,
+                        tag,
+                        &ctx.bufs[block.buf.0 as usize][block.off as usize..block.end() as usize],
+                    )?;
+                    ctx.done_reqs[req as usize] = true;
+                }
+                Op::Irecv {
+                    from,
+                    block,
+                    tag,
+                    req,
+                } => {
+                    ctx.pending.insert(req, (from, tag, block));
+                }
+                Op::WaitAll { first_req, count } => {
+                    // Poll each outstanding receive in request (= posting)
+                    // order. A stalled head parks all later receives on
+                    // the same channel — FIFO matching must not skip — but
+                    // other channels keep draining.
+                    let mut all = true;
+                    let mut stalled: Vec<(u32, u32)> = Vec::new();
+                    for req in first_req..first_req + count {
+                        if ctx.done_reqs[req as usize] {
+                            continue;
+                        }
+                        let (from, tag, block) = match ctx.pending.get(&req) {
+                            Some(&v) => v,
+                            None => {
+                                panic!("rank {}: WaitAll names unposted request {req}", ctx.rank)
+                            }
+                        };
+                        if stalled.contains(&(from, tag)) {
+                            all = false;
+                            continue;
+                        }
+                        let dst = &mut ctx.bufs[block.buf.0 as usize]
+                            [block.off as usize..block.end() as usize];
+                        if fabric.poll_recv_into(ctx.rank, from, tag, dst)? {
+                            ctx.pending.remove(&req);
+                            ctx.done_reqs[req as usize] = true;
+                            ctx.messages += 1;
+                            ctx.message_bytes += block.len;
+                            progressed = true;
+                        } else {
+                            all = false;
+                            stalled.push((from, tag));
+                        }
+                    }
+                    if !all {
+                        return Ok(progressed);
+                    }
+                }
+                Op::Copy { src, dst } => {
+                    if src.buf == dst.buf {
+                        ctx.bufs[src.buf.0 as usize]
+                            .copy_within(src.off as usize..src.end() as usize, dst.off as usize);
+                    } else {
+                        let (s, d) =
+                            split_two(&mut ctx.bufs, src.buf.0 as usize, dst.buf.0 as usize);
+                        d[dst.off as usize..dst.end() as usize]
+                            .copy_from_slice(&s[src.off as usize..src.end() as usize]);
+                    }
+                    ctx.copy_bytes += src.len;
+                }
+            }
+            ctx.pc += 1;
+            progressed = true;
+        }
+        Ok(progressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_core::{A2AContext, AlgoSchedule, PairwiseAlltoall};
+    use a2a_sched::{check_alltoall_rbuf, fill_alltoall_sbuf, DataExecutor};
+    use a2a_topo::{Machine, ProcGrid, Rank};
+    use std::time::Duration;
+
+    fn pairwise_source(nodes: usize, s: u64) -> AlgoSchedule<'static> {
+        let grid = ProcGrid::new(Machine::custom("p", nodes, 2, 1, 2));
+        AlgoSchedule::new(&PairwiseAlltoall, A2AContext::new(grid, s))
+    }
+
+    #[test]
+    fn parallel_matches_sequential_executor() {
+        let src = pairwise_source(2, 16);
+        let n = src.nranks();
+        let seq = DataExecutor::run(&src, |r, buf| fill_alltoall_sbuf(r, n, 16, buf)).unwrap();
+        for workers in [1, 2, 3] {
+            let par =
+                ParallelExecutor::run(&src, workers, |r, buf| fill_alltoall_sbuf(r, n, 16, buf))
+                    .unwrap();
+            assert_eq!(par.rbufs, seq.rbufs, "workers={workers}");
+            assert_eq!(par.messages, seq.messages);
+            assert_eq!(par.message_bytes, seq.message_bytes);
+            for r in 0..n as u32 {
+                check_alltoall_rbuf(r, n, 16, &par.rbufs[r as usize]).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_watchdog_names_blocked_ranks() {
+        // A schedule that can never complete: rank 0 waits on a message
+        // rank 1 never sends.
+        use a2a_sched::{Block, Phase, ProgBuilder, RBUF};
+        struct Hung;
+        impl ScheduleSource for Hung {
+            fn nranks(&self) -> usize {
+                2
+            }
+            fn buffers(&self, _r: Rank) -> Vec<a2a_sched::Bytes> {
+                vec![8, 8]
+            }
+            fn build_rank(&self, r: Rank) -> RankProgram {
+                if r == 0 {
+                    let mut b = ProgBuilder::new(Phase(0));
+                    let req = b.irecv(1, Block::new(RBUF, 0, 8), 3);
+                    b.waitall(req, 1);
+                    b.finish()
+                } else {
+                    RankProgram::default()
+                }
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["all"]
+            }
+        }
+        let opts = WorldOptions::default().with_watchdog(Duration::from_millis(80));
+        let err = ParallelExecutor::run_with(&Hung, opts, 2, |_, _| {}).unwrap_err();
+        match err {
+            RuntimeError::WatchdogTimeout { blocked, .. } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].rank, 0);
+                assert_eq!(blocked[0].kind, BlockedKind::Recv { peer: 1, tag: 3 });
+            }
+            other => panic!("expected WatchdogTimeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parallel_dead_rank_is_typed() {
+        use a2a_faults::{FaultPlan, FaultSpec};
+        let spec = FaultSpec::none().with_dead(1.0, 1);
+        let plan = std::sync::Arc::new(FaultPlan::new(42, 4, spec));
+        let src = pairwise_source(1, 8);
+        let opts = WorldOptions::default().with_faults(plan.clone());
+        let err = ParallelExecutor::run_with(&src, opts, 2, |_, _| {}).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::DeadRank {
+                rank: plan.dead_ranks()[0]
+            }
+        );
+    }
+}

@@ -33,12 +33,17 @@
 
 pub mod builder;
 pub mod exec;
+pub mod exec_legacy;
 pub mod ir;
 pub mod validate;
 pub mod verify;
 
 pub use builder::ProgBuilder;
-pub use exec::{DataExecutor, ExecError, FaultInjector, FaultStats, MessageFault};
+pub use exec::{
+    DataExecutor, ExecError, ExecScratch, ExecStats, FaultInjector, FaultStats, MessageFault,
+    PreparedSchedule,
+};
+pub use exec_legacy::LegacyDataExecutor;
 pub use ir::{Block, BufId, Bytes, Op, Phase, RankProgram, TimedOp, RBUF, SBUF, TMP0, TMP1, TMP2};
 pub use validate::{validate, ScheduleStats, ValidationError};
 pub use verify::{
@@ -51,6 +56,13 @@ use a2a_topo::Rank;
 /// A complete schedule: per-rank programs plus per-rank buffer sizes,
 /// produced lazily so multi-thousand-rank schedules need not be resident
 /// all at once.
+///
+/// `build_rank` and `rank_program` default to each other, so an
+/// implementation must override at least one. Generator-style sources
+/// (the algorithms) implement `build_rank`; sources that already hold
+/// their programs (test fixtures, [`PreparedSchedule`]) override
+/// `rank_program` to hand out borrows, which keeps the executors'
+/// hot path free of per-run op-list clones.
 pub trait ScheduleSource {
     /// Number of ranks participating.
     fn nranks(&self) -> usize;
@@ -60,8 +72,17 @@ pub trait ScheduleSource {
     /// algorithm temporaries (may differ per rank, e.g. leaders vs members).
     fn buffers(&self, rank: Rank) -> Vec<Bytes>;
 
-    /// Build rank `rank`'s program.
-    fn build_rank(&self, rank: Rank) -> RankProgram;
+    /// Build rank `rank`'s program (owned).
+    fn build_rank(&self, rank: Rank) -> RankProgram {
+        self.rank_program(rank).into_owned()
+    }
+
+    /// Rank `rank`'s program, borrowed when the source already stores it.
+    /// Executors call this, never `build_rank`, so a stored program is
+    /// executed in place.
+    fn rank_program(&self, rank: Rank) -> std::borrow::Cow<'_, RankProgram> {
+        std::borrow::Cow::Owned(self.build_rank(rank))
+    }
 
     /// Human-readable phase names; `Phase(i)` indexes this list.
     fn phase_names(&self) -> Vec<&'static str>;

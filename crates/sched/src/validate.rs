@@ -289,8 +289,8 @@ mod tests {
         fn buffers(&self, _r: Rank) -> Vec<Bytes> {
             vec![self.bufsize, self.bufsize]
         }
-        fn build_rank(&self, r: Rank) -> RankProgram {
-            self.progs[r as usize].clone()
+        fn rank_program(&self, r: Rank) -> std::borrow::Cow<'_, RankProgram> {
+            std::borrow::Cow::Borrowed(&self.progs[r as usize])
         }
         fn phase_names(&self) -> Vec<&'static str> {
             vec!["all"]

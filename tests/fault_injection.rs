@@ -12,7 +12,9 @@ use alltoall_suite::algos::{
     MpichShmAlltoall, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, PairwiseAlltoall,
 };
 use alltoall_suite::faults::{FaultPlan, FaultSpec};
-use alltoall_suite::runtime::{BlockedKind, RuntimeError, ThreadWorld, WorldOptions};
+use alltoall_suite::runtime::{
+    BlockedKind, ParallelExecutor, RuntimeError, ThreadWorld, WorldOptions,
+};
 use alltoall_suite::sched::{
     check_alltoall_rbuf, fill_alltoall_sbuf, DataExecutor, ExecError, ScheduleSource,
 };
@@ -76,6 +78,80 @@ fn retransmit_recovers_injected_faults_for_every_algorithm() {
             }
         }
     }
+}
+
+#[test]
+fn parallel_mode_recovers_chaos_and_matches_sequential_bytes() {
+    // The parallel rank scheduler under the same chaos seeds: retransmit
+    // must hide every injected drop/duplicate/corruption, and the
+    // recovered output must be byte-identical to the sequential data
+    // executor's — for every algorithm, every seed, and an uneven worker
+    // split (3 workers over 8 ranks).
+    let grid = grid8();
+    let n = grid.world_size();
+    let s = 16u64;
+    let spec = FaultSpec::none()
+        .with_drop(0.15)
+        .with_duplicate(0.05)
+        .with_corrupt(0.05);
+    for seed in [1u64, 0xBAD5EED, 0xFA11] {
+        let plan = Arc::new(FaultPlan::new(seed, n, spec));
+        for algo in algos() {
+            let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), s));
+            let fill = |r: u32, b: &mut [u8]| fill_alltoall_sbuf(r, n, s, b);
+            let sequential = DataExecutor::run(&sched, fill)
+                .unwrap_or_else(|e| panic!("{} sequential: {e}", algo.name()));
+            let opts = WorldOptions::default().with_faults(plan.clone());
+            let parallel = ParallelExecutor::run_with(&sched, opts, 3, fill)
+                .unwrap_or_else(|e| panic!("{} seed {seed:#x}: {e}", algo.name()));
+            assert_eq!(
+                parallel.rbufs,
+                sequential.rbufs,
+                "{} seed {seed:#x}: parallel-under-chaos vs sequential bytes",
+                algo.name()
+            );
+            for (r, rbuf) in parallel.rbufs.iter().enumerate() {
+                check_alltoall_rbuf(r as u32, n, s, rbuf)
+                    .unwrap_or_else(|e| panic!("{} seed {seed:#x} rank {r}: {e}", algo.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_mode_without_retransmit_names_the_injected_fault() {
+    let grid = grid8();
+    let n = grid.world_size();
+    let s = 16u64;
+    let plan = Arc::new(FaultPlan::new(3, n, FaultSpec::drops(1.0)));
+    let opts = WorldOptions::default()
+        .with_faults(plan)
+        .with_max_retransmits(0);
+    let sched = AlgoSchedule::new(&PairwiseAlltoall, A2AContext::new(grid, s));
+    let err = ParallelExecutor::run_with(&sched, opts, 2, |r, b| fill_alltoall_sbuf(r, n, s, b))
+        .expect_err("every message dropped and no retransmit: must fail");
+    match err {
+        RuntimeError::MessageDropped { from, to, .. } => {
+            assert!(from < n as u32 && to < n as u32, "{from} -> {to}");
+            assert_ne!(from, to, "self-sends bypass the fault layer");
+        }
+        other => panic!("expected MessageDropped, got {other}"),
+    }
+}
+
+#[test]
+fn parallel_mode_dead_rank_fails_before_execution() {
+    let grid = grid8();
+    let n = grid.world_size();
+    let s = 8u64;
+    let spec = FaultSpec::none().with_dead(1.0, 1);
+    let plan = Arc::new(FaultPlan::new(11, n, spec));
+    let victim = plan.dead_ranks()[0];
+    let opts = WorldOptions::default().with_faults(plan.clone());
+    let sched = AlgoSchedule::new(&BruckAlltoall, A2AContext::new(grid, s));
+    let err = ParallelExecutor::run_with(&sched, opts, 2, |r, b| fill_alltoall_sbuf(r, n, s, b))
+        .expect_err("a dead rank must fail the collective");
+    assert_eq!(err, RuntimeError::DeadRank { rank: victim });
 }
 
 #[test]
