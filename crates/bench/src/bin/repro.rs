@@ -6,8 +6,11 @@
 //! repro table1                  # system architecture table
 //! repro fig12 --scale full      # paper-scale nodes (112 ppn -> 3584 ranks)
 //!
+//! repro lint --all              # static analysis over the whole roster
+//! repro lint --all --deny warnings   # CI gate: any finding fails
+//!
 //! options:
-//!   --nodes N      largest node count (default 32)
+//!   --nodes N      largest node count (default 32; `lint` defaults to 2)
 //!   --machine M    dane | amber | tuolumne (default dane; figs 17/18 override)
 //!   --runs R       jittered runs per point, minimum reported (default 3)
 //!   --seed S       base seed (default 1)
@@ -15,6 +18,8 @@
 //!   --out DIR      output directory (default results)
 //!   --baseline F   (bench4 only) gate against a prior BENCH_4.json: fail
 //!                  if any cell's fast messages/sec regresses >20%
+//!   --deny warnings    (lint only) exit nonzero on warnings, not just errors
+//!   --window N     (lint only) A2A005 per-destination send window (default 32)
 //! ```
 
 use std::path::PathBuf;
@@ -56,6 +61,9 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut want_table1 = false;
     let mut baseline: Option<PathBuf> = None;
+    let mut nodes_set = false;
+    let mut deny_warnings = false;
+    let mut lint_window: usize = 32;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -68,13 +76,26 @@ fn main() -> ExitCode {
                 .clone()
         };
         match arg.as_str() {
-            "--nodes" => cfg.nodes = value("--nodes").parse().expect("--nodes: integer"),
+            "--nodes" => {
+                cfg.nodes = value("--nodes").parse().expect("--nodes: integer");
+                nodes_set = true;
+            }
             "--machine" => cfg.machine = value("--machine"),
             "--runs" => cfg.runs = value("--runs").parse().expect("--runs: integer"),
             "--seed" => cfg.seed = value("--seed").parse().expect("--seed: integer"),
             "--scale" => cfg.full_scale = value("--scale") == "full",
             "--out" => out_dir = PathBuf::from(value("--out")),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--deny" => {
+                let what = value("--deny");
+                assert_eq!(what, "warnings", "--deny: only `warnings` is understood");
+                deny_warnings = true;
+            }
+            "--window" => lint_window = value("--window").parse().expect("--window: integer"),
+            // `lint` sweeps every preset already; `--all` is accepted for
+            // symmetry with `repro all` and in CI invocations.
+            "--all" => {}
+            "lint" => figures.push("lint".into()),
             "all" => figures.extend(known_figures().iter().map(|s| s.to_string())),
             "table1" => want_table1 = true,
             "tune" => figures.push("tune".into()),
@@ -82,11 +103,11 @@ fn main() -> ExitCode {
             "bench4" => figures.push("bench4".into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tune|chaos|bench4|fig7..fig18|headline|ablation-*]... [options]"
+                    "usage: repro [all|table1|tune|chaos|bench4|lint|fig7..fig18|headline|ablation-*]... [options]"
                 );
                 println!("figures: {:?}", known_figures());
                 println!(
-                    "options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR --baseline FILE"
+                    "options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR --baseline FILE --deny warnings --window N"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -123,6 +144,31 @@ fn main() -> ExitCode {
 
     for name in &figures {
         let start = Instant::now();
+        if name == "lint" {
+            // The sweep builds every rank program of every cell, so it
+            // defaults to a small grid; `--nodes` scales it up explicitly.
+            let nodes = if nodes_set { cfg.nodes } else { 2 };
+            let lcfg = a2a_lint::LintConfig {
+                send_window: lint_window,
+                ..Default::default()
+            };
+            let sweep = a2a_bench::lint_roster(nodes, &lcfg);
+            println!("\n{}", sweep.table());
+            for finding in &sweep.findings {
+                eprint!("{finding}");
+            }
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("lint.json"),
+                serde_json::to_string_pretty(&sweep).expect("serialize"),
+            )
+            .expect("write lint.json");
+            println!("  [lint done in {:.1?}]", start.elapsed());
+            if sweep.errors() > 0 || (deny_warnings && sweep.warnings() > 0) {
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
         if name == "tune" {
             let res = a2a_bench::tune(&cfg);
             println!(

@@ -17,6 +17,7 @@
 pub mod chaos;
 pub mod figures;
 pub mod harness;
+pub mod lint_sweep;
 pub mod microbench;
 pub mod throughput;
 pub mod tune;
@@ -26,5 +27,6 @@ pub use figures::{figure_by_name, known_figures};
 pub use harness::{
     machine_for, run_min, FigureData, RunConfig, Series, DEFAULT_SIZES, PAPER_GROUP_SIZES,
 };
+pub use lint_sweep::{lint_roster, LintCell, LintSweep};
 pub use throughput::{bench4, Bench4Cell, Bench4Report, REGRESSION_FLOOR};
 pub use tune::{tune, TuneResult};

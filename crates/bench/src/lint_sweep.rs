@@ -1,0 +1,203 @@
+//! `repro lint`: sweep the static analyzer across the algorithm roster.
+//!
+//! Every cell is one `(machine, algorithm, block size)` triple run through
+//! every lint pass (`a2a-lint`). The sweep covers the BENCH_4 grid (4 ppn)
+//! plus the three scaled paper machines (dane, amber, tuolumne), so both
+//! the flat and deeply hierarchical topologies are proven deadlock- and
+//! race-free at every paper block size. CI denies warnings: the roster
+//! must come back completely clean.
+
+use a2a_core::{A2AContext, AlgoSchedule};
+use a2a_lint::{lint_schedule, LintConfig, LintReport};
+use a2a_topo::ProcGrid;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{machine_for, DEFAULT_SIZES};
+use crate::throughput::{bench4_grid, bench4_roster};
+
+/// One linted `(machine, algorithm, block size)` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LintCell {
+    pub machine: String,
+    pub nodes: usize,
+    pub ppn: usize,
+    pub ranks: usize,
+    pub algo: String,
+    /// Per-process block bytes.
+    pub bytes: u64,
+    pub errors: usize,
+    pub warnings: usize,
+    /// Distinct lint codes reported, e.g. `["A2A004"]`.
+    pub codes: Vec<String>,
+}
+
+/// The full sweep (`results/lint.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LintSweep {
+    pub rendezvous: bool,
+    pub send_window: usize,
+    pub cells: Vec<LintCell>,
+    /// Rendered text reports of every non-clean cell.
+    pub findings: Vec<String>,
+}
+
+impl LintSweep {
+    pub fn errors(&self) -> usize {
+        self.cells.iter().map(|c| c.errors).sum()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.cells.iter().map(|c| c.warnings).sum()
+    }
+
+    /// Aligned ASCII summary, one line per machine x algorithm (sizes
+    /// collapse: a clean algorithm is clean at every size).
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# lint: {} cells, {} error(s), {} warning(s) (window {}, {} sends)",
+            self.cells.len(),
+            self.errors(),
+            self.warnings(),
+            self.send_window,
+            if self.rendezvous {
+                "rendezvous"
+            } else {
+                "eager"
+            },
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<28} {:>6} {:>7} {:>9}  codes",
+            "machine", "algorithm", "ranks", "errors", "warnings"
+        );
+        let mut i = 0;
+        while i < self.cells.len() {
+            let first = &self.cells[i];
+            let mut errors = 0;
+            let mut warnings = 0;
+            let mut codes: Vec<String> = Vec::new();
+            while i < self.cells.len()
+                && self.cells[i].machine == first.machine
+                && self.cells[i].algo == first.algo
+            {
+                errors += self.cells[i].errors;
+                warnings += self.cells[i].warnings;
+                for c in &self.cells[i].codes {
+                    if !codes.contains(c) {
+                        codes.push(c.clone());
+                    }
+                }
+                i += 1;
+            }
+            let _ = writeln!(
+                out,
+                "{:<10} {:<28} {:>6} {:>7} {:>9}  {}",
+                first.machine,
+                first.algo,
+                first.ranks,
+                errors,
+                warnings,
+                if codes.is_empty() {
+                    "clean".to_string()
+                } else {
+                    codes.join(",")
+                },
+            );
+        }
+        out
+    }
+}
+
+/// The topology presets the roster is linted on.
+fn lint_grids(nodes: usize) -> Vec<(String, ProcGrid)> {
+    let mut grids = vec![("bench".to_string(), bench4_grid(nodes))];
+    for name in ["dane", "amber", "tuolumne"] {
+        grids.push((
+            name.to_string(),
+            ProcGrid::new(machine_for(name, nodes, false)),
+        ));
+    }
+    grids
+}
+
+/// Lint the eight-algorithm roster on every preset at every paper block
+/// size. Individual reports are folded into [`LintCell`]s; the rendered
+/// text of any non-clean report lands in `findings`.
+pub fn lint_roster(nodes: usize, cfg: &LintConfig) -> LintSweep {
+    let mut sweep = LintSweep {
+        rendezvous: cfg.rendezvous,
+        send_window: cfg.send_window,
+        cells: Vec::new(),
+        findings: Vec::new(),
+    };
+    for (machine, grid) in lint_grids(nodes) {
+        for algo in bench4_roster() {
+            for &bytes in &DEFAULT_SIZES {
+                let label = format!(
+                    "{} {} n={} block={}",
+                    machine,
+                    algo.name(),
+                    grid.world_size(),
+                    bytes
+                );
+                let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), bytes));
+                let report = lint_schedule(label, &sched, &grid, cfg);
+                sweep
+                    .cells
+                    .push(cell(&machine, &grid, &algo.name(), bytes, &report));
+                if !report.is_clean() {
+                    sweep.findings.push(report.render_text());
+                }
+            }
+        }
+    }
+    sweep
+}
+
+fn cell(machine: &str, grid: &ProcGrid, algo: &str, bytes: u64, report: &LintReport) -> LintCell {
+    let mut codes: Vec<String> = Vec::new();
+    for d in &report.diags {
+        let c = d.code.to_string();
+        if !codes.contains(&c) {
+            codes.push(c);
+        }
+    }
+    LintCell {
+        machine: machine.to_string(),
+        nodes: grid.machine().nodes,
+        ppn: grid.machine().ppn(),
+        ranks: grid.world_size(),
+        algo: algo.to_string(),
+        bytes,
+        errors: report.errors(),
+        warnings: report.warnings(),
+        codes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_clean() {
+        let sweep = lint_roster(2, &LintConfig::default());
+        // 4 machines x 8 algorithms x 6 sizes.
+        assert_eq!(sweep.cells.len(), 4 * 8 * 6);
+        assert_eq!(sweep.errors(), 0, "{:?}", sweep.findings);
+        assert_eq!(sweep.warnings(), 0, "{:?}", sweep.findings);
+        assert!(sweep.findings.is_empty());
+    }
+
+    #[test]
+    fn table_collapses_sizes() {
+        let sweep = lint_roster(2, &LintConfig::default());
+        let t = sweep.table();
+        // One line per machine x algorithm plus the two headers.
+        assert_eq!(t.lines().count(), 2 + 4 * 8);
+        assert!(t.contains("clean"));
+    }
+}

@@ -83,6 +83,9 @@ fn parent(i: usize) -> usize {
 ///   `dst.1 + i*chunk`. Only read when `me == 0`.
 /// * `relay` — member scratch for the binomial flavor
 ///   ([`relay_chunks`] chunks).
+///
+/// The root's local chunk copy is elided when `src` already is its slot in
+/// `dst` (an identity copy — the validator rejects overlapping copies).
 #[allow(clippy::too_many_arguments)]
 pub fn build_gather(
     kind: GatherKind,
@@ -103,7 +106,9 @@ pub fn build_gather(
     match kind {
         GatherKind::Linear => {
             if me == 0 {
-                b.copy(src, dst_at(0));
+                if src != dst_at(0) {
+                    b.copy(src, dst_at(0));
+                }
                 let first = b.req_mark();
                 for i in 1..m {
                     b.irecv(comm.world(i), dst_at(i), tag);
@@ -115,7 +120,9 @@ pub fn build_gather(
         }
         GatherKind::Binomial => {
             if me == 0 {
-                b.copy(src, dst_at(0));
+                if src != dst_at(0) {
+                    b.copy(src, dst_at(0));
+                }
                 for c in children(0, m) {
                     let span = subtree_span(c, m) as Bytes;
                     b.recv(
@@ -176,7 +183,9 @@ pub fn build_scatter(
     match kind {
         GatherKind::Linear => {
             if me == 0 {
-                b.copy(src_at(0), dst);
+                if src_at(0) != dst {
+                    b.copy(src_at(0), dst);
+                }
                 let first = b.req_mark();
                 for i in 1..m {
                     b.isend(comm.world(i), src_at(i), tag);
@@ -198,7 +207,9 @@ pub fn build_scatter(
                         tag,
                     );
                 }
-                b.copy(src_at(0), dst);
+                if src_at(0) != dst {
+                    b.copy(src_at(0), dst);
+                }
             } else {
                 let span = subtree_span(me, m) as Bytes;
                 let kids = children(me, m);

@@ -1,0 +1,154 @@
+//! Byte-interval reasoning over [`Block`] regions.
+//!
+//! The zero-copy executor delivers a stable send with one direct memcpy at
+//! receive time, which is only sound if the source bytes are unchanged
+//! between `Isend` and the covering `WaitAll`. [`InFlight`] tracks exactly
+//! that window — every posted-but-unwaited request with its region — so an
+//! analysis pass can ask, at each op, "does this touch bytes that are in
+//! flight?".
+
+use a2a_topo::Rank;
+
+use crate::ir::Block;
+
+/// Whether two blocks name intersecting byte ranges of the same buffer.
+pub fn overlaps(a: &Block, b: &Block) -> bool {
+    a.buf == b.buf && a.off < b.end() && b.off < a.end()
+}
+
+/// One posted-but-unwaited request: its region plus enough context
+/// (peer, tag, posting position) to render a useful diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingOp {
+    pub req: u32,
+    /// Index of the posting op in the rank's program.
+    pub op_idx: usize,
+    pub block: Block,
+    /// Destination (for sends) or source (for receives) rank.
+    pub peer: Rank,
+    pub tag: u32,
+}
+
+/// The in-flight window of one rank, maintained while scanning its program
+/// in order: post on `Isend`/`Irecv`, retire on `WaitAll`.
+#[derive(Debug, Default)]
+pub struct InFlight {
+    sends: Vec<PendingOp>,
+    recvs: Vec<PendingOp>,
+}
+
+impl InFlight {
+    pub fn post_send(&mut self, p: PendingOp) {
+        self.sends.push(p);
+    }
+
+    pub fn post_recv(&mut self, p: PendingOp) {
+        self.recvs.push(p);
+    }
+
+    /// Retire every request in `first .. first + count` (a `WaitAll`).
+    pub fn retire(&mut self, first: u32, count: u32) {
+        let done = |req: u32| req >= first && req < first + count;
+        self.sends.retain(|p| !done(p.req));
+        self.recvs.retain(|p| !done(p.req));
+    }
+
+    /// Pending sends whose source region intersects `b`.
+    pub fn sends_overlapping<'a>(&'a self, b: &'a Block) -> impl Iterator<Item = &'a PendingOp> {
+        self.sends.iter().filter(move |p| overlaps(&p.block, b))
+    }
+
+    /// Pending receives whose destination region intersects `b`.
+    pub fn recvs_overlapping<'a>(&'a self, b: &'a Block) -> impl Iterator<Item = &'a PendingOp> {
+        self.recvs.iter().filter(move |p| overlaps(&p.block, b))
+    }
+
+    /// Number of pending sends addressed to `dest`.
+    pub fn sends_to(&self, dest: Rank) -> usize {
+        self.sends.iter().filter(|p| p.peer == dest).count()
+    }
+
+    /// Pending sends already on channel `(to, tag)` — a second concurrent
+    /// message here relies on FIFO transport ordering.
+    pub fn sends_on_channel(&self, to: Rank, tag: u32) -> Option<&PendingOp> {
+        self.sends.iter().find(|p| p.peer == to && p.tag == tag)
+    }
+
+    /// Pending receives already on channel `(from, tag)`.
+    pub fn recvs_on_channel(&self, from: Rank, tag: u32) -> Option<&PendingOp> {
+        self.recvs.iter().find(|p| p.peer == from && p.tag == tag)
+    }
+
+    pub fn pending_sends(&self) -> &[PendingOp] {
+        &self.sends
+    }
+
+    pub fn pending_recvs(&self) -> &[PendingOp] {
+        &self.recvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{RBUF, SBUF};
+
+    fn blk(off: u64, len: u64) -> Block {
+        Block::new(SBUF, off, len)
+    }
+
+    #[test]
+    fn overlap_requires_same_buffer_and_intersection() {
+        assert!(overlaps(&blk(0, 8), &blk(4, 8)));
+        assert!(overlaps(&blk(4, 8), &blk(0, 8)));
+        assert!(overlaps(&blk(0, 8), &blk(0, 8)));
+        assert!(!overlaps(&blk(0, 8), &blk(8, 8))); // touching, not overlapping
+        assert!(!overlaps(&blk(0, 8), &Block::new(RBUF, 0, 8)));
+    }
+
+    #[test]
+    fn inflight_posts_and_retires() {
+        let mut f = InFlight::default();
+        f.post_send(PendingOp {
+            req: 0,
+            op_idx: 0,
+            block: blk(0, 8),
+            peer: 1,
+            tag: 5,
+        });
+        f.post_recv(PendingOp {
+            req: 1,
+            op_idx: 1,
+            block: Block::new(RBUF, 0, 8),
+            peer: 1,
+            tag: 5,
+        });
+        assert_eq!(f.sends_overlapping(&blk(4, 4)).count(), 1);
+        assert_eq!(f.recvs_overlapping(&Block::new(RBUF, 7, 1)).count(), 1);
+        assert_eq!(f.sends_to(1), 1);
+        assert!(f.sends_on_channel(1, 5).is_some());
+        assert!(f.sends_on_channel(1, 6).is_none());
+        assert!(f.recvs_on_channel(1, 5).is_some());
+        f.retire(0, 2);
+        assert!(f.pending_sends().is_empty());
+        assert!(f.pending_recvs().is_empty());
+    }
+
+    #[test]
+    fn retire_is_range_scoped() {
+        let mut f = InFlight::default();
+        for req in 0..4 {
+            f.post_send(PendingOp {
+                req,
+                op_idx: req as usize,
+                block: blk(req as u64 * 8, 8),
+                peer: 2,
+                tag: 0,
+            });
+        }
+        assert_eq!(f.sends_to(2), 4);
+        f.retire(1, 2);
+        let left: Vec<u32> = f.pending_sends().iter().map(|p| p.req).collect();
+        assert_eq!(left, vec![0, 3]);
+    }
+}

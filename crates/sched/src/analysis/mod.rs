@@ -1,0 +1,21 @@
+//! Static-analysis support over compiled schedules.
+//!
+//! The validator ([`crate::validate`]) proves a schedule is *well-formed*;
+//! the machinery here supports proving it is *safe to execute*:
+//!
+//! * [`intervals`] — byte-interval reasoning over [`crate::Block`] regions
+//!   and an in-flight tracker for posted-but-unwaited requests, the basis
+//!   of the stable-send (zero-copy) and receive-race analyses;
+//! * [`waitgraph`] — the cross-rank wait-for graph over `WaitAll` ops,
+//!   whose acyclicity proves deadlock-freedom under eager or rendezvous
+//!   send semantics.
+//!
+//! The `a2a-lint` crate drives these into a diagnostics report with stable
+//! lint codes; they live here so the IR crate owns every schedule-shaped
+//! data structure.
+
+pub mod intervals;
+pub mod waitgraph;
+
+pub use intervals::{overlaps, InFlight, PendingOp};
+pub use waitgraph::{build_wait_graph, find_cycle, Blocker, SendMode, WaitForGraph, WaitNode};

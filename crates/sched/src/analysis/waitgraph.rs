@@ -1,0 +1,415 @@
+//! Cross-rank wait-for graph: static deadlock detection.
+//!
+//! A schedule can only block at a `WaitAll`, so deadlock-freedom reduces to
+//! acyclicity of a graph whose nodes are the `WaitAll` ops of every rank
+//! and whose edges say "this wait cannot complete until that wait does":
+//!
+//! * a waited `Irecv` completes only once the matching `Isend` has been
+//!   *posted* by its peer, and the peer reaches the posting op only after
+//!   every `WaitAll` preceding it completes — so the edge targets the
+//!   peer's latest `WaitAll` before the posting op;
+//! * under **rendezvous** semantics ([`SendMode::Rendezvous`]) a waited
+//!   `Isend` additionally completes only once the matching `Irecv` is
+//!   posted, giving the symmetric edge (under [`SendMode::Eager`] sends
+//!   are buffered and complete on posting — no edge);
+//! * a `WaitAll` is only *reached* after the same rank's previous
+//!   `WaitAll` completes, giving an intra-rank [`Blocker::Sequential`]
+//!   edge. Without it, a wait with no message dependencies of its own
+//!   would look always-completable even when it sits behind a blocked one.
+//!
+//! Message matching is FIFO per `(from, to, tag)` channel: the k-th send
+//! on a channel pairs with the k-th receive, exactly as the executors and
+//! the simulator match. Unmatched messages are the validator's department;
+//! the graph simply skips them.
+
+use std::collections::HashMap;
+
+use a2a_topo::Rank;
+
+use crate::ir::{Op, RankProgram};
+
+/// Send-completion semantics assumed by the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Sends are buffered: posting completes them (the data executor and
+    /// threaded runtime behave this way).
+    Eager,
+    /// A send's completion requires the matching receive to be posted (the
+    /// simulator's large-message protocol; the strongest static guarantee).
+    Rendezvous,
+}
+
+/// One `WaitAll` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitNode {
+    pub rank: Rank,
+    /// Index of the `WaitAll` in its rank's program.
+    pub op_idx: usize,
+    pub first_req: u32,
+    pub count: u32,
+}
+
+/// Why one wait depends on another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocker {
+    /// The source wait covers an `Irecv` (posted at `post_op`) whose
+    /// matching `Isend` sits at `peer_op` on `peer`, behind the target wait.
+    RecvNeedsSend {
+        req: u32,
+        post_op: usize,
+        peer: Rank,
+        peer_op: usize,
+        tag: u32,
+    },
+    /// Rendezvous only: the source wait covers an `Isend` (posted at
+    /// `post_op`) whose matching `Irecv` sits at `peer_op` on `peer`,
+    /// behind the target wait.
+    SendNeedsRecv {
+        req: u32,
+        post_op: usize,
+        peer: Rank,
+        peer_op: usize,
+        tag: u32,
+    },
+    /// The source wait is not even reached until the same rank's previous
+    /// wait completes.
+    Sequential,
+}
+
+/// The wait-for graph of one schedule.
+#[derive(Debug, Default)]
+pub struct WaitForGraph {
+    pub nodes: Vec<WaitNode>,
+    /// `edges[i]` — waits node `i` depends on, in deterministic order.
+    pub edges: Vec<Vec<(usize, Blocker)>>,
+}
+
+/// Per-rank indexing used during construction.
+struct RankIndex {
+    /// `req -> op index` of the posting `Isend`/`Irecv`.
+    post_op: HashMap<u32, usize>,
+    /// `op index -> node id` of the latest `WaitAll` strictly before it.
+    wait_before: Vec<Option<usize>>,
+}
+
+/// Build the wait-for graph for `progs` under `mode`.
+pub fn build_wait_graph(progs: &[RankProgram], mode: SendMode) -> WaitForGraph {
+    let mut g = WaitForGraph::default();
+    let mut idx: Vec<RankIndex> = Vec::with_capacity(progs.len());
+
+    // Pass 1: nodes, posting positions, and the latest-wait-before map.
+    for (r, prog) in progs.iter().enumerate() {
+        let mut post_op = HashMap::new();
+        let mut wait_before = Vec::with_capacity(prog.ops.len());
+        let mut last_wait = None;
+        for (i, top) in prog.ops.iter().enumerate() {
+            wait_before.push(last_wait);
+            match top.op {
+                Op::Isend { req, .. } | Op::Irecv { req, .. } => {
+                    post_op.insert(req, i);
+                }
+                Op::WaitAll { first_req, count } => {
+                    let id = g.nodes.len();
+                    g.nodes.push(WaitNode {
+                        rank: r as Rank,
+                        op_idx: i,
+                        first_req,
+                        count,
+                    });
+                    last_wait = Some(id);
+                }
+                Op::Copy { .. } => {}
+            }
+        }
+        idx.push(RankIndex {
+            post_op,
+            wait_before,
+        });
+    }
+
+    // Pass 2: FIFO channel matching. For every message op, the op index of
+    // its partner on the peer rank.
+    type Chan = (Vec<(usize, usize)>, Vec<(usize, usize)>); // (rank, op) posts
+    let mut chans: HashMap<(Rank, Rank, u32), Chan> = HashMap::new();
+    for (r, prog) in progs.iter().enumerate() {
+        for (i, top) in prog.ops.iter().enumerate() {
+            match top.op {
+                Op::Isend { to, tag, .. } => {
+                    chans
+                        .entry((r as Rank, to, tag))
+                        .or_default()
+                        .0
+                        .push((r, i));
+                }
+                Op::Irecv { from, tag, .. } => {
+                    chans
+                        .entry((from, r as Rank, tag))
+                        .or_default()
+                        .1
+                        .push((r, i));
+                }
+                _ => {}
+            }
+        }
+    }
+    // `(rank, op) -> (peer rank, peer op)` for matched messages.
+    let mut partner: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for (sends, recvs) in chans.values() {
+        for (s, r) in sends.iter().zip(recvs) {
+            partner.insert(*s, *r);
+            partner.insert(*r, *s);
+        }
+    }
+
+    // Pass 3: edges.
+    g.edges = vec![Vec::new(); g.nodes.len()];
+    for (id, node) in g.nodes.iter().enumerate() {
+        let r = node.rank as usize;
+        let mut edges = Vec::new();
+        // Reaching this wait requires the rank's previous wait to complete.
+        if let Some(prev) = idx[r].wait_before[node.op_idx] {
+            edges.push((prev, Blocker::Sequential));
+        }
+        for req in node.first_req..node.first_req + node.count {
+            let Some(&post) = idx[r].post_op.get(&req) else {
+                continue; // never posted: validator territory
+            };
+            let Some(&(peer, peer_op)) = partner.get(&(r, post)) else {
+                continue; // unmatched: validator territory
+            };
+            let Some(blocking_wait) = idx[peer].wait_before[peer_op] else {
+                continue; // partner is posted before the peer can block
+            };
+            let (tag, is_recv) = match progs[r].ops[post].op {
+                Op::Irecv { tag, .. } => (tag, true),
+                Op::Isend { tag, .. } => (tag, false),
+                _ => continue,
+            };
+            if is_recv {
+                edges.push((
+                    blocking_wait,
+                    Blocker::RecvNeedsSend {
+                        req,
+                        post_op: post,
+                        peer: peer as Rank,
+                        peer_op,
+                        tag,
+                    },
+                ));
+            } else if mode == SendMode::Rendezvous {
+                edges.push((
+                    blocking_wait,
+                    Blocker::SendNeedsRecv {
+                        req,
+                        post_op: post,
+                        peer: peer as Rank,
+                        peer_op,
+                        tag,
+                    },
+                ));
+            }
+        }
+        g.edges[id] = edges;
+    }
+    g
+}
+
+/// Find one dependency cycle, if any: the returned chain lists
+/// `(node, blocker)` pairs where each blocker explains the edge to the
+/// *next* node in the chain (the last entry points back to the first).
+pub fn find_cycle(g: &WaitForGraph) -> Option<Vec<(usize, Blocker)>> {
+    const NEW: u8 = 0;
+    const OPEN: u8 = 1;
+    const DONE: u8 = 2;
+    let n = g.nodes.len();
+    let mut state = vec![NEW; n];
+
+    for start in 0..n {
+        if state[start] != NEW {
+            continue;
+        }
+        // Iterative DFS: (node, next edge index to explore).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = OPEN;
+        while let Some(&(v, ei)) = stack.last() {
+            if ei >= g.edges[v].len() {
+                state[v] = DONE;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().unwrap().1 += 1;
+            let (to, blocker) = g.edges[v][ei];
+            match state[to] {
+                NEW => {
+                    state[to] = OPEN;
+                    stack.push((to, 0));
+                }
+                OPEN => {
+                    // Back edge: the cycle is the stack from `to` to `v`,
+                    // closed by this edge. Each stack entry's blocker is the
+                    // edge it last followed (index `ei - 1`).
+                    let from = stack.iter().position(|&(s, _)| s == to).expect("on stack");
+                    let mut chain: Vec<(usize, Blocker)> = stack[from..stack.len() - 1]
+                        .iter()
+                        .map(|&(s, sei)| (s, g.edges[s][sei - 1].1))
+                        .collect();
+                    chain.push((v, blocker));
+                    return Some(chain);
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgBuilder;
+    use crate::ir::{Block, Phase, RBUF, SBUF};
+
+    fn blk(off: u64) -> Block {
+        Block::new(SBUF, off, 8)
+    }
+
+    fn rblk(off: u64) -> Block {
+        Block::new(RBUF, off, 8)
+    }
+
+    /// Two ranks exchanging via sendrecv: deadlock-free in both modes.
+    fn sendrecv_pair() -> Vec<RankProgram> {
+        (0..2u32)
+            .map(|me| {
+                let peer = 1 - me;
+                let mut b = ProgBuilder::new(Phase(0));
+                b.sendrecv(peer, blk(0), 0, peer, rblk(0), 0);
+                b.finish()
+            })
+            .collect()
+    }
+
+    /// Two ranks both doing blocking send *then* recv: the classic
+    /// rendezvous deadlock.
+    fn head_to_head() -> Vec<RankProgram> {
+        (0..2u32)
+            .map(|me| {
+                let peer = 1 - me;
+                let mut b = ProgBuilder::new(Phase(0));
+                b.send(peer, blk(0), 0);
+                b.recv(peer, rblk(0), 0);
+                b.finish()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sendrecv_is_acyclic_under_rendezvous() {
+        let g = build_wait_graph(&sendrecv_pair(), SendMode::Rendezvous);
+        assert_eq!(g.nodes.len(), 2);
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn head_to_head_deadlocks_under_rendezvous_only() {
+        let progs = head_to_head();
+        let g = build_wait_graph(&progs, SendMode::Rendezvous);
+        let cycle = find_cycle(&g).expect("rendezvous deadlock");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle
+            .iter()
+            .all(|(_, b)| matches!(b, Blocker::SendNeedsRecv { .. })));
+        // Eager sends buffer: the same schedule completes.
+        let g = build_wait_graph(&progs, SendMode::Eager);
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn recv_first_deadlocks_in_every_mode() {
+        // Both ranks block on a receive before posting their send.
+        let progs: Vec<RankProgram> = (0..2u32)
+            .map(|me| {
+                let peer = 1 - me;
+                let mut b = ProgBuilder::new(Phase(0));
+                b.recv(peer, rblk(0), 0);
+                b.send(peer, blk(0), 0);
+                b.finish()
+            })
+            .collect();
+        for mode in [SendMode::Eager, SendMode::Rendezvous] {
+            let g = build_wait_graph(&progs, mode);
+            let cycle = find_cycle(&g).expect("recv-first deadlock");
+            assert!(cycle
+                .iter()
+                .all(|(_, b)| matches!(b, Blocker::RecvNeedsSend { .. })));
+        }
+    }
+
+    #[test]
+    fn three_rank_ring_of_blocking_recvs_is_cyclic() {
+        let progs: Vec<RankProgram> = (0..3u32)
+            .map(|me| {
+                let mut b = ProgBuilder::new(Phase(0));
+                b.recv((me + 1) % 3, rblk(0), 0);
+                b.send((me + 2) % 3, blk(0), 0);
+                b.finish()
+            })
+            .collect();
+        let g = build_wait_graph(&progs, SendMode::Eager);
+        let cycle = find_cycle(&g).expect("ring deadlock");
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn sequential_edges_propagate_blockage() {
+        // Message edges target the peer's *latest* wait before the posting
+        // op. That is only sound if a wait transitively depends on earlier
+        // waits of its rank. Here rank 0's send to rank 1 sits behind wait
+        // B, which covers only an innocent eager send — B is completable in
+        // isolation, but unreachable because wait A blocks on rank 2.
+        // Without the Sequential edge B -> A the cycle is invisible.
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.recv(2, rblk(0), 0); // wait A: blocked on rank 2's send
+        b0.send(2, blk(16), 9); // wait B: eager, no message edge
+        b0.send(1, blk(0), 0); // posted behind wait B
+        let mut b1 = ProgBuilder::new(Phase(0));
+        b1.recv(0, rblk(0), 0); // blocked: rank 0's send is behind B
+        b1.send(2, blk(0), 0);
+        let mut b2 = ProgBuilder::new(Phase(0));
+        let r = b2.irecv(0, rblk(16), 9); // tag-9 recv posted upfront
+        b2.recv(1, rblk(0), 0); // blocked: rank 1's send is behind its recv
+        b2.send(0, blk(0), 0);
+        b2.wait(r);
+        let progs = vec![b0.finish(), b1.finish(), b2.finish()];
+        let g = build_wait_graph(&progs, SendMode::Eager);
+        let cycle = find_cycle(&g).expect("deadlock through sequential edge");
+        assert!(cycle.iter().any(|(_, b)| matches!(b, Blocker::Sequential)));
+        assert!(cycle
+            .iter()
+            .any(|(_, b)| matches!(b, Blocker::RecvNeedsSend { .. })));
+    }
+
+    #[test]
+    fn fifo_matching_pairs_kth_send_with_kth_recv() {
+        // Rank 0 sends twice on one channel; rank 1's first recv is posted
+        // before it can block, the second behind a wait. Only the second
+        // send picks up an edge under rendezvous.
+        let mut b0 = ProgBuilder::new(Phase(0));
+        b0.send(1, blk(0), 7);
+        b0.send(1, blk(8), 7);
+        let mut b1 = ProgBuilder::new(Phase(0));
+        b1.irecv(0, rblk(0), 7);
+        b1.wait(0);
+        b1.recv(0, rblk(8), 7);
+        let progs = vec![b0.finish(), b1.finish()];
+        let g = build_wait_graph(&progs, SendMode::Rendezvous);
+        let rendezvous_edges: Vec<_> = g
+            .edges
+            .iter()
+            .flatten()
+            .filter(|(_, b)| matches!(b, Blocker::SendNeedsRecv { .. }))
+            .collect();
+        assert_eq!(rendezvous_edges.len(), 1);
+        assert!(find_cycle(&g).is_none());
+    }
+}

@@ -96,11 +96,17 @@ impl ProgBuilder {
     /// Local copy (repack step).
     ///
     /// # Panics
-    /// Panics on length mismatch or a zero-length copy, both of which
-    /// indicate a layout bug in the calling algorithm.
+    /// Panics on length mismatch, a zero-length copy, or a same-buffer
+    /// overlapping copy — all of which indicate a layout bug in the calling
+    /// algorithm (the validator rejects overlapping copies too; see
+    /// `ValidationError::CopyOverlap`).
     pub fn copy(&mut self, src: Block, dst: Block) {
         assert_eq!(src.len, dst.len, "copy length mismatch");
         assert!(src.len > 0, "zero-length copy");
+        assert!(
+            src.buf != dst.buf || src.end() <= dst.off || dst.end() <= src.off,
+            "overlapping same-buffer copy"
+        );
         self.push(Op::Copy { src, dst });
     }
 
@@ -261,5 +267,19 @@ mod tests {
     fn zero_copy_panics() {
         let mut b = ProgBuilder::new(Phase(0));
         b.copy(blk(0, 0), Block::new(RBUF, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_copy_panics() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.copy(blk(0, 8), blk(4, 8));
+    }
+
+    #[test]
+    fn adjacent_same_buffer_copy_allowed() {
+        let mut b = ProgBuilder::new(Phase(0));
+        b.copy(blk(0, 4), blk(4, 4));
+        assert_eq!(b.len(), 1);
     }
 }

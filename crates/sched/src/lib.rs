@@ -31,6 +31,7 @@
 //! assert_eq!(prog.ops.len(), 4); // copy, isend, irecv, waitall
 //! ```
 
+pub mod analysis;
 pub mod builder;
 pub mod exec;
 pub mod exec_legacy;

@@ -36,8 +36,16 @@ pub enum ValidationError {
     BadPeer { rank: Rank, peer: Rank },
     /// Request posted more than once, or `WaitAll` range out of bounds.
     BadRequest { rank: Rank, req: u32 },
+    /// A `WaitAll` covers a request that is only posted later in program
+    /// order — the wait would block on a request that does not exist yet.
+    WaitBeforePost { rank: Rank, req: u32 },
     /// A posted request is never waited on.
     UnwaitedRequest { rank: Rank, req: u32 },
+    /// A `Copy` whose source and destination ranges intersect in the same
+    /// buffer. All three executors happen to share memmove semantics, but
+    /// no algorithm needs an overlapping repack, so the validator rejects
+    /// it outright rather than blessing executor-dependent behaviour.
+    CopyOverlap { rank: Rank, src: Block, dst: Block },
     /// Send/receive sequences between a rank pair + tag don't line up.
     MatchFailure {
         from: Rank,
@@ -58,9 +66,88 @@ pub enum ValidationError {
 }
 
 impl std::fmt::Display for ValidationError {
-    // Developer-facing diagnostics; the Debug form is the honest one.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{self:?}")
+        match self {
+            ValidationError::WorldSizeMismatch { schedule, grid } => write!(
+                f,
+                "schedule is built for {schedule} rank(s) but the grid has {grid}"
+            ),
+            ValidationError::BadBlock {
+                rank,
+                block,
+                bufsize: Some(size),
+            } => write!(
+                f,
+                "rank {rank}: block [{}..{}) leaves buffer {} ({size} bytes) or is empty",
+                block.off,
+                block.end(),
+                block.buf.0
+            ),
+            ValidationError::BadBlock {
+                rank,
+                block,
+                bufsize: None,
+            } => write!(
+                f,
+                "rank {rank}: block [{}..{}) names undeclared buffer {}",
+                block.off,
+                block.end(),
+                block.buf.0
+            ),
+            ValidationError::SelfMessage { rank } => write!(
+                f,
+                "rank {rank} sends a message to itself; self-traffic must be a Copy"
+            ),
+            ValidationError::BadPeer { rank, peer } => {
+                write!(
+                    f,
+                    "rank {rank} addresses peer {peer}, which is not in the world"
+                )
+            }
+            ValidationError::BadRequest { rank, req } => write!(
+                f,
+                "rank {rank}: request {req} is posted twice, never posted, or waited out of range"
+            ),
+            ValidationError::WaitBeforePost { rank, req } => write!(
+                f,
+                "rank {rank}: request {req} is waited on before it is posted"
+            ),
+            ValidationError::UnwaitedRequest { rank, req } => write!(
+                f,
+                "rank {rank}: request {req} is posted but never waited on"
+            ),
+            ValidationError::CopyOverlap { rank, src, dst } => write!(
+                f,
+                "rank {rank}: copy source [{}..{}) overlaps destination [{}..{}) in buffer {}",
+                src.off,
+                src.end(),
+                dst.off,
+                dst.end(),
+                src.buf.0
+            ),
+            ValidationError::MatchFailure {
+                from,
+                to,
+                tag,
+                sends,
+                recvs,
+            } => write!(
+                f,
+                "channel {from}->{to} tag {tag}: {sends} send(s) but {recvs} receive(s)"
+            ),
+            ValidationError::MatchLengthFailure {
+                from,
+                to,
+                tag,
+                index,
+                send_len,
+                recv_len,
+            } => write!(
+                f,
+                "channel {from}->{to} tag {tag}: message {index} sends {send_len} bytes \
+                 but its receive expects {recv_len}"
+            ),
+        }
     }
 }
 
@@ -218,7 +305,12 @@ pub fn validate(
                 Op::WaitAll { first_req, count } => {
                     for req in first_req..first_req + count {
                         match waited.get_mut(req as usize) {
-                            Some(w) => *w = true,
+                            Some(w) => {
+                                if !posted[req as usize] {
+                                    return Err(ValidationError::WaitBeforePost { rank, req });
+                                }
+                                *w = true
+                            }
                             None => return Err(ValidationError::BadRequest { rank, req }),
                         }
                     }
@@ -226,6 +318,9 @@ pub fn validate(
                 Op::Copy { src, dst } => {
                     check_block(src)?;
                     check_block(dst)?;
+                    if src.buf == dst.buf && src.off < dst.end() && dst.off < src.end() {
+                        return Err(ValidationError::CopyOverlap { rank, src, dst });
+                    }
                     stats.copy_bytes += src.len;
                 }
             }
@@ -437,6 +532,105 @@ mod tests {
             validate(&f, &grid2()),
             Err(ValidationError::UnwaitedRequest { rank: 0, req: 0 })
         ));
+    }
+
+    #[test]
+    fn wait_before_post_rejected() {
+        // Hand-built: wait on req 1 before the recv that posts it.
+        use crate::ir::TimedOp;
+        let p0 = RankProgram {
+            ops: vec![
+                TimedOp {
+                    op: Op::Isend {
+                        to: 1,
+                        block: Block::new(SBUF, 0, 8),
+                        tag: 0,
+                        req: 0,
+                    },
+                    phase: Phase(0),
+                },
+                TimedOp {
+                    op: Op::WaitAll {
+                        first_req: 0,
+                        count: 2,
+                    },
+                    phase: Phase(0),
+                },
+                TimedOp {
+                    op: Op::Irecv {
+                        from: 1,
+                        block: Block::new(RBUF, 0, 8),
+                        tag: 0,
+                        req: 1,
+                    },
+                    phase: Phase(0),
+                },
+            ],
+            n_reqs: 2,
+        };
+        let mut b1 = ProgBuilder::new(Phase(0));
+        b1.sendrecv(0, Block::new(SBUF, 0, 8), 0, 0, Block::new(RBUF, 0, 8), 0);
+        let f = Fixed {
+            progs: vec![p0, b1.finish()],
+            bufsize: 8,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::WaitBeforePost { rank: 0, req: 1 })
+        ));
+    }
+
+    #[test]
+    fn overlapping_copy_rejected() {
+        // Hand-built (the builder refuses to construct this).
+        use crate::ir::TimedOp;
+        let p0 = RankProgram {
+            ops: vec![TimedOp {
+                op: Op::Copy {
+                    src: Block::new(SBUF, 0, 6),
+                    dst: Block::new(SBUF, 4, 6),
+                },
+                phase: Phase(0),
+            }],
+            n_reqs: 0,
+        };
+        let f = Fixed {
+            progs: vec![p0, RankProgram::default()],
+            bufsize: 16,
+        };
+        assert!(matches!(
+            validate(&f, &grid2()),
+            Err(ValidationError::CopyOverlap { rank: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = ValidationError::MatchFailure {
+            from: 3,
+            to: 5,
+            tag: 9,
+            sends: 2,
+            recvs: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "channel 3->5 tag 9: 2 send(s) but 1 receive(s)"
+        );
+        let e = ValidationError::WaitBeforePost { rank: 4, req: 7 };
+        assert_eq!(
+            e.to_string(),
+            "rank 4: request 7 is waited on before it is posted"
+        );
+        let e = ValidationError::CopyOverlap {
+            rank: 1,
+            src: Block::new(SBUF, 0, 8),
+            dst: Block::new(SBUF, 4, 8),
+        };
+        assert_eq!(
+            e.to_string(),
+            "rank 1: copy source [0..8) overlaps destination [4..12) in buffer 0"
+        );
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! A materialized schedule: owned programs + buffer sizes.
+//!
+//! The mutation harness needs to edit op lists in place, which the lazy
+//! [`ScheduleSource`] sources (algorithm generators) don't allow. `capture`
+//! snapshots any source into plain vectors; the result is itself a
+//! `ScheduleSource`, so the validator and linter consume it unchanged.
+
+use a2a_sched::{Bytes, RankProgram, ScheduleSource};
+use a2a_topo::Rank;
+
+/// An owned, editable snapshot of a schedule.
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    pub progs: Vec<RankProgram>,
+    /// Per-rank buffer sizes, indexed `[rank][buf]`.
+    pub buffers: Vec<Vec<Bytes>>,
+    pub phase_names: Vec<&'static str>,
+}
+
+impl FixedSchedule {
+    /// Snapshot every rank of `source`.
+    pub fn capture(source: &dyn ScheduleSource) -> Self {
+        let n = source.nranks();
+        FixedSchedule {
+            progs: (0..n as Rank).map(|r| source.build_rank(r)).collect(),
+            buffers: (0..n as Rank).map(|r| source.buffers(r)).collect(),
+            phase_names: source.phase_names(),
+        }
+    }
+}
+
+impl ScheduleSource for FixedSchedule {
+    fn nranks(&self) -> usize {
+        self.progs.len()
+    }
+
+    fn buffers(&self, rank: Rank) -> Vec<Bytes> {
+        self.buffers[rank as usize].clone()
+    }
+
+    fn rank_program(&self, rank: Rank) -> std::borrow::Cow<'_, RankProgram> {
+        std::borrow::Cow::Borrowed(&self.progs[rank as usize])
+    }
+
+    fn phase_names(&self) -> Vec<&'static str> {
+        self.phase_names.clone()
+    }
+}

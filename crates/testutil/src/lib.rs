@@ -10,6 +10,13 @@
 //!   number of cases and, on failure, prints the exact seed and generated
 //!   parameters needed to replay the single failing case.
 //!
+//! It also hosts the static analyzer's adversarial fixtures:
+//!
+//! * [`FixedSchedule`] — an owned, editable snapshot of any schedule source;
+//! * [`Mutation`] — seeded defect injection (dropped receives, aliased
+//!   copies, sequentialized exchanges, ...), each tied to the lint code the
+//!   analyzer must report.
+//!
 //! Reproduction knobs (environment variables):
 //!
 //! * `A2A_TEST_SEED`  — base seed for every suite (decimal or `0x…` hex);
@@ -19,5 +26,10 @@
 mod rng;
 mod runner;
 
+pub mod fixture;
+pub mod mutate;
+
+pub use fixture::FixedSchedule;
+pub use mutate::Mutation;
 pub use rng::Rng;
 pub use runner::{base_seed, case_count, run_cases};

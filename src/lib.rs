@@ -9,11 +9,14 @@
 //! * [`runtime`] — the threaded mini-MPI runtime with real data movement.
 //! * [`faults`] — seeded deterministic fault injection shared by all three
 //!   executors.
+//! * [`lint`] — the static schedule analyzer (deadlock, buffer-race,
+//!   determinism, and resource-pressure lints).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the architecture.
 
 pub use a2a_core as algos;
 pub use a2a_faults as faults;
+pub use a2a_lint as lint;
 pub use a2a_netsim as netsim;
 pub use a2a_runtime as runtime;
 pub use a2a_sched as sched;

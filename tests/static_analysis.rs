@@ -1,0 +1,276 @@
+//! The static analyzer, end to end: the algorithm roster must come back
+//! completely clean on every topology preset, every lint code must be
+//! demonstrable on a hand-built bad schedule, and seeded mutations of
+//! known-good schedules must always be flagged with the expected code.
+
+use a2a_testutil::{FixedSchedule, Mutation, Rng};
+use alltoall_suite::algos::*;
+use alltoall_suite::lint::{lint_schedule, Code, LintConfig, LintReport};
+use alltoall_suite::sched::{
+    Block, Bytes, Phase, ProgBuilder, RankProgram, ScheduleSource, RBUF, SBUF,
+};
+use alltoall_suite::topo::{Machine, ProcGrid};
+
+/// The paper's eight-algorithm roster (group sizes divide every preset's
+/// ppn below).
+fn roster() -> Vec<Box<dyn AlltoallAlgorithm>> {
+    vec![
+        Box::new(PairwiseAlltoall),
+        Box::new(NonblockingAlltoall),
+        Box::new(BruckAlltoall),
+        Box::new(HierarchicalAlltoall::new(4, ExchangeKind::Nonblocking)),
+        Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        Box::new(NodeAwareAlltoall::locality_aware(2, ExchangeKind::Pairwise)),
+        Box::new(MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise)),
+        Box::new(MpichShmAlltoall::default()),
+    ]
+}
+
+/// Topology presets: flat bench grid, the scaled dane/amber shape, and the
+/// scaled tuolumne shape (matching the `repro lint` sweep).
+fn presets() -> Vec<ProcGrid> {
+    vec![
+        ProcGrid::new(Machine::custom("bench", 2, 2, 1, 2)),
+        ProcGrid::new(Machine::custom("dane", 2, 2, 4, 4)),
+        ProcGrid::new(Machine::custom("tuolumne", 2, 4, 1, 8)),
+    ]
+}
+
+fn lint_fixed(f: &FixedSchedule, cfg: &LintConfig) -> LintReport {
+    let grid = ProcGrid::new(Machine::custom("t", 1, 1, 1, f.nranks()));
+    lint_schedule("fixed", f, &grid, cfg)
+}
+
+fn fixed(progs: Vec<RankProgram>, bufsize: Bytes) -> FixedSchedule {
+    let n = progs.len();
+    FixedSchedule {
+        progs,
+        buffers: vec![vec![bufsize, bufsize]; n],
+        phase_names: vec!["all"],
+    }
+}
+
+// ---------------------------------------------------------------- clean bill
+
+#[test]
+fn roster_is_clean_on_every_preset() {
+    let cfg = LintConfig::default();
+    for grid in presets() {
+        for algo in roster() {
+            for bytes in [4u64, 256, 4096] {
+                let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), bytes));
+                let report = lint_schedule(
+                    format!("{} block={bytes}", algo.name()),
+                    &sched,
+                    &grid,
+                    &cfg,
+                );
+                assert!(
+                    report.is_clean(),
+                    "{} on {} ranks, block {bytes}:\n{}",
+                    algo.name(),
+                    grid.world_size(),
+                    report.render_text()
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- one bad schedule per code
+
+#[test]
+fn a2a000_flags_malformed_schedule() {
+    let mut b = ProgBuilder::new(Phase(0));
+    b.send(1, Block::new(SBUF, 0, 8), 0); // no matching receive
+    let r = lint_fixed(
+        &fixed(vec![b.finish(), RankProgram::default()], 8),
+        &LintConfig::default(),
+    );
+    assert!(r.has(Code::Malformed), "{}", r.render_text());
+    assert_eq!(r.errors(), 1);
+}
+
+#[test]
+fn a2a001_flags_head_to_head_blocking_sends() {
+    let progs = (0..2u32)
+        .map(|me| {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.send(peer, Block::new(SBUF, 0, 8), 0);
+            b.recv(peer, Block::new(RBUF, 0, 8), 0);
+            b.finish()
+        })
+        .collect();
+    let r = lint_fixed(&fixed(progs, 8), &LintConfig::default());
+    assert!(r.has(Code::Deadlock), "{}", r.render_text());
+    let d = r.diags.iter().find(|d| d.code == Code::Deadlock).unwrap();
+    assert!(!d.notes.is_empty(), "cycle chain is rendered");
+}
+
+#[test]
+fn a2a002_flags_write_into_pending_send_source() {
+    let mut b0 = ProgBuilder::new(Phase(0));
+    let s = b0.isend(1, Block::new(SBUF, 0, 8), 0);
+    b0.copy(Block::new(RBUF, 0, 8), Block::new(SBUF, 0, 8));
+    b0.waitall(s, 1);
+    let mut b1 = ProgBuilder::new(Phase(0));
+    b1.recv(0, Block::new(RBUF, 0, 8), 0);
+    let r = lint_fixed(
+        &fixed(vec![b0.finish(), b1.finish()], 8),
+        &LintConfig::default(),
+    );
+    assert!(r.has(Code::UnstableSend), "{}", r.render_text());
+}
+
+#[test]
+fn a2a003_flags_overlapping_pending_receives() {
+    let mut b0 = ProgBuilder::new(Phase(0));
+    let first = b0.irecv(1, Block::new(RBUF, 0, 8), 0);
+    b0.irecv(1, Block::new(RBUF, 4, 8), 1);
+    b0.waitall(first, 2);
+    let mut b1 = ProgBuilder::new(Phase(0));
+    b1.send(0, Block::new(SBUF, 0, 8), 0);
+    b1.send(0, Block::new(SBUF, 0, 8), 1);
+    let r = lint_fixed(
+        &fixed(vec![b0.finish(), b1.finish()], 16),
+        &LintConfig::default(),
+    );
+    assert!(r.has(Code::RecvRace), "{}", r.render_text());
+}
+
+#[test]
+fn a2a004_flags_concurrent_same_channel_messages() {
+    let mut b0 = ProgBuilder::new(Phase(0));
+    let s = b0.isend(1, Block::new(SBUF, 0, 4), 9);
+    b0.isend(1, Block::new(SBUF, 4, 4), 9);
+    b0.waitall(s, 2);
+    let mut b1 = ProgBuilder::new(Phase(0));
+    let rr = b1.irecv(0, Block::new(RBUF, 0, 4), 9);
+    b1.irecv(0, Block::new(RBUF, 4, 4), 9);
+    b1.waitall(rr, 2);
+    let r = lint_fixed(
+        &fixed(vec![b0.finish(), b1.finish()], 8),
+        &LintConfig::default(),
+    );
+    assert!(r.has(Code::ChannelOrder), "{}", r.render_text());
+    assert_eq!(r.errors(), 0, "FIFO reliance is a warning, not an error");
+}
+
+#[test]
+fn a2a005_flags_send_window_pressure() {
+    let n = 6u32;
+    let mut b0 = ProgBuilder::new(Phase(0));
+    let first = b0.req_mark();
+    for k in 0..n {
+        b0.isend(1, Block::new(SBUF, k as Bytes * 4, 4), k);
+    }
+    b0.waitall(first, n);
+    let mut b1 = ProgBuilder::new(Phase(0));
+    let firstr = b1.req_mark();
+    for k in 0..n {
+        b1.irecv(0, Block::new(RBUF, k as Bytes * 4, 4), k);
+    }
+    b1.waitall(firstr, n);
+    let f = fixed(vec![b0.finish(), b1.finish()], 24);
+    let cfg = LintConfig {
+        send_window: 4,
+        ..Default::default()
+    };
+    let r = lint_fixed(&f, &cfg);
+    assert!(r.has(Code::SendWindow), "{}", r.render_text());
+    // The same burst sits inside the default window.
+    let r = lint_fixed(&f, &LintConfig::default());
+    assert!(r.is_clean(), "{}", r.render_text());
+}
+
+#[test]
+fn a2a006_flags_read_of_pending_receive_destination() {
+    let mut b0 = ProgBuilder::new(Phase(0));
+    let rr = b0.irecv(1, Block::new(RBUF, 0, 8), 0);
+    b0.copy(Block::new(RBUF, 0, 8), Block::new(SBUF, 0, 8));
+    b0.waitall(rr, 1);
+    let mut b1 = ProgBuilder::new(Phase(0));
+    b1.send(0, Block::new(SBUF, 0, 8), 0);
+    let r = lint_fixed(
+        &fixed(vec![b0.finish(), b1.finish()], 8),
+        &LintConfig::default(),
+    );
+    assert!(r.has(Code::UnstableRead), "{}", r.render_text());
+}
+
+// ------------------------------------------------------------ mutation suite
+
+/// Bases rich enough that every mutation finds a site in at least one:
+/// pairwise (sendrecv triples + copies), nonblocking (all requests posted
+/// upfront), Bruck (copies + sendrecv rings).
+fn mutation_bases() -> Vec<(String, FixedSchedule, ProcGrid)> {
+    let grid = ProcGrid::new(Machine::custom("mut", 2, 1, 1, 2)); // 4 ranks
+    let algos: Vec<Box<dyn AlltoallAlgorithm>> = vec![
+        Box::new(PairwiseAlltoall),
+        Box::new(NonblockingAlltoall),
+        Box::new(BruckAlltoall),
+    ];
+    algos
+        .into_iter()
+        .map(|a| {
+            let sched = AlgoSchedule::new(a.as_ref(), A2AContext::new(grid.clone(), 8));
+            (a.name(), FixedSchedule::capture(&sched), grid.clone())
+        })
+        .collect()
+}
+
+#[test]
+fn every_mutation_is_caught_with_its_expected_code() {
+    let bases = mutation_bases();
+    let cfg = LintConfig::default();
+    for m in Mutation::ALL {
+        let expected = m.expected_code();
+        let mut applied = 0usize;
+        for (name, base, grid) in &bases {
+            for seed in 0..5u64 {
+                let mut rng = Rng::new(0xA2A0 + seed);
+                let Some(mutant) = m.apply(base, &mut rng) else {
+                    continue;
+                };
+                applied += 1;
+                let report =
+                    lint_schedule(format!("{m} on {name} seed {seed}"), &mutant, grid, &cfg);
+                assert!(
+                    report.diags.iter().any(|d| d.code.as_str() == expected),
+                    "{m} on {name} (seed {seed}) must be flagged {expected}, got:\n{}",
+                    report.render_text()
+                );
+            }
+        }
+        assert!(
+            applied > 0,
+            "{m} never found an applicable site — silent pass"
+        );
+    }
+}
+
+#[test]
+fn unmutated_bases_are_clean() {
+    // The mutation suite proves nothing if the bases themselves are dirty.
+    let cfg = LintConfig::default();
+    for (name, base, grid) in &mutation_bases() {
+        let report = lint_schedule(name.clone(), base, grid, &cfg);
+        assert!(report.is_clean(), "{name}:\n{}", report.render_text());
+    }
+}
+
+#[test]
+fn mutants_fail_where_the_roster_passes_json_roundtrip() {
+    // The JSON rendering carries the mutant's code (what CI archives).
+    let bases = mutation_bases();
+    let (_, base, grid) = &bases[0];
+    let mut rng = Rng::new(1);
+    let mutant = Mutation::SequentializeSendrecv
+        .apply(base, &mut rng)
+        .expect("pairwise has sendrecv triples");
+    let report = lint_schedule("mutant", &mutant, grid, &LintConfig::default());
+    let json = report.render_json();
+    assert!(json.contains("\"code\":\"A2A001\""), "{json}");
+    assert!(report.errors() > 0);
+}
