@@ -5,6 +5,7 @@
 //! repro fig10 fig11             # specific figures
 //! repro table1                  # system architecture table
 //! repro fig12 --scale full      # paper-scale nodes (112 ppn -> 3584 ranks)
+//! repro fig12 --scale full --workers 4   # same, on the sharded engine
 //!
 //! repro lint --all              # static analysis over the whole roster
 //! repro lint --all --deny warnings   # CI gate: any finding fails
@@ -15,9 +16,12 @@
 //!   --runs R       jittered runs per point, minimum reported (default 3)
 //!   --seed S       base seed (default 1)
 //!   --scale full|small
+//!   --workers N    simulator worker threads (shards); 1 = sequential
+//!                  engine, 0 = all host cores. Results are byte-identical
+//!                  for any value; only wall-clock changes
 //!   --out DIR      output directory (default results)
-//!   --baseline F   (bench4 only) gate against a prior BENCH_4.json: fail
-//!                  if any cell's fast messages/sec regresses >20%
+//!   --baseline F   (bench4/bench6) gate against the matching prior
+//!                  BENCH_N.json: fail on a >20% normalized regression
 //!   --deny warnings    (lint only) exit nonzero on warnings, not just errors
 //!   --window N     (lint only) A2A005 per-destination send window (default 32)
 //! ```
@@ -84,6 +88,7 @@ fn main() -> ExitCode {
             "--runs" => cfg.runs = value("--runs").parse().expect("--runs: integer"),
             "--seed" => cfg.seed = value("--seed").parse().expect("--seed: integer"),
             "--scale" => cfg.full_scale = value("--scale") == "full",
+            "--workers" => cfg.workers = value("--workers").parse().expect("--workers: integer"),
             "--out" => out_dir = PathBuf::from(value("--out")),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
             "--deny" => {
@@ -101,13 +106,14 @@ fn main() -> ExitCode {
             "tune" => figures.push("tune".into()),
             "chaos" => figures.push("chaos".into()),
             "bench4" => figures.push("bench4".into()),
+            "bench6" => figures.push("bench6".into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tune|chaos|bench4|lint|fig7..fig18|headline|ablation-*]... [options]"
+                    "usage: repro [all|table1|tune|chaos|bench4|bench6|lint|fig7..fig18|headline|ablation-*]... [options]"
                 );
                 println!("figures: {:?}", known_figures());
                 println!(
-                    "options: --nodes N --machine M --runs R --seed S --scale full|small --out DIR --baseline FILE --deny warnings --window N"
+                    "options: --nodes N --machine M --runs R --seed S --scale full|small --workers N --out DIR --baseline FILE --deny warnings --window N"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -124,16 +130,7 @@ fn main() -> ExitCode {
     }
     figures.dedup();
 
-    let grid = cfg.grid();
-    println!(
-        "machine={} nodes={} ppn={} ranks={} scale={} runs={}",
-        cfg.machine,
-        cfg.nodes,
-        grid.machine().ppn(),
-        grid.world_size(),
-        if cfg.full_scale { "full" } else { "small" },
-        cfg.runs,
-    );
+    println!("{}", cfg.run_header());
 
     if want_table1 {
         let t = table1(&cfg);
@@ -218,6 +215,44 @@ fn main() -> ExitCode {
                     for (algo, bytes, ratio) in &bad {
                         eprintln!(
                             "REGRESSION: {algo} @ {bytes} B legacy-normalized msgs/sec at {:.2}x of baseline (floor {})",
+                            ratio,
+                            a2a_bench::REGRESSION_FLOOR
+                        );
+                    }
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "  baseline gate passed ({} cells vs {})",
+                    report.cells.len(),
+                    path.display()
+                );
+            }
+            continue;
+        }
+        if name == "bench6" {
+            let report = a2a_bench::bench6(&cfg);
+            println!("\n{}", report.table());
+            println!(
+                "  geomean speedup (sharded vs sequential engine): {:.2}x",
+                report.geomean_speedup()
+            );
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("BENCH_6.json"),
+                serde_json::to_string_pretty(&report).expect("serialize"),
+            )
+            .expect("write BENCH_6.json");
+            println!("  [bench6 done in {:.1?}]", start.elapsed());
+            if let Some(path) = &baseline {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+                let base: a2a_bench::Bench6Report =
+                    serde_json::from_str(&text).expect("parse baseline BENCH_6.json");
+                let bad = report.regressions_against(&base);
+                if !bad.is_empty() {
+                    for (algo, bytes, ratio) in &bad {
+                        eprintln!(
+                            "REGRESSION: {algo} @ {bytes} B sequential-normalized events/sec at {:.2}x of baseline (floor {})",
                             ratio,
                             a2a_bench::REGRESSION_FLOOR
                         );

@@ -41,8 +41,15 @@ pub fn known_figures() -> Vec<&'static str> {
     ]
 }
 
-/// Run one figure by name.
+/// Run one figure by name. The returned figure carries the run header
+/// (machine shape + shard/worker layout) for CSV/JSON provenance.
 pub fn figure_by_name(name: &str, cfg: &RunConfig) -> FigureData {
+    let mut fig = figure_by_name_inner(name, cfg);
+    fig.run_header.get_or_insert_with(|| cfg.run_header());
+    fig
+}
+
+fn figure_by_name_inner(name: &str, cfg: &RunConfig) -> FigureData {
     match name {
         "fig7" => fig7(cfg),
         "fig8" => fig8(cfg),
@@ -75,7 +82,15 @@ fn sweep_sizes(name: &str, title: &str, cfg: &RunConfig, roster: Roster) -> Figu
             points: DEFAULT_SIZES
                 .iter()
                 .map(|&s| {
-                    let rep = run_min(algo.as_ref(), &grid, &model, s, cfg.runs, cfg.seed);
+                    let rep = run_min(
+                        algo.as_ref(),
+                        &grid,
+                        &model,
+                        s,
+                        cfg.runs,
+                        cfg.seed,
+                        cfg.workers,
+                    );
                     (s as f64, rep.total_us)
                 })
                 .collect(),
@@ -85,6 +100,8 @@ fn sweep_sizes(name: &str, title: &str, cfg: &RunConfig, roster: Roster) -> Figu
         name: name.into(),
         title: title.into(),
         x_label: "bytes".into(),
+        // From the sweep's own cfg: figs 17/18 run on an override machine.
+        run_header: Some(cfg.run_header()),
         series,
     }
 }
@@ -223,7 +240,15 @@ fn fig_node_scaling(name: &str, s: u64, cfg: &RunConfig) -> FigureData {
         };
         let grid = sub.grid();
         for (i, (_, algo)) in roster.iter().enumerate() {
-            let rep = run_min(algo.as_ref(), &grid, &model, s, cfg.runs, cfg.seed);
+            let rep = run_min(
+                algo.as_ref(),
+                &grid,
+                &model,
+                s,
+                cfg.runs,
+                cfg.seed,
+                cfg.workers,
+            );
             series[i].points.push((nodes as f64, rep.total_us));
         }
     }
@@ -231,6 +256,7 @@ fn fig_node_scaling(name: &str, s: u64, cfg: &RunConfig) -> FigureData {
         name: name.into(),
         title: format!("Message size {s} bytes, node scaling"),
         x_label: "nodes".into(),
+        run_header: None,
         series,
     }
 }
@@ -259,7 +285,15 @@ fn breakdown_sizes(
             points: Vec::new(),
         };
         for &s in &DEFAULT_SIZES {
-            let rep: SimReport = run_min(algo.as_ref(), &grid, &model, s, cfg.runs, cfg.seed);
+            let rep: SimReport = run_min(
+                algo.as_ref(),
+                &grid,
+                &model,
+                s,
+                cfg.runs,
+                cfg.seed,
+                cfg.workers,
+            );
             for (i, p) in phases.iter().enumerate() {
                 per_phase[i]
                     .points
@@ -274,6 +308,7 @@ fn breakdown_sizes(
         name: name.into(),
         title: title.into(),
         x_label: "bytes".into(),
+        run_header: None,
         series,
     }
 }
@@ -344,7 +379,7 @@ fn fig15(cfg: &RunConfig) -> FigureData {
             ..cfg.clone()
         };
         let grid = sub.grid();
-        let rep = run_min(&algo, &grid, &model, 4096, cfg.runs, cfg.seed);
+        let rep = run_min(&algo, &grid, &model, 4096, cfg.runs, cfg.seed, cfg.workers);
         for (i, p) in phases.iter().enumerate() {
             series[i]
                 .points
@@ -357,6 +392,7 @@ fn fig15(cfg: &RunConfig) -> FigureData {
         name: "fig15".into(),
         title: "Node-aware breakdown, 4096 B, 2-32 nodes".into(),
         x_label: "nodes".into(),
+        run_header: None,
         series,
     }
 }
@@ -384,7 +420,7 @@ fn fig16(cfg: &RunConfig) -> FigureData {
     group_sizes.sort_unstable();
     for g in group_sizes {
         let algo = NodeAwareAlltoall::locality_aware(g, ExchangeKind::Pairwise);
-        let rep = run_min(&algo, &grid, &model, 4096, cfg.runs, cfg.seed);
+        let rep = run_min(&algo, &grid, &model, 4096, cfg.runs, cfg.seed, cfg.workers);
         for (i, p) in phases.iter().enumerate() {
             series[i]
                 .points
@@ -397,6 +433,7 @@ fn fig16(cfg: &RunConfig) -> FigureData {
         name: "fig16".into(),
         title: "Locality-aware breakdown vs processes per group (4096 B, 32 nodes)".into(),
         x_label: "ppg".into(),
+        run_header: None,
         series,
     }
 }
@@ -459,6 +496,7 @@ fn headline(cfg: &RunConfig) -> FigureData {
         name: "headline".into(),
         title: "Speedup of best novel algorithm over system MPI".into(),
         x_label: "bytes".into(),
+        run_header: None,
         series: vec![best],
     }
 }
@@ -515,7 +553,7 @@ fn ablation_grouping(cfg: &RunConfig) -> FigureData {
             let points = DEFAULT_SIZES
                 .iter()
                 .map(|&s| {
-                    let rep = run_min(&algo, &grid, &model, s, cfg.runs, cfg.seed);
+                    let rep = run_min(&algo, &grid, &model, s, cfg.runs, cfg.seed, cfg.workers);
                     (s as f64, rep.total_us)
                 })
                 .collect();
@@ -529,6 +567,7 @@ fn ablation_grouping(cfg: &RunConfig) -> FigureData {
         name: "ablation-grouping".into(),
         title: "NUMA-aligned vs unaligned aggregation groups".into(),
         x_label: "bytes".into(),
+        run_header: None,
         series,
     }
 }
@@ -545,7 +584,7 @@ fn ablation_eager(cfg: &RunConfig) -> FigureData {
         let points = DEFAULT_SIZES
             .iter()
             .map(|&s| {
-                let rep = run_min(&algo, &grid, &model, s, cfg.runs, cfg.seed);
+                let rep = run_min(&algo, &grid, &model, s, cfg.runs, cfg.seed, cfg.workers);
                 (s as f64, rep.total_us)
             })
             .collect();
@@ -558,6 +597,7 @@ fn ablation_eager(cfg: &RunConfig) -> FigureData {
         name: "ablation-eager".into(),
         title: "Node-aware sensitivity to the network eager threshold".into(),
         x_label: "bytes".into(),
+        run_header: None,
         series,
     }
 }

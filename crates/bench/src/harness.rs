@@ -5,7 +5,9 @@ use std::fs;
 use std::path::Path;
 
 use a2a_core::{A2AContext, AlgoSchedule, AlltoallAlgorithm};
-use a2a_netsim::{models, simulate_min_of, CostModel, SimReport};
+use a2a_netsim::{
+    models, simulate_min_of, simulate_min_of_sharded, CostModel, ShardOptions, SimReport,
+};
 use a2a_topo::{presets, Machine, ProcGrid};
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +30,10 @@ pub struct RunConfig {
     pub runs: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Simulator worker threads (shards). 1 = the sequential engine;
+    /// 0 = the host's available parallelism. Any value produces
+    /// byte-identical results — this only changes wall-clock.
+    pub workers: usize,
 }
 
 impl Default for RunConfig {
@@ -38,6 +44,7 @@ impl Default for RunConfig {
             full_scale: false,
             runs: 3,
             seed: 1,
+            workers: 1,
         }
     }
 }
@@ -49,6 +56,37 @@ impl RunConfig {
 
     pub fn model(&self) -> CostModel {
         models::for_machine(&self.machine)
+    }
+
+    /// Resolved worker count (0 = available parallelism, capped at nodes).
+    pub fn resolved_workers(&self) -> usize {
+        let w = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.workers
+        };
+        w.clamp(1, self.nodes)
+    }
+
+    /// The run-header line recorded in figure CSV/JSON output: the machine
+    /// shape plus the shard/worker layout of the simulator that produced
+    /// the data.
+    pub fn run_header(&self) -> String {
+        let grid = self.grid();
+        let workers = self.resolved_workers();
+        format!(
+            "machine={} nodes={} ppn={} ranks={} scale={} runs={} seed={} workers={} shards={} engine={}",
+            self.machine,
+            self.nodes,
+            grid.machine().ppn(),
+            grid.world_size(),
+            if self.full_scale { "full" } else { "small" },
+            self.runs,
+            self.seed,
+            workers,
+            workers,
+            if workers > 1 { "sharded" } else { "sequential" },
+        )
     }
 }
 
@@ -72,6 +110,8 @@ pub fn machine_for(name: &str, nodes: usize, full_scale: bool) -> Machine {
 }
 
 /// Simulate one algorithm at one size: min of `runs` jittered executions.
+/// `workers > 1` routes through the sharded parallel engine, which is
+/// byte-identical to the sequential one for any worker count.
 pub fn run_min(
     algo: &dyn AlltoallAlgorithm,
     grid: &ProcGrid,
@@ -79,10 +119,17 @@ pub fn run_min(
     s: u64,
     runs: usize,
     seed: u64,
+    workers: usize,
 ) -> SimReport {
     let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), s));
-    simulate_min_of(&sched, grid, model, runs, seed)
-        .unwrap_or_else(|e| panic!("{} (s={s}): {e}", algo.name()))
+    if workers == 1 {
+        simulate_min_of(&sched, grid, model, runs, seed)
+            .unwrap_or_else(|e| panic!("{} (s={s}): {e}", algo.name()))
+    } else {
+        let sopts = ShardOptions::with_workers(workers);
+        simulate_min_of_sharded(&sched, grid, model, runs, seed, &sopts)
+            .unwrap_or_else(|e| panic!("{} (s={s}): {e}", algo.name()))
+    }
 }
 
 /// One plotted line.
@@ -102,6 +149,10 @@ pub struct FigureData {
     pub title: String,
     /// "bytes" or "nodes".
     pub x_label: String,
+    /// Provenance line ([`RunConfig::run_header`]): machine shape and the
+    /// shard/worker layout of the engine that produced the data. Emitted
+    /// as a `#` comment ahead of the CSV header and carried in the JSON.
+    pub run_header: Option<String>,
     pub series: Vec<Series>,
 }
 
@@ -117,6 +168,9 @@ impl FigureData {
         xs.dedup();
         let mut out = String::new();
         let _ = writeln!(out, "# {} — {}", self.name, self.title);
+        if let Some(h) = &self.run_header {
+            let _ = writeln!(out, "# {h}");
+        }
         let _ = write!(out, "{:>10}", self.x_label);
         for s in &self.series {
             let _ = write!(out, " {:>26}", truncate(&s.label, 26));
@@ -149,6 +203,9 @@ impl FigureData {
         xs.sort_by(f64::total_cmp);
         xs.dedup();
         let mut out = String::new();
+        if let Some(h) = &self.run_header {
+            let _ = writeln!(out, "# {h}");
+        }
         let _ = write!(out, "{}", self.x_label);
         for s in &self.series {
             let _ = write!(out, ",{}", s.label.replace(',', ";"));
@@ -240,8 +297,8 @@ mod tests {
         };
         let grid = cfg.grid();
         let model = cfg.model();
-        let rep = run_min(&PairwiseAlltoall, &grid, &model, 64, 3, 1);
-        let single = run_min(&PairwiseAlltoall, &grid, &model, 64, 1, 1);
+        let rep = run_min(&PairwiseAlltoall, &grid, &model, 64, 3, 1, 1);
+        let single = run_min(&PairwiseAlltoall, &grid, &model, 64, 1, 1, 1);
         // Jittered minimum should be within noise of the exact run.
         assert!((rep.total_us - single.total_us).abs() / single.total_us < 0.2);
     }
@@ -252,6 +309,7 @@ mod tests {
             name: "figX".into(),
             title: "test".into(),
             x_label: "bytes".into(),
+            run_header: None,
             series: vec![
                 Series {
                     label: "a".into(),

@@ -19,6 +19,7 @@ pub mod figures;
 pub mod harness;
 pub mod lint_sweep;
 pub mod microbench;
+pub mod simrate;
 pub mod throughput;
 pub mod tune;
 
@@ -28,5 +29,6 @@ pub use harness::{
     machine_for, run_min, FigureData, RunConfig, Series, DEFAULT_SIZES, PAPER_GROUP_SIZES,
 };
 pub use lint_sweep::{lint_roster, LintCell, LintSweep};
+pub use simrate::{bench6, Bench6Cell, Bench6Report};
 pub use throughput::{bench4, Bench4Cell, Bench4Report, REGRESSION_FLOOR};
 pub use tune::{tune, TuneResult};

@@ -1,0 +1,337 @@
+//! BENCH_6: simulator throughput, sequential vs sharded engine.
+//!
+//! Measures the discrete-event engine's end-to-end rate — simulated events
+//! per wall-clock second — for the paper's eight all-to-all algorithms at
+//! two representative block sizes, timed twice per cell:
+//!
+//! * **seq**: [`simulate`] — one shard, the plain heap loop;
+//! * **par**: [`simulate_sharded_stats`] with the configured worker count —
+//!   nodes partitioned into shards behind the conservative lookahead
+//!   horizon.
+//!
+//! Every parallel run is checked bit-identical to its sequential twin
+//! before being timed, so a throughput number can never come from a wrong
+//! answer, and the causality-violation counter must read zero. The report
+//! (`BENCH_6.json`) carries both rates plus the speedup per cell and can
+//! be gated against a checked-in baseline (`repro bench6 --baseline`)
+//! exactly like BENCH_4: the gate compares *speedup* (parallel over
+//! sequential on the same host, in the same process), which is portable
+//! across runner hardware, against [`REGRESSION_FLOOR`] on the sweep
+//! geomean and [`CELL_FLOOR`] per cell. On a single-core runner the
+//! speedups sit near (or below) 1.0 — the gate still catches the sharded
+//! engine regressing relative to the recorded baseline ratio.
+
+use std::time::{Duration, Instant};
+
+use a2a_core::{
+    A2AContext, AlgoSchedule, AlltoallAlgorithm, BruckAlltoall, ExchangeKind, HierarchicalAlltoall,
+    MpichShmAlltoall, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, NonblockingAlltoall,
+    PairwiseAlltoall,
+};
+use a2a_netsim::{simulate, simulate_sharded_stats, Perturb, ShardOptions, SimOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::RunConfig;
+use crate::throughput::{CELL_FLOOR, REGRESSION_FLOOR};
+
+/// Block sizes timed per algorithm: one eager-dominated, one
+/// rendezvous-dominated at the default inter-node threshold.
+pub const BENCH6_SIZES: [u64; 2] = [256, 4096];
+
+/// Timed repetitions per cell and engine; the fastest is kept (noise only
+/// ever slows a run down).
+const REPS: usize = 2;
+
+/// The eight algorithms of the paper's evaluation, at the group size the
+/// figures use (4 processes per leader/group).
+pub fn bench6_roster(ppn: usize) -> Vec<Box<dyn AlltoallAlgorithm>> {
+    vec![
+        Box::new(PairwiseAlltoall),
+        Box::new(NonblockingAlltoall),
+        Box::new(BruckAlltoall),
+        Box::new(HierarchicalAlltoall::new(ppn, ExchangeKind::Nonblocking)),
+        Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        Box::new(NodeAwareAlltoall::locality_aware(4, ExchangeKind::Pairwise)),
+        Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
+        Box::new(MpichShmAlltoall::default()),
+    ]
+}
+
+/// One `(algorithm, block size)` measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bench6Cell {
+    pub algo: String,
+    /// Per-process block bytes.
+    pub bytes: u64,
+    /// Events one simulation processes (identical for both engines).
+    pub events_per_run: u64,
+    /// Events crossing a shard boundary in the parallel run.
+    pub cross_events: u64,
+    /// Sequential engine rate.
+    pub seq_events_per_sec: f64,
+    /// Sharded engine rate at the report's worker count.
+    pub par_events_per_sec: f64,
+    /// `par_events_per_sec / seq_events_per_sec`.
+    pub speedup: f64,
+}
+
+/// The full BENCH_6 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bench6Report {
+    pub machine: String,
+    pub nodes: usize,
+    pub ppn: usize,
+    pub ranks: usize,
+    /// Worker threads the parallel runs used.
+    pub workers: usize,
+    /// Shards the node range was partitioned into.
+    pub shards: usize,
+    pub cells: Vec<Bench6Cell>,
+}
+
+impl Bench6Report {
+    /// Aligned ASCII rendering.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# BENCH_6: simulator throughput ({} nodes x {} ppn = {} ranks, {} workers / {} shards)",
+            self.nodes, self.ppn, self.ranks, self.workers, self.shards
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} {:>10} {:>14} {:>14} {:>8}",
+            "algorithm", "bytes", "events", "seq ev/s", "par ev/s", "speedup"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>6} {:>10} {:>14.0} {:>14.0} {:>7.2}x",
+                truncate(&c.algo, 28),
+                c.bytes,
+                c.events_per_run,
+                c.seq_events_per_sec,
+                c.par_events_per_sec,
+                c.speedup
+            );
+        }
+        out
+    }
+
+    /// Geometric-mean speedup across all cells (0.0 if empty).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self.cells.iter().map(|c| c.speedup.ln()).sum();
+        (log_sum / self.cells.len() as f64).exp()
+    }
+
+    /// Gate against `baseline` on sequential-normalized events/sec (the
+    /// `speedup` column), mirroring BENCH_4: the sweep geomean must retain
+    /// [`REGRESSION_FLOOR`] of the baseline's and every cell present in
+    /// both reports must retain [`CELL_FLOOR`] of its baseline cell's.
+    /// Returns the offending `(scope, bytes, ratio)` rows.
+    pub fn regressions_against(&self, baseline: &Bench6Report) -> Vec<(String, u64, f64)> {
+        let mut bad = Vec::new();
+        let base_geo = baseline.geomean_speedup();
+        if base_geo > 0.0 {
+            let ratio = self.geomean_speedup() / base_geo;
+            if ratio < REGRESSION_FLOOR {
+                bad.push(("geomean".to_string(), 0, ratio));
+            }
+        }
+        for b in &baseline.cells {
+            if let Some(c) = self
+                .cells
+                .iter()
+                .find(|c| c.algo == b.algo && c.bytes == b.bytes)
+            {
+                let ratio = c.speedup / b.speedup;
+                if ratio < CELL_FLOOR {
+                    bad.push((c.algo.clone(), c.bytes, ratio));
+                }
+            }
+        }
+        bad
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("..{}", &s[s.len() - (n - 2)..])
+    }
+}
+
+fn best_of<T>(reps: usize, mut run: impl FnMut() -> T) -> (Duration, T) {
+    let mut best: Option<(Duration, T)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = run();
+        let dt = t0.elapsed();
+        best = match best {
+            Some((b, o)) if b <= dt => Some((b, o)),
+            _ => Some((dt, out)),
+        };
+    }
+    best.expect("reps > 0")
+}
+
+/// Measure one algorithm at one block size on `cfg`'s grid.
+pub fn bench6_cell(
+    algo: &dyn AlltoallAlgorithm,
+    cfg: &RunConfig,
+    bytes: u64,
+    workers: usize,
+) -> (Bench6Cell, usize) {
+    let grid = cfg.grid();
+    let model = cfg.model();
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), bytes));
+    let opts = SimOptions {
+        jitter: 0.0,
+        seed: cfg.seed,
+    };
+    let sopts = ShardOptions::with_workers(workers);
+
+    let (seq_dt, seq) = best_of(REPS, || {
+        simulate(&sched, &grid, &model, &opts)
+            .unwrap_or_else(|e| panic!("{} seq (s={bytes}): {e}", algo.name()))
+    });
+    let (par_dt, (par, stats)) = best_of(REPS, || {
+        simulate_sharded_stats(&sched, &grid, &model, &opts, &Perturb::default(), &sopts)
+            .unwrap_or_else(|e| panic!("{} sharded (s={bytes}): {e}", algo.name()))
+    });
+
+    // A rate may never come from a wrong answer.
+    assert_eq!(
+        seq.total_us.to_bits(),
+        par.total_us.to_bits(),
+        "{} (s={bytes}): sharded result diverged from sequential",
+        algo.name()
+    );
+    assert_eq!(
+        stats.causality_violations,
+        0,
+        "{} (s={bytes}): lookahead horizon unsound",
+        algo.name()
+    );
+
+    let events = stats.events as f64;
+    let cell = Bench6Cell {
+        algo: algo.name(),
+        bytes,
+        events_per_run: stats.events,
+        cross_events: stats.cross_events,
+        seq_events_per_sec: events / seq_dt.as_secs_f64().max(1e-9),
+        par_events_per_sec: events / par_dt.as_secs_f64().max(1e-9),
+        speedup: seq_dt.as_secs_f64() / par_dt.as_secs_f64().max(1e-9),
+    };
+    (cell, stats.shards)
+}
+
+/// The full sweep: eight algorithms x [`BENCH6_SIZES`] on `cfg`'s machine,
+/// parallel runs at `cfg.resolved_workers()` workers.
+pub fn bench6(cfg: &RunConfig) -> Bench6Report {
+    let grid = cfg.grid();
+    let workers = cfg.resolved_workers();
+    let mut cells = Vec::new();
+    let mut shards = 1;
+    for algo in bench6_roster(grid.machine().ppn()) {
+        for &bytes in &BENCH6_SIZES {
+            let (cell, sh) = bench6_cell(algo.as_ref(), cfg, bytes, workers);
+            cells.push(cell);
+            shards = sh;
+        }
+    }
+    Bench6Report {
+        machine: cfg.machine.clone(),
+        nodes: cfg.nodes,
+        ppn: grid.machine().ppn(),
+        ranks: grid.world_size(),
+        workers,
+        shards,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            nodes: 2,
+            runs: 1,
+            workers: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bench6_cell_measures_and_verifies() {
+        let (cell, shards) = bench6_cell(&PairwiseAlltoall, &tiny(), 256, 2);
+        assert_eq!(cell.bytes, 256);
+        assert!(cell.events_per_run > 0);
+        assert!(cell.cross_events > 0);
+        assert!(cell.seq_events_per_sec > 0.0);
+        assert!(cell.par_events_per_sec > 0.0);
+        assert!(cell.speedup > 0.0);
+        assert_eq!(shards, 2);
+    }
+
+    #[test]
+    fn regression_gate_flags_slowdowns() {
+        let cell = Bench6Cell {
+            algo: "a".into(),
+            bytes: 256,
+            events_per_run: 1000,
+            cross_events: 100,
+            seq_events_per_sec: 1e6,
+            par_events_per_sec: 2e6,
+            speedup: 2.0,
+        };
+        let report = |c: &Bench6Cell| Bench6Report {
+            machine: "dane".into(),
+            nodes: 2,
+            ppn: 32,
+            ranks: 64,
+            workers: 2,
+            shards: 2,
+            cells: vec![c.clone()],
+        };
+        assert!(report(&cell).regressions_against(&report(&cell)).is_empty());
+        let mut slow = cell.clone();
+        slow.speedup = 1.4; // 0.7x of baseline: geomean floor only
+        let bad = report(&slow).regressions_against(&report(&cell));
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "geomean");
+        let mut collapsed = cell.clone();
+        collapsed.speedup = 0.8; // 0.4x: both floors
+        let bad = report(&collapsed).regressions_against(&report(&cell));
+        assert_eq!(bad.len(), 2);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let cfg = tiny();
+        let (cell, shards) = bench6_cell(&BruckAlltoall, &cfg, 256, 2);
+        let report = Bench6Report {
+            machine: cfg.machine.clone(),
+            nodes: cfg.nodes,
+            ppn: 32,
+            ranks: 64,
+            workers: 2,
+            shards,
+            cells: vec![cell],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: Bench6Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].algo, report.cells[0].algo);
+        assert!(report.table().contains("BENCH_6"));
+        assert!(report.geomean_speedup() > 0.0);
+    }
+}

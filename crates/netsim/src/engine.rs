@@ -1,34 +1,50 @@
-//! The discrete-event engine.
+//! The discrete-event engine: public API and drivers.
 //!
-//! Execution model: every rank owns a virtual clock and a program cursor.
-//! The scheduler repeatedly advances the runnable rank with the smallest
-//! clock by one operation. Ranks park at an unsatisfied `WaitAll` and wake
-//! when the last awaited request completes. Message transport reserves the
-//! shared resources (per-node NIC injection/ejection, per-node memory bus)
-//! in event order, which keeps the simulation deterministic for a fixed
-//! seed.
+//! Execution model: every rank owns a virtual clock and a program cursor;
+//! the event core in `shard.rs` advances the runnable rank with the
+//! smallest event key by one operation, with all inter-node message legs
+//! as explicit timestamped events. Ranks park at an unsatisfied `WaitAll`
+//! and wake when the last awaited request completes. Per-node shared
+//! resources (NIC injection/ejection, memory buses) are reserved in event
+//! order, which keeps the simulation deterministic for a fixed seed.
+//!
+//! Two drivers execute that core:
+//!
+//! * [`simulate`] / [`simulate_perturbed`] — one shard spanning every
+//!   node, a plain heap loop (the sequential engine).
+//! * [`simulate_sharded`] and friends — nodes partitioned into contiguous
+//!   shards, one worker thread each under `std::thread::scope`, advancing
+//!   barrier-free behind the conservative lookahead horizon of
+//!   `horizon.rs`. Output is **byte-identical** to the sequential engine
+//!   for any worker count; see `shard.rs` for the determinism discipline.
 //!
 //! Protocol semantics:
 //! * **Eager** (`bytes <= eager_threshold`): the send request completes as
 //!   soon as it is posted (the library buffers the payload); the payload
 //!   travels immediately and waits in the receiver's unexpected queue if no
 //!   receive is posted.
-//! * **Rendezvous**: the payload may not travel until the matching receive
-//!   is posted (plus a handshake latency); the send request completes only
-//!   when the payload has left the sender (NIC injection end).
+//! * **Rendezvous**: inter-node payloads pay a full RTS/CTS handshake (one
+//!   wire latency each way) and may not travel until the matching receive
+//!   is posted; the send request completes only when the payload has left
+//!   the sender (NIC injection end). Intra-node rendezvous matches through
+//!   shared memory without the wire handshake.
 //! * Receives pay a queue-search cost proportional to the unexpected-queue
 //!   depth when posted, and arrivals pay one proportional to the
 //!   posted-queue depth — the costs that penalize huge non-blocking
 //!   windows at scale.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::Ordering;
 
-use a2a_sched::{Op, ScheduleSource, TimedOp};
-use a2a_topo::{Level, ProcGrid, Rank};
+use a2a_sched::ScheduleSource;
+use a2a_topo::{ProcGrid, Rank};
 
+use crate::horizon::{link_floors, node_ranges, ShardSync};
 use crate::model::CostModel;
 use crate::report::SimReport;
+use crate::shard::{Ctx, Event, Shard};
+
+pub use crate::horizon::ShardStats;
 
 /// Simulation options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,6 +53,38 @@ pub struct SimOptions {
     pub jitter: f64,
     /// Noise seed.
     pub seed: u64,
+}
+
+/// Options for the sharded parallel engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardOptions {
+    /// Worker threads (= shards; capped at the node count). 0 means "use
+    /// the host's available parallelism".
+    pub workers: usize,
+    /// Multiplier in `(0, 1]` on the conservative lookahead horizon.
+    /// 1.0 uses the full safe horizon; smaller values synchronize more
+    /// often but must never change the result (lookahead-safety tests).
+    /// Values outside the interval are treated as 1.0.
+    pub lookahead_scale: f64,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            workers: 1,
+            lookahead_scale: 1.0,
+        }
+    }
+}
+
+impl ShardOptions {
+    /// `workers` threads with the full lookahead horizon.
+    pub fn with_workers(workers: usize) -> Self {
+        ShardOptions {
+            workers,
+            ..Default::default()
+        }
+    }
 }
 
 /// Deterministic perturbations applied on top of the cost model: straggler
@@ -97,391 +145,6 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Heap key: earliest clock first, rank id tiebreak (determinism).
-#[derive(PartialEq)]
-struct Key(f64, Rank);
-
-impl Eq for Key {}
-
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .total_cmp(&other.0)
-            .then_with(|| self.1.cmp(&other.1))
-    }
-}
-
-struct PostedRecv {
-    len: u64,
-    post_time: f64,
-    req: u32,
-}
-
-struct UnexpectedMsg {
-    len: u64,
-    arrival: f64,
-}
-
-struct RdvSend {
-    len: u64,
-    ready: f64,
-    send_req: u32,
-}
-
-const PENDING: f64 = f64::NAN;
-
-struct RankSim {
-    ops: Vec<TimedOp>,
-    pc: usize,
-    clock: f64,
-    req_time: Vec<f64>,
-    /// Parked `WaitAll` range, if blocked.
-    parked: Option<(u32, u32)>,
-    posted: HashMap<(Rank, u32), VecDeque<PostedRecv>>,
-    unexpected: HashMap<(Rank, u32), VecDeque<UnexpectedMsg>>,
-    rdv: HashMap<(Rank, u32), VecDeque<RdvSend>>,
-    posted_len: usize,
-    unexpected_len: usize,
-    phase_time: Vec<f64>,
-    rng: u64,
-}
-
-impl RankSim {
-    fn done(&self) -> bool {
-        self.pc >= self.ops.len() && self.parked.is_none()
-    }
-}
-
-struct Engine<'a> {
-    grid: &'a ProcGrid,
-    model: &'a CostModel,
-    jitter: f64,
-    perturb: &'a Perturb,
-    ranks: Vec<RankSim>,
-    heap: BinaryHeap<Reverse<Key>>,
-    nic_tx: Vec<f64>,
-    nic_rx: Vec<f64>,
-    msgs_per_level: [usize; 4],
-    bytes_per_level: [u64; 4],
-    /// Busy-until per NUMA domain (intra-NUMA transfers).
-    numa_bus: Vec<f64>,
-    /// Busy-until per socket (cross-NUMA, same-socket transfers).
-    socket_bus: Vec<f64>,
-    /// Busy-until per node for socket-crossing (UPI) transfers.
-    upi_bus: Vec<f64>,
-}
-
-impl Engine<'_> {
-    /// Deterministic per-rank noise factor in `[1-j, 1+j]` (xorshift64*),
-    /// scaled by the rank's perturbation slowdown (straggler model).
-    fn noise(&mut self, rank: Rank) -> f64 {
-        let slow = self.perturb.slowdown(rank);
-        if self.jitter == 0.0 {
-            return slow;
-        }
-        let st = &mut self.ranks[rank as usize];
-        let mut x = st.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        st.rng = x;
-        let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
-        (1.0 + self.jitter * (2.0 * u - 1.0)) * slow
-    }
-
-    /// Reserve resources for a message and return `(arrival, tx_end)`.
-    /// `tx_end` is when the sender's buffer is free (rendezvous send
-    /// completion); for intra-node transfers it equals arrival.
-    fn transport(&mut self, from: Rank, to: Rank, bytes: u64, t0: f64) -> (f64, f64) {
-        let level = self.grid.level(from, to);
-        let li = match level {
-            Level::IntraNuma => 0,
-            Level::IntraSocket => 1,
-            Level::InterSocket => 2,
-            _ => 3,
-        };
-        self.msgs_per_level[li] += 1;
-        self.bytes_per_level[li] += bytes;
-        let lc = self.model.level(level);
-        if level == Level::InterNode {
-            let sn = self.grid.node_of(from);
-            let dn = self.grid.node_of(to);
-            // A degraded link stretches both NIC occupancy and wire time.
-            let lm = self.perturb.link(sn, dn);
-            let occ = self.model.nic_occupancy(bytes) * lm;
-            let tx_start = t0.max(self.nic_tx[sn]);
-            let tx_end = tx_start + occ;
-            self.nic_tx[sn] = tx_end;
-            let wire_arrive = tx_end + lc.wire(bytes) * lm;
-            let rx_start = wire_arrive.max(self.nic_rx[dn]);
-            let rx_end = rx_start + occ;
-            self.nic_rx[dn] = rx_end;
-            (rx_end, tx_end)
-        } else {
-            // Intra-node: charge the tightest shared path the transfer
-            // crosses — its NUMA domain, its socket, or the cross-socket
-            // link — so NUMA-aligned traffic from different domains
-            // proceeds in parallel while socket-crossing traffic funnels.
-            let loc = self.grid.location(from);
-            let m = self.grid.machine();
-            let (bus, rate) = match level {
-                Level::IntraNuma => {
-                    let idx =
-                        (loc.node * m.sockets_per_node + loc.socket) * m.numa_per_socket + loc.numa;
-                    (&mut self.numa_bus[idx], self.model.mem_per_byte)
-                }
-                Level::IntraSocket => {
-                    let idx = loc.node * m.sockets_per_node + loc.socket;
-                    (&mut self.socket_bus[idx], self.model.mem_per_byte)
-                }
-                _ => (&mut self.upi_bus[loc.node], self.model.upi_per_byte),
-            };
-            let bus_start = t0.max(*bus);
-            *bus = bus_start + bytes as f64 * rate;
-            let arrival = bus_start + lc.wire(bytes);
-            (arrival, arrival)
-        }
-    }
-
-    /// Record request `req` of `rank` completing at `time`; wake the rank
-    /// if that satisfies its parked wait.
-    fn complete_req(&mut self, rank: Rank, req: u32, time: f64) {
-        let wake = {
-            let st = &mut self.ranks[rank as usize];
-            debug_assert!(
-                st.req_time[req as usize].is_nan(),
-                "request completed twice"
-            );
-            st.req_time[req as usize] = time;
-            match st.parked {
-                Some((first, count)) => {
-                    let mut latest = st.clock;
-                    let mut ready = true;
-                    for r in first..first + count {
-                        let t = st.req_time[r as usize];
-                        if t.is_nan() {
-                            ready = false;
-                            break;
-                        }
-                        latest = latest.max(t);
-                    }
-                    if ready {
-                        // Consume the WaitAll; idle time accrues to its phase.
-                        let phase = st.ops[st.pc].phase.0 as usize;
-                        st.phase_time[phase] += latest - st.clock;
-                        st.clock = latest;
-                        st.pc += 1;
-                        st.parked = None;
-                        if st.pc < st.ops.len() {
-                            Some(st.clock)
-                        } else {
-                            None
-                        }
-                    } else {
-                        None
-                    }
-                }
-                None => None,
-            }
-        };
-        if let Some(clock) = wake {
-            self.heap.push(Reverse(Key(clock, rank)));
-        }
-    }
-
-    /// Deliver an (eager) message arriving at `to`: match a posted receive
-    /// or enqueue as unexpected.
-    fn deliver(&mut self, from: Rank, to: Rank, tag: u32, len: u64, arrival: f64) {
-        let matched = {
-            let st = &mut self.ranks[to as usize];
-            match st.posted.get_mut(&(from, tag)).and_then(|q| q.pop_front()) {
-                Some(pr) => {
-                    debug_assert_eq!(pr.len, len, "message/receive length mismatch");
-                    st.posted_len -= 1;
-                    let cost =
-                        self.model.match_base + self.model.queue_search * st.posted_len as f64;
-                    Some((pr.req, arrival.max(pr.post_time) + cost))
-                }
-                None => {
-                    st.unexpected
-                        .entry((from, tag))
-                        .or_default()
-                        .push_back(UnexpectedMsg { len, arrival });
-                    st.unexpected_len += 1;
-                    None
-                }
-            }
-        };
-        if let Some((req, done)) = matched {
-            self.complete_req(to, req, done);
-        }
-    }
-
-    /// Advance `rank` by one op, then reschedule it if still runnable.
-    fn step(&mut self, rank: Rank) {
-        let (top, old_clock) = {
-            let st = &self.ranks[rank as usize];
-            (st.ops[st.pc], st.clock)
-        };
-        let phase = top.phase.0 as usize;
-        match top.op {
-            Op::Copy { src, .. } => {
-                let jf = self.noise(rank);
-                let cost = self.model.copy_cost(src.len) * jf;
-                let st = &mut self.ranks[rank as usize];
-                st.clock += cost;
-                st.pc += 1;
-            }
-            Op::Isend {
-                to,
-                block,
-                tag,
-                req,
-            } => {
-                let jf = self.noise(rank);
-                let ready = {
-                    let st = &mut self.ranks[rank as usize];
-                    st.clock += self.model.o_send * jf;
-                    st.pc += 1;
-                    st.clock
-                };
-                let len = block.len;
-                let level = self.grid.level(rank, to);
-                if self.model.is_rendezvous(len, level) {
-                    // Data can't move before the matching receive posts.
-                    let alpha = self.model.level(level).alpha;
-                    let recv = self.ranks[to as usize]
-                        .posted
-                        .get_mut(&(rank, tag))
-                        .and_then(|q| q.pop_front());
-                    if let Some(pr) = recv {
-                        self.ranks[to as usize].posted_len -= 1;
-                        let t0 = ready.max(pr.post_time + alpha);
-                        let (arrival, tx_end) = self.transport(rank, to, len, t0);
-                        self.complete_req(rank, req, tx_end);
-                        self.complete_req(to, pr.req, arrival + self.model.match_base);
-                    } else {
-                        self.ranks[to as usize]
-                            .rdv
-                            .entry((rank, tag))
-                            .or_default()
-                            .push_back(RdvSend {
-                                len,
-                                ready,
-                                send_req: req,
-                            });
-                    }
-                } else {
-                    // Eager: send completes locally; payload travels now.
-                    let (arrival, _) = self.transport(rank, to, len, ready);
-                    self.complete_req(rank, req, ready);
-                    self.deliver(rank, to, tag, len, arrival);
-                }
-            }
-            Op::Irecv {
-                from,
-                block,
-                tag,
-                req,
-            } => {
-                let jf = self.noise(rank);
-                let len = block.len;
-                enum Matched {
-                    Unexpected(f64),
-                    Rdv(RdvSend),
-                    Posted,
-                }
-                let (post_time, matched) = {
-                    let st = &mut self.ranks[rank as usize];
-                    st.clock += (self.model.o_recv
-                        + self.model.queue_search * st.unexpected_len as f64)
-                        * jf;
-                    st.pc += 1;
-                    let post_time = st.clock;
-                    let m = if let Some(msg) = st
-                        .unexpected
-                        .get_mut(&(from, tag))
-                        .and_then(|q| q.pop_front())
-                    {
-                        debug_assert_eq!(msg.len, len);
-                        st.unexpected_len -= 1;
-                        Matched::Unexpected(msg.arrival)
-                    } else if let Some(rs) =
-                        st.rdv.get_mut(&(from, tag)).and_then(|q| q.pop_front())
-                    {
-                        debug_assert_eq!(rs.len, len);
-                        Matched::Rdv(rs)
-                    } else {
-                        st.posted
-                            .entry((from, tag))
-                            .or_default()
-                            .push_back(PostedRecv {
-                                len,
-                                post_time,
-                                req,
-                            });
-                        st.posted_len += 1;
-                        Matched::Posted
-                    };
-                    (post_time, m)
-                };
-                match matched {
-                    Matched::Unexpected(arrival) => {
-                        let done = post_time.max(arrival) + self.model.match_base;
-                        self.complete_req(rank, req, done);
-                    }
-                    Matched::Rdv(rs) => {
-                        let alpha = self.model.level(self.grid.level(from, rank)).alpha;
-                        let t0 = rs.ready.max(post_time + alpha);
-                        let (arrival, tx_end) = self.transport(from, rank, len, t0);
-                        self.complete_req(from, rs.send_req, tx_end);
-                        self.complete_req(rank, req, arrival + self.model.match_base);
-                    }
-                    Matched::Posted => {}
-                }
-            }
-            Op::WaitAll { first_req, count } => {
-                let st = &mut self.ranks[rank as usize];
-                let mut latest = st.clock;
-                let mut ready = true;
-                for r in first_req..first_req + count {
-                    let t = st.req_time[r as usize];
-                    if t.is_nan() {
-                        ready = false;
-                        break;
-                    }
-                    latest = latest.max(t);
-                }
-                if ready {
-                    st.clock = latest;
-                    st.pc += 1;
-                } else {
-                    st.parked = Some((first_req, count));
-                }
-            }
-        }
-        // Attribute elapsed time to the op's phase and reschedule.
-        let push = {
-            let st = &mut self.ranks[rank as usize];
-            st.phase_time[phase] += st.clock - old_clock;
-            if st.parked.is_none() && st.pc < st.ops.len() {
-                Some(st.clock)
-            } else {
-                None
-            }
-        };
-        if let Some(clock) = push {
-            self.heap.push(Reverse(Key(clock, rank)));
-        }
-    }
-}
-
 /// Simulate `source` on `grid` under `model`. Returns per-rank completion
 /// times and per-phase breakdowns in a [`SimReport`].
 pub fn simulate(
@@ -502,81 +165,262 @@ pub fn simulate_perturbed(
     opts: &SimOptions,
     perturb: &Perturb,
 ) -> Result<SimReport, SimError> {
+    let (phase_names, nphases) = phase_meta(source, grid);
+    let ctx = Ctx {
+        grid,
+        model,
+        perturb,
+        jitter: opts.jitter,
+        nphases,
+    };
+    let mut shard = Shard::build(&ctx, 0, 0, grid.machine().nodes, source, opts.seed);
+    run_single(&mut shard);
+    assemble(&[shard], phase_names, nphases)
+}
+
+/// [`simulate_sharded_perturbed`] without perturbations.
+pub fn simulate_sharded(
+    source: &(dyn ScheduleSource + Sync),
+    grid: &ProcGrid,
+    model: &CostModel,
+    opts: &SimOptions,
+    sopts: &ShardOptions,
+) -> Result<SimReport, SimError> {
+    simulate_sharded_perturbed(source, grid, model, opts, &Perturb::default(), sopts)
+}
+
+/// Run the conservative parallel engine: nodes partitioned into contiguous
+/// shards, one worker thread each. Byte-identical to [`simulate_perturbed`]
+/// for any worker count.
+pub fn simulate_sharded_perturbed(
+    source: &(dyn ScheduleSource + Sync),
+    grid: &ProcGrid,
+    model: &CostModel,
+    opts: &SimOptions,
+    perturb: &Perturb,
+    sopts: &ShardOptions,
+) -> Result<SimReport, SimError> {
+    simulate_sharded_stats(source, grid, model, opts, perturb, sopts).map(|(rep, _)| rep)
+}
+
+/// [`simulate_sharded_perturbed`], also returning engine statistics
+/// (events processed, cross-shard traffic, causality-violation count).
+pub fn simulate_sharded_stats(
+    source: &(dyn ScheduleSource + Sync),
+    grid: &ProcGrid,
+    model: &CostModel,
+    opts: &SimOptions,
+    perturb: &Perturb,
+    sopts: &ShardOptions,
+) -> Result<(SimReport, ShardStats), SimError> {
+    let (phase_names, nphases) = phase_meta(source, grid);
+    let ctx = Ctx {
+        grid,
+        model,
+        perturb,
+        jitter: opts.jitter,
+        nphases,
+    };
+    let nodes = grid.machine().nodes;
+    let requested = if sopts.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        sopts.workers
+    };
+    let scale = if sopts.lookahead_scale > 0.0 && sopts.lookahead_scale <= 1.0 {
+        sopts.lookahead_scale
+    } else {
+        1.0
+    };
+
+    let mut nshards = requested.clamp(1, nodes);
+    let mut sync = None;
+    if nshards > 1 {
+        let floors = link_floors(grid, model, perturb);
+        // A zero/degenerate link floor leaves no safe horizon: fall back
+        // to the sequential single-shard path.
+        match ShardSync::new(&node_ranges(nodes, nshards), &floors, scale) {
+            Some(s) => sync = Some(s),
+            None => nshards = 1,
+        }
+    }
+
+    if nshards == 1 {
+        let mut shard = Shard::build(&ctx, 0, 0, nodes, source, opts.seed);
+        run_single(&mut shard);
+        let stats = ShardStats {
+            shards: 1,
+            workers: 1,
+            events: shard.events,
+            cross_events: 0,
+            causality_violations: 0,
+        };
+        return assemble(&[shard], phase_names, nphases).map(|rep| (rep, stats));
+    }
+
+    let sync = sync.expect("sync built for nshards > 1");
+    let ranges = node_ranges(nodes, nshards);
+    let ctx_ref = &ctx;
+    let sync_ref = &sync;
+    let shards: Vec<Shard> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(id, &(lo, hi))| {
+                scope.spawn(move || {
+                    // Build inside the worker so schedule construction
+                    // parallelizes too, then announce the seeded events
+                    // before anyone can observe a zero pending count.
+                    let mut shard = Shard::build(ctx_ref, id, lo, hi, source, opts.seed);
+                    sync_ref
+                        .pending
+                        .fetch_add(shard.seeded_events() as i64, Ordering::SeqCst);
+                    sync_ref.ready(id);
+                    run_worker(&mut shard, sync_ref);
+                    shard
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = ShardStats {
+        shards: nshards,
+        workers: nshards,
+        events: shards.iter().map(|s| s.events).sum(),
+        cross_events: sync.cross_events.load(Ordering::Relaxed),
+        causality_violations: shards.iter().map(|s| s.violations).sum(),
+    };
+    assemble(&shards, phase_names, nphases).map(|rep| (rep, stats))
+}
+
+fn phase_meta(source: &dyn ScheduleSource, grid: &ProcGrid) -> (Vec<String>, usize) {
     let n = source.nranks();
     assert_eq!(n, grid.world_size(), "schedule/grid world size mismatch");
     let phase_names: Vec<String> = source.phase_names().iter().map(|s| s.to_string()).collect();
     let nphases = phase_names.len().max(1);
+    (phase_names, nphases)
+}
 
-    let mut ranks = Vec::with_capacity(n);
-    for r in 0..n as Rank {
-        let prog = source.build_rank(r);
-        let n_reqs = prog.n_reqs as usize;
-        ranks.push(RankSim {
-            ops: prog.ops,
-            pc: 0,
-            clock: 0.0,
-            req_time: vec![PENDING; n_reqs],
-            parked: None,
-            posted: HashMap::new(),
-            unexpected: HashMap::new(),
-            rdv: HashMap::new(),
-            posted_len: 0,
-            unexpected_len: 0,
-            phase_time: vec![0.0; nphases],
-            rng: opts
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((r as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95))
-                | 1,
-        });
+/// Sequential driver: one shard owns everything, no synchronization.
+fn run_single(shard: &mut Shard) {
+    let mut out = Vec::new();
+    while let Some(Reverse(ev)) = shard.heap.pop() {
+        shard.handle(ev, &mut out);
+        debug_assert!(out.is_empty(), "single shard emitted cross-shard event");
     }
+}
 
-    let m = grid.machine();
-    let nodes = m.nodes;
-    let sockets = nodes * m.sockets_per_node;
-    let numas = sockets * m.numa_per_socket;
-    let mut engine = Engine {
-        grid,
-        model,
-        jitter: opts.jitter,
-        perturb,
-        ranks,
-        heap: BinaryHeap::with_capacity(n),
-        nic_tx: vec![0.0; nodes],
-        nic_rx: vec![0.0; nodes],
-        msgs_per_level: [0; 4],
-        bytes_per_level: [0; 4],
-        numa_bus: vec![0.0; numas],
-        socket_bus: vec![0.0; sockets],
-        upi_bus: vec![0.0; nodes],
-    };
-    for r in 0..n as Rank {
-        if !engine.ranks[r as usize].ops.is_empty() {
-            engine.heap.push(Reverse(Key(0.0, r)));
+/// Conservative parallel worker: advance barrier-free behind the lookahead
+/// horizon, publish monotone bounds, stop when no events remain anywhere.
+fn run_worker(shard: &mut Shard, sync: &ShardSync) {
+    let s = shard.id;
+    let mut out: Vec<Event> = Vec::new();
+    loop {
+        // Horizon first, inbox second: anything a peer emitted under a
+        // bound we are about to read was flushed to our inbox before that
+        // bound was published, so it cannot be missed below.
+        let mut h = f64::INFINITY;
+        for u in 0..sync.nshards() {
+            if u != s {
+                h = h.min(sync.bound(u) + sync.lookahead(u, s));
+            }
+        }
+
+        let mut drained = false;
+        for ev in sync.take_inbox(s) {
+            drained = true;
+            if shard.last_key.is_some_and(|last| ev.key < last) {
+                shard.violations += 1;
+            }
+            shard.heap.push(Reverse(ev));
+        }
+
+        let mut processed: i64 = 0;
+        let mut emitted: i64 = 0;
+        while shard.heap.peek().is_some_and(|Reverse(ev)| ev.key.time < h) {
+            let Reverse(ev) = shard.heap.pop().unwrap();
+            shard.last_key = Some(ev.key);
+            let local_before = shard.heap.len();
+            shard.handle(ev, &mut out);
+            emitted += (shard.heap.len() - local_before) as i64 + out.len() as i64;
+            processed += 1;
+            if !out.is_empty() {
+                sync.cross_events
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                for e in out.drain(..) {
+                    let dn = shard.ctx.grid.node_of(e.dest_rank());
+                    sync.push_cross(dn, e);
+                }
+            }
+        }
+
+        // Publish the guarantee *after* flushing every emission above:
+        // nothing this shard ever processes — current heap, or future
+        // arrivals (all >= h by the lookahead argument) — sits below it.
+        let local_min = shard
+            .heap
+            .peek()
+            .map_or(f64::INFINITY, |Reverse(ev)| ev.key.time);
+        sync.publish(s, local_min.min(h));
+
+        // One atomic delta per batch keeps the live-event counter exact:
+        // it cannot read zero while any batch still has unapplied work.
+        if processed != 0 || emitted != 0 {
+            sync.pending
+                .fetch_add(emitted - processed, Ordering::SeqCst);
+        }
+        if sync.all_ready() && sync.pending.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        if processed == 0 && !drained {
+            std::thread::yield_now();
         }
     }
+}
 
-    while let Some(Reverse(Key(_, rank))) = engine.heap.pop() {
-        engine.step(rank);
+/// Stitch shard results into one report, iterating shards (ordered by
+/// node range) and ranks (ordered within each shard) so every reduction
+/// runs in global rank order — bit-identical for any shard count.
+fn assemble(
+    shards: &[Shard],
+    phase_names: Vec<String>,
+    nphases: usize,
+) -> Result<SimReport, SimError> {
+    let world: usize = shards.iter().map(|s| s.ranks.len()).sum();
+    let mut unfinished = 0;
+    let mut rank_finish = Vec::with_capacity(world);
+    let mut phase_max = vec![0.0f64; nphases];
+    let mut phase_sum = vec![0.0f64; nphases];
+    let mut phase_rank0 = vec![0.0f64; nphases];
+    let mut msgs_per_level = [0usize; 4];
+    let mut bytes_per_level = [0u64; 4];
+    for shard in shards {
+        for st in &shard.ranks {
+            if !st.done() {
+                unfinished += 1;
+            }
+            rank_finish.push(st.clock);
+            for (p, &t) in st.phase_time.iter().enumerate() {
+                phase_max[p] = phase_max[p].max(t);
+                phase_sum[p] += t;
+            }
+        }
+        for i in 0..4 {
+            msgs_per_level[i] += shard.msgs_per_level[i];
+            bytes_per_level[i] += shard.bytes_per_level[i];
+        }
     }
-
-    let unfinished = engine.ranks.iter().filter(|s| !s.done()).count();
     if unfinished > 0 {
         return Err(SimError::Deadlock { unfinished });
     }
-
-    let rank_finish: Vec<f64> = engine.ranks.iter().map(|s| s.clock).collect();
-    let total_us = rank_finish.iter().cloned().fold(0.0, f64::max);
-    let mut phase_max = vec![0.0f64; nphases];
-    let mut phase_sum = vec![0.0f64; nphases];
-    for st in &engine.ranks {
-        for (p, &t) in st.phase_time.iter().enumerate() {
-            phase_max[p] = phase_max[p].max(t);
-            phase_sum[p] += t;
+    if let Some(first) = shards.first() {
+        if let Some(r0) = first.ranks.first() {
+            phase_rank0.copy_from_slice(&r0.phase_time);
         }
     }
-    let phase_mean: Vec<f64> = phase_sum.iter().map(|s| s / n as f64).collect();
-    let phase_rank0 = engine.ranks[0].phase_time.clone();
+    let total_us = rank_finish.iter().cloned().fold(0.0, f64::max);
+    let phase_mean: Vec<f64> = phase_sum.iter().map(|s| s / world as f64).collect();
     Ok(SimReport {
         total_us,
         rank_finish,
@@ -584,8 +428,8 @@ pub fn simulate_perturbed(
         phase_max_us: phase_max,
         phase_mean_us: phase_mean,
         phase_rank0_us: phase_rank0,
-        msgs_per_level: engine.msgs_per_level,
-        bytes_per_level: engine.bytes_per_level,
+        msgs_per_level,
+        bytes_per_level,
     })
 }
 
@@ -593,7 +437,7 @@ pub fn simulate_perturbed(
 mod tests {
     use super::*;
     use a2a_sched::{Block, Bytes, Phase, ProgBuilder, RankProgram, RBUF, SBUF};
-    use a2a_topo::Machine;
+    use a2a_topo::{Level, Machine};
 
     /// Two ranks exchanging one message each; configurable size and shape.
     struct Swap {
@@ -685,6 +529,28 @@ mod tests {
     }
 
     #[test]
+    fn rendezvous_pays_the_handshake_round_trip() {
+        // The RTS/CTS handshake costs at least two extra one-way latencies
+        // over a hypothetical eager transfer of the same size.
+        let m = crate::models::dane();
+        let mut eager_model = m.clone();
+        eager_model.eager_threshold = u64::MAX; // force eager at any size
+        let s = m.eager_threshold * 2;
+        let src = Swap::internode(s);
+        let rdv = simulate(&src, &src.grid, &m, &SimOptions::default())
+            .unwrap()
+            .total_us;
+        let eager = simulate(&src, &src.grid, &eager_model, &SimOptions::default())
+            .unwrap()
+            .total_us;
+        let alpha = m.level(Level::InterNode).alpha;
+        assert!(
+            rdv >= eager + 2.0 * alpha - 1e-9,
+            "rdv {rdv} vs eager {eager} + 2*alpha {alpha}"
+        );
+    }
+
+    #[test]
     fn deterministic_without_jitter() {
         let src = Swap::internode(512);
         let a = sim(&src);
@@ -749,6 +615,20 @@ mod tests {
             &grid,
             &crate::models::dane(),
             &SimOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::Deadlock { unfinished: 2 });
+    }
+
+    #[test]
+    fn sharded_deadlock_detected_too() {
+        let grid = ProcGrid::new(Machine::custom("t", 2, 1, 1, 1));
+        let err = simulate_sharded(
+            &DeadSwap,
+            &grid,
+            &crate::models::dane(),
+            &SimOptions::default(),
+            &ShardOptions::with_workers(2),
         )
         .unwrap_err();
         assert_eq!(err, SimError::Deadlock { unfinished: 2 });
@@ -1080,5 +960,203 @@ mod tests {
             rep.rank_finish[0] > min_queue_cost,
             "queue search not charged"
         );
+    }
+
+    /// All-to-all-ish exchange over several nodes: every rank sends one
+    /// message to every other rank. Exercises eager + rendezvous, intra +
+    /// inter node paths at once.
+    struct FullExchange {
+        s: Bytes,
+        grid: ProcGrid,
+    }
+
+    impl ScheduleSource for FullExchange {
+        fn nranks(&self) -> usize {
+            self.grid.world_size()
+        }
+        fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+            let n = self.grid.world_size() as Bytes;
+            vec![self.s * n, self.s * n]
+        }
+        fn build_rank(&self, r: Rank) -> RankProgram {
+            let n = self.grid.world_size() as Rank;
+            let mut b = ProgBuilder::new(Phase(0));
+            let first = b.req_mark();
+            for i in 1..n {
+                let peer = (r + i) % n;
+                b.irecv(peer, Block::new(RBUF, peer as Bytes * self.s, self.s), 0);
+            }
+            for i in 1..n {
+                let peer = (r + n - i) % n;
+                b.isend(peer, Block::new(SBUF, peer as Bytes * self.s, self.s), 0);
+            }
+            b.waitall(first, 2 * (n - 1));
+            b.finish()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            vec!["a2a"]
+        }
+    }
+
+    fn identical(a: &SimReport, b: &SimReport) {
+        assert_eq!(a.total_us.to_bits(), b.total_us.to_bits());
+        assert_eq!(a.rank_finish.len(), b.rank_finish.len());
+        for (x, y) in a.rank_finish.iter().zip(&b.rank_finish) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.phase_mean_us.iter().zip(&b.phase_mean_us) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.msgs_per_level, b.msgs_per_level);
+        assert_eq!(a.bytes_per_level, b.bytes_per_level);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bit_for_bit() {
+        let m = crate::models::dane();
+        for s in [64u64, 65536] {
+            let src = FullExchange {
+                s,
+                grid: ProcGrid::new(Machine::custom("t", 4, 1, 1, 4)),
+            };
+            let opts = SimOptions::default();
+            let seq = simulate(&src, &src.grid, &m, &opts).unwrap();
+            for workers in [1usize, 2, 3, 4, 8] {
+                let sh = simulate_sharded(
+                    &src,
+                    &src.grid,
+                    &m,
+                    &opts,
+                    &ShardOptions::with_workers(workers),
+                )
+                .unwrap();
+                identical(&seq, &sh);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_with_jitter_and_perturb() {
+        let m = crate::models::dane();
+        let src = FullExchange {
+            s: 2048,
+            grid: ProcGrid::new(Machine::custom("t", 4, 1, 1, 2)),
+        };
+        let opts = SimOptions {
+            jitter: 0.05,
+            seed: 42,
+        };
+        let p = Perturb {
+            rank_slowdown: vec![1.0, 4.0],
+            link_multiplier: vec![(0, 2, 3.0)],
+        };
+        let seq = simulate_perturbed(&src, &src.grid, &m, &opts, &p).unwrap();
+        for workers in [2usize, 4] {
+            let sh = simulate_sharded_perturbed(
+                &src,
+                &src.grid,
+                &m,
+                &opts,
+                &p,
+                &ShardOptions::with_workers(workers),
+            )
+            .unwrap();
+            identical(&seq, &sh);
+        }
+    }
+
+    #[test]
+    fn sharded_stats_report_no_violations() {
+        let m = crate::models::dane();
+        let src = FullExchange {
+            s: 1024,
+            grid: ProcGrid::new(Machine::custom("t", 4, 1, 1, 2)),
+        };
+        let (rep, stats) = simulate_sharded_stats(
+            &src,
+            &src.grid,
+            &m,
+            &SimOptions::default(),
+            &Perturb::default(),
+            &ShardOptions::with_workers(4),
+        )
+        .unwrap();
+        assert!(rep.total_us > 0.0);
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.causality_violations, 0);
+        assert!(stats.events > 0);
+        assert!(stats.cross_events > 0, "no cross-shard traffic observed");
+    }
+
+    #[test]
+    fn zero_lookahead_falls_back_to_single_shard() {
+        // A zero link multiplier kills the safe horizon; the engine must
+        // fall back to one shard rather than misorder events.
+        let m = crate::models::dane();
+        let src = FullExchange {
+            s: 256,
+            grid: ProcGrid::new(Machine::custom("t", 2, 1, 1, 2)),
+        };
+        let p = Perturb {
+            rank_slowdown: vec![],
+            link_multiplier: vec![(0, 1, 0.0)],
+        };
+        let opts = SimOptions::default();
+        let (rep, stats) = simulate_sharded_stats(
+            &src,
+            &src.grid,
+            &m,
+            &opts,
+            &p,
+            &ShardOptions::with_workers(2),
+        )
+        .unwrap();
+        assert_eq!(stats.shards, 1);
+        let seq = simulate_perturbed(&src, &src.grid, &m, &opts, &p).unwrap();
+        identical(&seq, &rep);
+    }
+
+    #[test]
+    fn workers_capped_at_node_count() {
+        let m = crate::models::dane();
+        let src = FullExchange {
+            s: 128,
+            grid: ProcGrid::new(Machine::custom("t", 2, 1, 1, 2)),
+        };
+        let (_, stats) = simulate_sharded_stats(
+            &src,
+            &src.grid,
+            &m,
+            &SimOptions::default(),
+            &Perturb::default(),
+            &ShardOptions::with_workers(16),
+        )
+        .unwrap();
+        assert_eq!(stats.shards, 2);
+    }
+
+    #[test]
+    fn tight_lookahead_is_safe_and_identical() {
+        let m = crate::models::dane();
+        let src = FullExchange {
+            s: 4096,
+            grid: ProcGrid::new(Machine::custom("t", 4, 1, 1, 2)),
+        };
+        let opts = SimOptions::default();
+        let seq = simulate(&src, &src.grid, &m, &opts).unwrap();
+        let (rep, stats) = simulate_sharded_stats(
+            &src,
+            &src.grid,
+            &m,
+            &opts,
+            &Perturb::default(),
+            &ShardOptions {
+                workers: 4,
+                lookahead_scale: 0.05,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.causality_violations, 0);
+        identical(&seq, &rep);
     }
 }

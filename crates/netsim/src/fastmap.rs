@@ -1,0 +1,97 @@
+//! A fast non-cryptographic hash map for the simulator's hot queues.
+//!
+//! The per-rank matching queues (`posted` / `unexpected` / `rdv`) are keyed
+//! by small `(Rank, tag)` pairs and hit on every send and receive, so the
+//! default SipHash is pure overhead: there is no untrusted input to defend
+//! against. This multiplicative hasher (golden-ratio multiply over 8-byte
+//! words, rotate to mix across words) is a few cycles per key.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier: 2^64 / phi, the usual Fibonacci-hashing constant.
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+pub type FastState = BuildHasherDefault<FastHasher>;
+
+/// Drop-in `HashMap` with the fast hasher. Iteration order is still
+/// unspecified — the engine only ever does point lookups on these maps, so
+/// determinism is unaffected.
+pub type FastMap<K, V> = HashMap<K, V, FastState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<(u32, u32), i32> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i % 7), i as i32);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i % 7)), Some(&(i as i32)));
+        }
+        assert_eq!(m.get(&(1000, 0)), None);
+    }
+
+    #[test]
+    fn hashes_differ_for_nearby_keys() {
+        use std::hash::{BuildHasher, Hash};
+        let s = FastState::default();
+        let h = |k: (u32, u32)| {
+            let mut hasher = s.build_hasher();
+            k.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h((0, 0)), h((0, 1)));
+        assert_ne!(h((0, 0)), h((1, 0)));
+        assert_ne!(h((1, 2)), h((2, 1)));
+    }
+}

@@ -1,0 +1,858 @@
+//! The event-driven simulation core, shared by the sequential and sharded
+//! engines.
+//!
+//! A [`Shard`] owns a contiguous range of nodes: their ranks' state, their
+//! NIC injection/ejection timelines, and their intra-node buses. All
+//! intra-node interactions touch only state owned by one shard and are
+//! executed directly, exactly as the historical sequential engine did.
+//! Every **inter-node** interaction is an explicit timestamped [`Event`]
+//! addressed to the destination node, so a message between nodes owned by
+//! different shards simply crosses a shard boundary.
+//!
+//! # Determinism discipline
+//!
+//! Events are processed in [`EvKey`] order: `(time, class, actor, seq)`.
+//! Link events (class 0) sort before rank steps (class 1) at equal time;
+//! `actor` is the emitting node for link events and the rank for steps;
+//! `seq` is a per-node monotonic emission counter. Every component is a
+//! pure function of the emitting node's own event history, so the key
+//! order — and therefore the entire simulation — is byte-identical for
+//! *any* partition of nodes into shards, including the trivial one-shard
+//! (sequential) partition. The sharded engine's byte-identity oracle in
+//! `tests/sharded_netsim.rs` enforces this.
+//!
+//! # Inter-node protocol
+//!
+//! * **Eager**: the sender reserves its NIC injection slot immediately and
+//!   completes locally (the library buffers the payload); an [`Payload::Eager`]
+//!   event arrives at the destination after the wire time, reserves the
+//!   destination NIC in *arrival order*, and matches or queues as
+//!   unexpected.
+//! * **Rendezvous**: a full request-to-send / clear-to-send handshake.
+//!   [`Payload::Rts`] carries one wire latency to the receiver; the grant
+//!   ([`Payload::Cts`]) carries one latency back once the receive is
+//!   posted; only then does the payload ([`Payload::Data`]) occupy the
+//!   NICs and the wire. Every leg pays at least the inter-node LogGP
+//!   `alpha` (scaled by any per-link degradation), which is exactly the
+//!   lookahead floor the conservative scheduler in `horizon.rs` relies on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use a2a_sched::{Op, TimedOp};
+use a2a_topo::{Level, ProcGrid, Rank};
+
+use crate::engine::Perturb;
+use crate::fastmap::FastMap;
+use crate::model::CostModel;
+
+/// Link events (message legs) sort before rank steps at equal time.
+pub(crate) const CLASS_MSG: u8 = 0;
+pub(crate) const CLASS_STEP: u8 = 1;
+
+/// Global event ordering key. See the module docs for why each component
+/// is interleaving-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct EvKey {
+    pub time: f64,
+    pub class: u8,
+    /// Emitting node for link events; the rank itself for step events.
+    pub actor: u32,
+    /// Emitting node's monotonic emission counter (0 for step events — a
+    /// rank has at most one step event pending at a time).
+    pub seq: u64,
+}
+
+impl Eq for EvKey {}
+
+impl PartialOrd for EvKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EvKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.class.cmp(&other.class))
+            .then_with(|| self.actor.cmp(&other.actor))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Payload {
+    /// Rank `rank` is runnable at the key time: execute its next op.
+    Step { rank: Rank },
+    /// Eager payload has finished its wire flight; eject at `to`'s NIC.
+    Eager {
+        from: Rank,
+        to: Rank,
+        tag: u32,
+        len: u64,
+    },
+    /// Rendezvous request-to-send control message reaching the receiver.
+    Rts {
+        from: Rank,
+        to: Rank,
+        tag: u32,
+        len: u64,
+        send_req: u32,
+    },
+    /// Clear-to-send grant reaching the sender (`to` is the sender).
+    Cts {
+        from: Rank,
+        to: Rank,
+        len: u64,
+        send_req: u32,
+        recv_req: u32,
+    },
+    /// Rendezvous payload has finished its wire flight; eject at `to`.
+    Data {
+        from: Rank,
+        to: Rank,
+        len: u64,
+        recv_req: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub key: EvKey,
+    pub payload: Payload,
+}
+
+impl Event {
+    /// The rank whose node must process this event.
+    pub fn dest_rank(&self) -> Rank {
+        match self.payload {
+            Payload::Step { rank } => rank,
+            Payload::Eager { to, .. }
+            | Payload::Rts { to, .. }
+            | Payload::Cts { to, .. }
+            | Payload::Data { to, .. } => to,
+        }
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+struct PostedRecv {
+    len: u64,
+    post_time: f64,
+    req: u32,
+}
+
+struct UnexpectedMsg {
+    len: u64,
+    arrival: f64,
+}
+
+struct RdvSend {
+    len: u64,
+    /// Intra-node: the sender's readiness time. Inter-node: the RTS
+    /// arrival time (always at or before the receive posts — the RTS event
+    /// sorted before the receiver's step).
+    ready: f64,
+    send_req: u32,
+}
+
+const PENDING: f64 = f64::NAN;
+
+pub(crate) struct RankSim {
+    ops: Vec<TimedOp>,
+    pc: usize,
+    pub clock: f64,
+    req_time: Vec<f64>,
+    /// Parked `WaitAll` range, if blocked.
+    parked: Option<(u32, u32)>,
+    posted: FastMap<(Rank, u32), VecDeque<PostedRecv>>,
+    unexpected: FastMap<(Rank, u32), VecDeque<UnexpectedMsg>>,
+    rdv: FastMap<(Rank, u32), VecDeque<RdvSend>>,
+    posted_len: usize,
+    unexpected_len: usize,
+    pub phase_time: Vec<f64>,
+    rng: u64,
+}
+
+impl RankSim {
+    pub fn new(ops: Vec<TimedOp>, n_reqs: usize, nphases: usize, rank: Rank, seed: u64) -> Self {
+        RankSim {
+            ops,
+            pc: 0,
+            clock: 0.0,
+            req_time: vec![PENDING; n_reqs],
+            parked: None,
+            posted: FastMap::default(),
+            unexpected: FastMap::default(),
+            rdv: FastMap::default(),
+            posted_len: 0,
+            unexpected_len: 0,
+            phase_time: vec![0.0; nphases],
+            rng: seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((rank as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95))
+                | 1,
+        }
+    }
+
+    pub fn has_work(&self) -> bool {
+        !self.ops.is_empty()
+    }
+
+    pub fn done(&self) -> bool {
+        self.pc >= self.ops.len() && self.parked.is_none()
+    }
+}
+
+/// Per-node shared resources, owned by exactly one shard.
+pub(crate) struct NodeRes {
+    nic_tx: f64,
+    nic_rx: f64,
+    /// Busy-until per NUMA domain of this node (socket-major).
+    numa_bus: Vec<f64>,
+    /// Busy-until per socket of this node.
+    socket_bus: Vec<f64>,
+    /// Busy-until for this node's cross-socket (UPI) link.
+    upi_bus: f64,
+    /// Monotonic counter stamped on every link event this node emits.
+    emit_seq: u64,
+}
+
+impl NodeRes {
+    fn new(sockets: usize, numa_per_socket: usize) -> Self {
+        NodeRes {
+            nic_tx: 0.0,
+            nic_rx: 0.0,
+            numa_bus: vec![0.0; sockets * numa_per_socket],
+            socket_bus: vec![0.0; sockets],
+            upi_bus: 0.0,
+            emit_seq: 0,
+        }
+    }
+}
+
+/// Read-only simulation context shared by all shards.
+pub(crate) struct Ctx<'a> {
+    pub grid: &'a ProcGrid,
+    pub model: &'a CostModel,
+    pub perturb: &'a Perturb,
+    pub jitter: f64,
+    pub nphases: usize,
+}
+
+/// One shard: a contiguous node range, its ranks, and its event heap.
+pub(crate) struct Shard<'a> {
+    pub ctx: &'a Ctx<'a>,
+    pub id: usize,
+    pub node_lo: usize,
+    pub node_hi: usize,
+    /// First world rank owned (`node_lo * ppn`).
+    pub rank_lo: usize,
+    pub ranks: Vec<RankSim>,
+    nodes: Vec<NodeRes>,
+    pub heap: BinaryHeap<Reverse<Event>>,
+    pub msgs_per_level: [usize; 4],
+    pub bytes_per_level: [u64; 4],
+    /// Key of the most recently processed event (causality monitor).
+    pub last_key: Option<EvKey>,
+    /// Events processed by this shard.
+    pub events: u64,
+    /// Cross-shard arrivals that sorted before an already-processed event
+    /// — always zero when the lookahead horizon is sound.
+    pub violations: u64,
+}
+
+impl<'a> Shard<'a> {
+    /// Build the shard for nodes `[node_lo, node_hi)`, constructing its
+    /// ranks' programs and seeding their step events at t=0.
+    pub fn build(
+        ctx: &'a Ctx<'a>,
+        id: usize,
+        node_lo: usize,
+        node_hi: usize,
+        source: &dyn a2a_sched::ScheduleSource,
+        seed: u64,
+    ) -> Self {
+        let m = ctx.grid.machine();
+        let ppn = m.ppn();
+        let rank_lo = node_lo * ppn;
+        let rank_hi = node_hi * ppn;
+        let mut ranks = Vec::with_capacity(rank_hi - rank_lo);
+        for r in rank_lo..rank_hi {
+            let prog = source.build_rank(r as Rank);
+            let n_reqs = prog.n_reqs as usize;
+            ranks.push(RankSim::new(prog.ops, n_reqs, ctx.nphases, r as Rank, seed));
+        }
+        let nodes = (node_lo..node_hi)
+            .map(|_| NodeRes::new(m.sockets_per_node, m.numa_per_socket))
+            .collect();
+        let mut shard = Shard {
+            ctx,
+            id,
+            node_lo,
+            node_hi,
+            rank_lo,
+            ranks,
+            nodes,
+            heap: BinaryHeap::with_capacity(rank_hi - rank_lo),
+            msgs_per_level: [0; 4],
+            bytes_per_level: [0; 4],
+            last_key: None,
+            events: 0,
+            violations: 0,
+        };
+        for i in 0..shard.ranks.len() {
+            if shard.ranks[i].has_work() {
+                shard.push_step((rank_lo + i) as Rank, 0.0);
+            }
+        }
+        shard
+    }
+
+    /// Number of initial step events seeded at build time.
+    pub fn seeded_events(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn owns_node(&self, node: usize) -> bool {
+        node >= self.node_lo && node < self.node_hi
+    }
+
+    #[inline]
+    fn ri(&self, rank: Rank) -> usize {
+        rank as usize - self.rank_lo
+    }
+
+    fn push_step(&mut self, rank: Rank, time: f64) {
+        self.heap.push(Reverse(Event {
+            key: EvKey {
+                time,
+                class: CLASS_STEP,
+                actor: rank,
+                seq: 0,
+            },
+            payload: Payload::Step { rank },
+        }));
+    }
+
+    /// Emit a link event from `from_node` at `time`; local destinations go
+    /// straight onto the heap, cross-shard ones into `out`.
+    fn emit_msg(&mut self, from_node: usize, time: f64, payload: Payload, out: &mut Vec<Event>) {
+        let nr = &mut self.nodes[from_node - self.node_lo];
+        let key = EvKey {
+            time,
+            class: CLASS_MSG,
+            actor: from_node as u32,
+            seq: nr.emit_seq,
+        };
+        nr.emit_seq += 1;
+        let ev = Event { key, payload };
+        let dn = self.ctx.grid.node_of(ev.dest_rank());
+        if self.owns_node(dn) {
+            self.heap.push(Reverse(ev));
+        } else {
+            out.push(ev);
+        }
+    }
+
+    /// Deterministic per-rank noise factor in `[1-j, 1+j]` (xorshift64*),
+    /// scaled by the rank's perturbation slowdown (straggler model).
+    fn noise(&mut self, rank: Rank) -> f64 {
+        let slow = self.ctx.perturb.slowdown(rank);
+        if self.ctx.jitter == 0.0 {
+            return slow;
+        }
+        let st = &mut self.ranks[rank as usize - self.rank_lo];
+        let mut x = st.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        st.rng = x;
+        let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        (1.0 + self.ctx.jitter * (2.0 * u - 1.0)) * slow
+    }
+
+    /// Reserve the intra-node path for a transfer and return its arrival
+    /// time. Charges the tightest shared resource the transfer crosses —
+    /// its NUMA domain, its socket, or the node's cross-socket link.
+    fn transport_intra(&mut self, from: Rank, to: Rank, bytes: u64, t0: f64) -> f64 {
+        let level = self.ctx.grid.level(from, to);
+        let li = match level {
+            Level::IntraNuma => 0,
+            Level::IntraSocket => 1,
+            Level::InterSocket => 2,
+            _ => 3,
+        };
+        self.msgs_per_level[li] += 1;
+        self.bytes_per_level[li] += bytes;
+        let lc = self.ctx.model.level(level);
+        let loc = self.ctx.grid.location(from);
+        let m = self.ctx.grid.machine();
+        let nr = &mut self.nodes[loc.node - self.node_lo];
+        let (bus, rate) = match level {
+            Level::IntraNuma => (
+                &mut nr.numa_bus[loc.socket * m.numa_per_socket + loc.numa],
+                self.ctx.model.mem_per_byte,
+            ),
+            Level::IntraSocket => (&mut nr.socket_bus[loc.socket], self.ctx.model.mem_per_byte),
+            _ => (&mut nr.upi_bus, self.ctx.model.upi_per_byte),
+        };
+        let bus_start = t0.max(*bus);
+        *bus = bus_start + bytes as f64 * rate;
+        bus_start + lc.wire(bytes)
+    }
+
+    /// Record request `req` of `rank` completing at `time`; wake the rank
+    /// if that satisfies its parked wait.
+    fn complete_req(&mut self, rank: Rank, req: u32, time: f64) {
+        let ridx = self.ri(rank);
+        let wake = {
+            let st = &mut self.ranks[ridx];
+            debug_assert!(
+                st.req_time[req as usize].is_nan(),
+                "request completed twice"
+            );
+            st.req_time[req as usize] = time;
+            match st.parked {
+                Some((first, count)) => {
+                    let mut latest = st.clock;
+                    let mut ready = true;
+                    for r in first..first + count {
+                        let t = st.req_time[r as usize];
+                        if t.is_nan() {
+                            ready = false;
+                            break;
+                        }
+                        latest = latest.max(t);
+                    }
+                    if ready {
+                        // Consume the WaitAll; idle time accrues to its phase.
+                        let phase = st.ops[st.pc].phase.0 as usize;
+                        st.phase_time[phase] += latest - st.clock;
+                        st.clock = latest;
+                        st.pc += 1;
+                        st.parked = None;
+                        if st.pc < st.ops.len() {
+                            Some(st.clock)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            }
+        };
+        if let Some(clock) = wake {
+            self.push_step(rank, clock);
+        }
+    }
+
+    /// Deliver an (eager) message arriving at `to`: match a posted receive
+    /// or enqueue as unexpected.
+    fn deliver(&mut self, from: Rank, to: Rank, tag: u32, len: u64, arrival: f64) {
+        let tidx = self.ri(to);
+        let matched = {
+            let st = &mut self.ranks[tidx];
+            match st.posted.get_mut(&(from, tag)).and_then(|q| q.pop_front()) {
+                Some(pr) => {
+                    debug_assert_eq!(pr.len, len, "message/receive length mismatch");
+                    st.posted_len -= 1;
+                    let cost = self.ctx.model.match_base
+                        + self.ctx.model.queue_search * st.posted_len as f64;
+                    Some((pr.req, arrival.max(pr.post_time) + cost))
+                }
+                None => {
+                    st.unexpected
+                        .entry((from, tag))
+                        .or_default()
+                        .push_back(UnexpectedMsg { len, arrival });
+                    st.unexpected_len += 1;
+                    None
+                }
+            }
+        };
+        if let Some((req, done)) = matched {
+            self.complete_req(to, req, done);
+        }
+    }
+
+    /// Process one event. Cross-shard emissions are appended to `out`.
+    pub fn handle(&mut self, ev: Event, out: &mut Vec<Event>) {
+        self.events += 1;
+        match ev.payload {
+            Payload::Step { rank } => self.step(rank, out),
+            Payload::Eager { from, to, tag, len } => {
+                // Payload reached the destination NIC: eject in arrival
+                // order, then match.
+                let sn = self.ctx.grid.node_of(from);
+                let dn = self.ctx.grid.node_of(to);
+                let occ = self.ctx.model.nic_occupancy(len) * self.ctx.perturb.link(sn, dn);
+                let nr = &mut self.nodes[dn - self.node_lo];
+                let rx_start = ev.key.time.max(nr.nic_rx);
+                let rx_end = rx_start + occ;
+                nr.nic_rx = rx_end;
+                self.deliver(from, to, tag, len, rx_end);
+            }
+            Payload::Rts {
+                from,
+                to,
+                tag,
+                len,
+                send_req,
+            } => {
+                // Request-to-send at the receiver: grant immediately if the
+                // receive is already posted, otherwise wait for it.
+                let tidx = self.ri(to);
+                let popped = {
+                    let st = &mut self.ranks[tidx];
+                    st.posted.get_mut(&(from, tag)).and_then(|q| q.pop_front())
+                };
+                match popped {
+                    Some(pr) => {
+                        self.ranks[tidx].posted_len -= 1;
+                        self.send_cts(to, from, len, send_req, pr.req, ev.key.time, out);
+                    }
+                    None => {
+                        self.ranks[tidx]
+                            .rdv
+                            .entry((from, tag))
+                            .or_default()
+                            .push_back(RdvSend {
+                                len,
+                                ready: ev.key.time,
+                                send_req,
+                            });
+                    }
+                }
+            }
+            Payload::Cts {
+                from,
+                to,
+                len,
+                send_req,
+                recv_req,
+            } => {
+                // Grant back at the sender: inject the payload. The send
+                // request completes when the payload has left the NIC.
+                let sn = self.ctx.grid.node_of(to);
+                let dn = self.ctx.grid.node_of(from);
+                let lm = self.ctx.perturb.link(sn, dn);
+                let lc = self.ctx.model.level(Level::InterNode);
+                let occ = self.ctx.model.nic_occupancy(len) * lm;
+                let nr = &mut self.nodes[sn - self.node_lo];
+                let tx_start = ev.key.time.max(nr.nic_tx);
+                let tx_end = tx_start + occ;
+                nr.nic_tx = tx_end;
+                self.msgs_per_level[3] += 1;
+                self.bytes_per_level[3] += len;
+                let wire_arrive = tx_end + lc.wire(len) * lm;
+                self.complete_req(to, send_req, tx_end);
+                self.emit_msg(
+                    sn,
+                    wire_arrive,
+                    Payload::Data {
+                        from: to,
+                        to: from,
+                        len,
+                        recv_req,
+                    },
+                    out,
+                );
+            }
+            Payload::Data {
+                from,
+                to,
+                len,
+                recv_req,
+            } => {
+                let sn = self.ctx.grid.node_of(from);
+                let dn = self.ctx.grid.node_of(to);
+                let occ = self.ctx.model.nic_occupancy(len) * self.ctx.perturb.link(sn, dn);
+                let nr = &mut self.nodes[dn - self.node_lo];
+                let rx_start = ev.key.time.max(nr.nic_rx);
+                let rx_end = rx_start + occ;
+                nr.nic_rx = rx_end;
+                self.complete_req(to, recv_req, rx_end + self.ctx.model.match_base);
+            }
+        }
+    }
+
+    /// Emit the clear-to-send grant from receiver `recv` back to sender
+    /// `send`, one reverse-link latency after `t`.
+    #[allow(clippy::too_many_arguments)]
+    fn send_cts(
+        &mut self,
+        recv: Rank,
+        send: Rank,
+        len: u64,
+        send_req: u32,
+        recv_req: u32,
+        t: f64,
+        out: &mut Vec<Event>,
+    ) {
+        let dn = self.ctx.grid.node_of(recv);
+        let sn = self.ctx.grid.node_of(send);
+        let alpha = self.ctx.model.level(Level::InterNode).alpha;
+        let arrive = t + alpha * self.ctx.perturb.link(dn, sn);
+        self.emit_msg(
+            dn,
+            arrive,
+            Payload::Cts {
+                from: recv,
+                to: send,
+                len,
+                send_req,
+                recv_req,
+            },
+            out,
+        );
+    }
+
+    /// Inter-node send: eager injects now; rendezvous opens the handshake.
+    #[allow(clippy::too_many_arguments)]
+    fn isend_internode(
+        &mut self,
+        rank: Rank,
+        to: Rank,
+        tag: u32,
+        len: u64,
+        req: u32,
+        ready: f64,
+        out: &mut Vec<Event>,
+    ) {
+        let sn = self.ctx.grid.node_of(rank);
+        let dn = self.ctx.grid.node_of(to);
+        let lm = self.ctx.perturb.link(sn, dn);
+        let lc = self.ctx.model.level(Level::InterNode);
+        if self.ctx.model.is_rendezvous(len, Level::InterNode) {
+            let arrive = ready + lc.alpha * lm;
+            self.emit_msg(
+                sn,
+                arrive,
+                Payload::Rts {
+                    from: rank,
+                    to,
+                    tag,
+                    len,
+                    send_req: req,
+                },
+                out,
+            );
+        } else {
+            // Eager: the library buffers the payload, so the send request
+            // completes at posting time; injection still serializes on the
+            // sender's NIC.
+            let occ = self.ctx.model.nic_occupancy(len) * lm;
+            let nr = &mut self.nodes[sn - self.node_lo];
+            let tx_start = ready.max(nr.nic_tx);
+            let tx_end = tx_start + occ;
+            nr.nic_tx = tx_end;
+            self.msgs_per_level[3] += 1;
+            self.bytes_per_level[3] += len;
+            let wire_arrive = tx_end + lc.wire(len) * lm;
+            self.complete_req(rank, req, ready);
+            self.emit_msg(
+                sn,
+                wire_arrive,
+                Payload::Eager {
+                    from: rank,
+                    to,
+                    tag,
+                    len,
+                },
+                out,
+            );
+        }
+    }
+
+    /// Advance `rank` by one op, then reschedule it if still runnable.
+    fn step(&mut self, rank: Rank, out: &mut Vec<Event>) {
+        let ridx = self.ri(rank);
+        let (top, old_clock) = {
+            let st = &self.ranks[ridx];
+            (st.ops[st.pc], st.clock)
+        };
+        let phase = top.phase.0 as usize;
+        match top.op {
+            Op::Copy { src, .. } => {
+                let jf = self.noise(rank);
+                let cost = self.ctx.model.copy_cost(src.len) * jf;
+                let st = &mut self.ranks[ridx];
+                st.clock += cost;
+                st.pc += 1;
+            }
+            Op::Isend {
+                to,
+                block,
+                tag,
+                req,
+            } => {
+                let jf = self.noise(rank);
+                let ready = {
+                    let st = &mut self.ranks[ridx];
+                    st.clock += self.ctx.model.o_send * jf;
+                    st.pc += 1;
+                    st.clock
+                };
+                let len = block.len;
+                let level = self.ctx.grid.level(rank, to);
+                if level == Level::InterNode {
+                    self.isend_internode(rank, to, tag, len, req, ready, out);
+                } else if self.ctx.model.is_rendezvous(len, level) {
+                    // Intra-node rendezvous: the receiver lives on the same
+                    // node (same shard), so peek its posted queue directly.
+                    let alpha = self.ctx.model.level(level).alpha;
+                    let tidx = self.ri(to);
+                    let recv = self.ranks[tidx]
+                        .posted
+                        .get_mut(&(rank, tag))
+                        .and_then(|q| q.pop_front());
+                    if let Some(pr) = recv {
+                        self.ranks[tidx].posted_len -= 1;
+                        let t0 = ready.max(pr.post_time + alpha);
+                        let arrival = self.transport_intra(rank, to, len, t0);
+                        self.complete_req(rank, req, arrival);
+                        self.complete_req(to, pr.req, arrival + self.ctx.model.match_base);
+                    } else {
+                        self.ranks[tidx]
+                            .rdv
+                            .entry((rank, tag))
+                            .or_default()
+                            .push_back(RdvSend {
+                                len,
+                                ready,
+                                send_req: req,
+                            });
+                    }
+                } else {
+                    // Intra-node eager: payload crosses the bus now.
+                    let arrival = self.transport_intra(rank, to, len, ready);
+                    self.complete_req(rank, req, ready);
+                    self.deliver(rank, to, tag, len, arrival);
+                }
+            }
+            Op::Irecv {
+                from,
+                block,
+                tag,
+                req,
+            } => {
+                let jf = self.noise(rank);
+                let len = block.len;
+                enum Matched {
+                    Unexpected(f64),
+                    Rdv(RdvSend),
+                    Posted,
+                }
+                let (post_time, matched) = {
+                    let st = &mut self.ranks[ridx];
+                    st.clock += (self.ctx.model.o_recv
+                        + self.ctx.model.queue_search * st.unexpected_len as f64)
+                        * jf;
+                    st.pc += 1;
+                    let post_time = st.clock;
+                    let m = if let Some(msg) = st
+                        .unexpected
+                        .get_mut(&(from, tag))
+                        .and_then(|q| q.pop_front())
+                    {
+                        debug_assert_eq!(msg.len, len);
+                        st.unexpected_len -= 1;
+                        Matched::Unexpected(msg.arrival)
+                    } else if let Some(rs) =
+                        st.rdv.get_mut(&(from, tag)).and_then(|q| q.pop_front())
+                    {
+                        debug_assert_eq!(rs.len, len);
+                        Matched::Rdv(rs)
+                    } else {
+                        st.posted
+                            .entry((from, tag))
+                            .or_default()
+                            .push_back(PostedRecv {
+                                len,
+                                post_time,
+                                req,
+                            });
+                        st.posted_len += 1;
+                        Matched::Posted
+                    };
+                    (post_time, m)
+                };
+                match matched {
+                    Matched::Unexpected(arrival) => {
+                        let done = post_time.max(arrival) + self.ctx.model.match_base;
+                        self.complete_req(rank, req, done);
+                    }
+                    Matched::Rdv(rs) => {
+                        let level = self.ctx.grid.level(from, rank);
+                        if level == Level::InterNode {
+                            // The RTS is waiting: grant it now.
+                            self.send_cts(rank, from, len, rs.send_req, req, post_time, out);
+                        } else {
+                            let alpha = self.ctx.model.level(level).alpha;
+                            let t0 = rs.ready.max(post_time + alpha);
+                            let arrival = self.transport_intra(from, rank, len, t0);
+                            self.complete_req(from, rs.send_req, arrival);
+                            self.complete_req(rank, req, arrival + self.ctx.model.match_base);
+                        }
+                    }
+                    Matched::Posted => {}
+                }
+            }
+            Op::WaitAll { first_req, count } => {
+                let st = &mut self.ranks[ridx];
+                let mut latest = st.clock;
+                let mut ready = true;
+                for r in first_req..first_req + count {
+                    let t = st.req_time[r as usize];
+                    if t.is_nan() {
+                        ready = false;
+                        break;
+                    }
+                    latest = latest.max(t);
+                }
+                if ready {
+                    st.clock = latest;
+                    st.pc += 1;
+                } else {
+                    st.parked = Some((first_req, count));
+                }
+            }
+        }
+        // Attribute elapsed time to the op's phase and reschedule.
+        let push = {
+            let st = &mut self.ranks[ridx];
+            st.phase_time[phase] += st.clock - old_clock;
+            if st.parked.is_none() && st.pc < st.ops.len() {
+                Some(st.clock)
+            } else {
+                None
+            }
+        };
+        if let Some(clock) = push {
+            self.push_step(rank, clock);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Dense per-directed-node-pair tables.
+//!
+//! A sharded simulator (or any per-link analysis) needs O(1) lookups keyed
+//! by the directed inter-node link `(from_node, to_node)`. [`LinkTable`]
+//! stores one value per ordered node pair in a flat `nodes * nodes` vector;
+//! the diagonal (`from == to`) is allocated but conventionally unused —
+//! intra-node traffic never crosses a network link.
+//!
+//! The canonical use is the conservative-lookahead table of `a2a-netsim`:
+//! each directed link carries a *latency floor* (the minimum time any
+//! message needs to traverse it, derived from the LogGP `alpha` and any
+//! per-link degradation), and a shard may safely advance to the minimum of
+//! its neighbors' guarantees plus that floor.
+
+/// A value per directed inter-node link, stored densely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkTable<T> {
+    nodes: usize,
+    values: Vec<T>,
+}
+
+impl<T> LinkTable<T> {
+    /// Build a table by evaluating `f(from_node, to_node)` for every
+    /// ordered node pair (including the unused diagonal, so indexing stays
+    /// branch-free).
+    pub fn from_fn(nodes: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(nodes > 0, "link table needs at least one node");
+        let mut values = Vec::with_capacity(nodes * nodes);
+        for from in 0..nodes {
+            for to in 0..nodes {
+                values.push(f(from, to));
+            }
+        }
+        LinkTable { nodes, values }
+    }
+
+    /// Node count the table was built for.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Value on the directed link `from -> to`.
+    #[inline]
+    pub fn get(&self, from: usize, to: usize) -> &T {
+        &self.values[from * self.nodes + to]
+    }
+
+    /// Mutable value on the directed link `from -> to`.
+    #[inline]
+    pub fn get_mut(&mut self, from: usize, to: usize) -> &mut T {
+        &mut self.values[from * self.nodes + to]
+    }
+
+    /// Iterate `(from, to, &value)` over every ordered pair of *distinct*
+    /// nodes (the diagonal is skipped: it is not a network link).
+    pub fn iter_links(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        let n = self.nodes;
+        self.values.iter().enumerate().filter_map(move |(i, v)| {
+            let (from, to) = (i / n, i % n);
+            (from != to).then_some((from, to, v))
+        })
+    }
+}
+
+impl LinkTable<f64> {
+    /// Minimum off-diagonal value — e.g. the tightest latency floor over
+    /// all inter-node links, the global safe lookahead.
+    pub fn min_link(&self) -> Option<f64> {
+        self.iter_links().map(|(_, _, &v)| v).min_by(f64::total_cmp)
+    }
+
+    /// Minimum over directed links from any node in `from` to any node in
+    /// `to` — the safe lookahead between two shards (node groups).
+    pub fn min_between(
+        &self,
+        from: std::ops::Range<usize>,
+        to: std::ops::Range<usize>,
+    ) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for a in from {
+            for b in to.clone() {
+                if a == b {
+                    continue;
+                }
+                let v = *self.get(a, b);
+                best = Some(match best {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let t = LinkTable::from_fn(3, |a, b| (a * 10 + b) as f64);
+        assert_eq!(t.nodes(), 3);
+        assert_eq!(*t.get(2, 1), 21.0);
+        assert_eq!(*t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn iter_links_skips_diagonal() {
+        let t = LinkTable::from_fn(3, |a, b| a + b);
+        let links: Vec<_> = t.iter_links().collect();
+        assert_eq!(links.len(), 6);
+        assert!(links.iter().all(|&(a, b, _)| a != b));
+    }
+
+    #[test]
+    fn min_link_ignores_diagonal() {
+        // Diagonal holds 0.0 but must not win.
+        let t = LinkTable::from_fn(2, |a, b| if a == b { 0.0 } else { 5.0 + b as f64 });
+        assert_eq!(t.min_link(), Some(5.0));
+    }
+
+    #[test]
+    fn min_between_ranges() {
+        let t = LinkTable::from_fn(4, |a, b| (a * 4 + b) as f64);
+        // Links from {0,1} to {2,3}: values 2,3,6,7 -> min 2.
+        assert_eq!(t.min_between(0..2, 2..4), Some(2.0));
+        // Same range excludes the diagonal.
+        assert_eq!(t.min_between(0..2, 0..2), Some(1.0));
+        // Single node to itself: no links.
+        assert_eq!(t.min_between(0..1, 0..1), None);
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut t = LinkTable::from_fn(2, |_, _| 1.0);
+        *t.get_mut(0, 1) = 9.0;
+        assert_eq!(*t.get(0, 1), 9.0);
+        assert_eq!(*t.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn single_node_has_no_links() {
+        let t = LinkTable::from_fn(1, |_, _| 3.0);
+        assert_eq!(t.min_link(), None);
+        assert_eq!(t.iter_links().count(), 0);
+    }
+}

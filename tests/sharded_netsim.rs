@@ -1,0 +1,189 @@
+//! Sharded-engine equivalence: the parallel conservative engine must
+//! produce **byte-identical** reports to the sequential engine for any
+//! worker count, across the paper's algorithm roster and machine shapes —
+//! and stay identical (with zero causality violations) when the lookahead
+//! horizon is shrunk to a sliver of its safe value.
+
+use a2a_core::{
+    A2AContext, AlgoSchedule, AlltoallAlgorithm, BruckAlltoall, ExchangeKind, HierarchicalAlltoall,
+    MpichShmAlltoall, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, NonblockingAlltoall,
+    PairwiseAlltoall,
+};
+use a2a_netsim::{
+    models, simulate, simulate_perturbed, simulate_sharded_perturbed, simulate_sharded_stats,
+    Perturb, ShardOptions, SimOptions, SimReport,
+};
+use a2a_topo::{presets, Machine, ProcGrid};
+
+/// The eight-algorithm roster of the paper's evaluation, with group sizes
+/// that divide every test machine's ppn.
+fn roster(ppn: usize) -> Vec<(&'static str, Box<dyn AlltoallAlgorithm>)> {
+    vec![
+        ("pairwise", Box::new(PairwiseAlltoall)),
+        ("nonblocking", Box::new(NonblockingAlltoall)),
+        ("bruck", Box::new(BruckAlltoall)),
+        (
+            "hierarchical",
+            Box::new(HierarchicalAlltoall::new(ppn, ExchangeKind::Nonblocking)),
+        ),
+        (
+            "node-aware",
+            Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+        ),
+        (
+            "locality-aware",
+            Box::new(NodeAwareAlltoall::locality_aware(4, ExchangeKind::Pairwise)),
+        ),
+        (
+            "ml-node-aware",
+            Box::new(MultileaderNodeAwareAlltoall::new(4, ExchangeKind::Pairwise)),
+        ),
+        ("mpich-shm", Box::new(MpichShmAlltoall::default())),
+    ]
+}
+
+/// Four machine shapes: the generic scaled many-core preset, scaled Dane
+/// (2 sockets x 4 NUMA), scaled Tuolumne (4 APUs), and a flat node with no
+/// intra-node hierarchy.
+fn grids() -> Vec<(&'static str, ProcGrid)> {
+    vec![
+        ("many-core", ProcGrid::new(presets::scaled_many_core(4, 1))),
+        (
+            "dane-scaled",
+            ProcGrid::new(Machine::custom("dane", 4, 2, 4, 2)),
+        ),
+        (
+            "tuolumne-scaled",
+            ProcGrid::new(Machine::custom("tuolumne", 3, 4, 1, 2)),
+        ),
+        ("flat", ProcGrid::new(Machine::custom("flat", 8, 1, 1, 4))),
+    ]
+}
+
+fn assert_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(
+        a.total_us.to_bits(),
+        b.total_us.to_bits(),
+        "{what}: total_us diverged ({} vs {})",
+        a.total_us,
+        b.total_us
+    );
+    assert_eq!(
+        a.rank_finish.len(),
+        b.rank_finish.len(),
+        "{what}: rank count"
+    );
+    for (r, (x, y)) in a.rank_finish.iter().zip(&b.rank_finish).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: rank {r} finish time");
+    }
+    for (i, (x, y)) in a.phase_max_us.iter().zip(&b.phase_max_us).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: phase {i} max");
+    }
+    for (i, (x, y)) in a.phase_mean_us.iter().zip(&b.phase_mean_us).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: phase {i} mean");
+    }
+    assert_eq!(a.msgs_per_level, b.msgs_per_level, "{what}: msgs_per_level");
+    assert_eq!(
+        a.bytes_per_level, b.bytes_per_level,
+        "{what}: bytes_per_level"
+    );
+}
+
+/// Core identity sweep: roster x machine shapes x worker counts 1/2/4/8,
+/// one eager and one rendezvous block size.
+#[test]
+fn sharded_byte_identical_across_roster_and_topologies() {
+    let model = models::dane();
+    let opts = SimOptions::default();
+    for (gname, grid) in grids() {
+        let ppn = grid.machine().ppn();
+        for (aname, algo) in roster(ppn) {
+            for bytes in [256u64, 4096] {
+                let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), bytes));
+                let seq = simulate(&sched, &grid, &model, &opts)
+                    .unwrap_or_else(|e| panic!("{gname}/{aname}/{bytes}: {e}"));
+                for workers in [1usize, 2, 4, 8] {
+                    let sh = simulate_sharded_perturbed(
+                        &sched,
+                        &grid,
+                        &model,
+                        &opts,
+                        &Perturb::default(),
+                        &ShardOptions::with_workers(workers),
+                    )
+                    .unwrap_or_else(|e| panic!("{gname}/{aname}/{bytes} x{workers}: {e}"));
+                    assert_identical(&seq, &sh, &format!("{gname}/{aname}/{bytes} x{workers}"));
+                }
+            }
+        }
+    }
+}
+
+/// Identity must survive jitter and perturbations: the noise streams are
+/// per-rank functions of the seed, not of the thread interleaving.
+#[test]
+fn sharded_byte_identical_under_jitter_and_faults() {
+    let model = models::dane();
+    let grid = ProcGrid::new(presets::scaled_many_core(4, 1));
+    let opts = SimOptions {
+        jitter: 0.05,
+        seed: 0xA2A,
+    };
+    let perturb = Perturb {
+        rank_slowdown: vec![1.0, 6.0, 1.0, 1.0, 2.0],
+        link_multiplier: vec![(0, 2, 4.0), (3, 1, 2.5)],
+    };
+    for (aname, algo) in roster(grid.machine().ppn()) {
+        let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), 1024));
+        let seq = simulate_perturbed(&sched, &grid, &model, &opts, &perturb)
+            .unwrap_or_else(|e| panic!("{aname}: {e}"));
+        for workers in [2usize, 4, 8] {
+            let sh = simulate_sharded_perturbed(
+                &sched,
+                &grid,
+                &model,
+                &opts,
+                &perturb,
+                &ShardOptions::with_workers(workers),
+            )
+            .unwrap_or_else(|e| panic!("{aname} x{workers}: {e}"));
+            assert_identical(&seq, &sh, &format!("{aname} x{workers} jittered"));
+        }
+    }
+}
+
+/// Lookahead safety: shrinking the horizon to 5% of the safe floor forces
+/// the workers to synchronize far more often, but must never reorder
+/// events (zero causality violations) or change a single output bit.
+#[test]
+fn tight_lookahead_never_violates_causality() {
+    let model = models::dane();
+    let grid = ProcGrid::new(presets::scaled_many_core(4, 1));
+    let opts = SimOptions::default();
+    for (aname, algo) in roster(grid.machine().ppn()) {
+        for bytes in [256u64, 4096] {
+            let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), bytes));
+            let seq = simulate(&sched, &grid, &model, &opts)
+                .unwrap_or_else(|e| panic!("{aname}/{bytes}: {e}"));
+            let (sh, stats) = simulate_sharded_stats(
+                &sched,
+                &grid,
+                &model,
+                &opts,
+                &Perturb::default(),
+                &ShardOptions {
+                    workers: 4,
+                    lookahead_scale: 0.05,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{aname}/{bytes} tight: {e}"));
+            assert_eq!(
+                stats.causality_violations, 0,
+                "{aname}/{bytes}: horizon unsound at minimum lookahead"
+            );
+            assert_eq!(stats.shards, 4, "{aname}/{bytes}: expected 4 shards");
+            assert!(stats.cross_events > 0, "{aname}/{bytes}: no cross traffic");
+            assert_identical(&seq, &sh, &format!("{aname}/{bytes} tight lookahead"));
+        }
+    }
+}
