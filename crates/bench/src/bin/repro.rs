@@ -10,8 +10,12 @@
 //! repro lint --all              # static analysis over the whole roster
 //! repro lint --all --deny warnings   # CI gate: any finding fails
 //!
+//! repro serve --jobs 2000       # long-running collective service demo
+//! repro bench7 --workers 4      # sustained service throughput, warm vs cold
+//!
 //! options:
-//!   --nodes N      largest node count (default 32; `lint` defaults to 2)
+//!   --nodes N      largest node count (default 32; `lint` defaults to 2,
+//!                  `serve`/`bench7` to 4)
 //!   --machine M    dane | amber | tuolumne (default dane; figs 17/18 override)
 //!   --runs R       jittered runs per point, minimum reported (default 3)
 //!   --seed S       base seed (default 1)
@@ -20,10 +24,12 @@
 //!                  engine, 0 = all host cores. Results are byte-identical
 //!                  for any value; only wall-clock changes
 //!   --out DIR      output directory (default results)
-//!   --baseline F   (bench4/bench6) gate against the matching prior
+//!   --baseline F   (bench4/bench6/bench7) gate against the matching prior
 //!                  BENCH_N.json: fail on a >20% normalized regression
 //!   --deny warnings    (lint only) exit nonzero on warnings, not just errors
 //!   --window N     (lint only) A2A005 per-destination send window (default 32)
+//!   --jobs N       (serve only) jobs to push through the service (default 2000)
+//!   --tenants N    (serve/bench7) tenants to round-robin jobs across (default 4)
 //! ```
 
 use std::path::PathBuf;
@@ -68,6 +74,8 @@ fn main() -> ExitCode {
     let mut nodes_set = false;
     let mut deny_warnings = false;
     let mut lint_window: usize = 32;
+    let mut serve_jobs: u64 = 2000;
+    let mut tenants: u32 = 4;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -97,6 +105,8 @@ fn main() -> ExitCode {
                 deny_warnings = true;
             }
             "--window" => lint_window = value("--window").parse().expect("--window: integer"),
+            "--jobs" => serve_jobs = value("--jobs").parse().expect("--jobs: integer"),
+            "--tenants" => tenants = value("--tenants").parse().expect("--tenants: integer"),
             // `lint` sweeps every preset already; `--all` is accepted for
             // symmetry with `repro all` and in CI invocations.
             "--all" => {}
@@ -107,13 +117,15 @@ fn main() -> ExitCode {
             "chaos" => figures.push("chaos".into()),
             "bench4" => figures.push("bench4".into()),
             "bench6" => figures.push("bench6".into()),
+            "bench7" => figures.push("bench7".into()),
+            "serve" => figures.push("serve".into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tune|chaos|bench4|bench6|lint|fig7..fig18|headline|ablation-*]... [options]"
+                    "usage: repro [all|table1|tune|chaos|bench4|bench6|bench7|serve|lint|fig7..fig18|headline|ablation-*]... [options]"
                 );
                 println!("figures: {:?}", known_figures());
                 println!(
-                    "options: --nodes N --machine M --runs R --seed S --scale full|small --workers N --out DIR --baseline FILE --deny warnings --window N"
+                    "options: --nodes N --machine M --runs R --seed S --scale full|small --workers N --out DIR --baseline FILE --deny warnings --window N --jobs N --tenants N"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -264,6 +276,63 @@ fn main() -> ExitCode {
                     report.cells.len(),
                     path.display()
                 );
+            }
+            continue;
+        }
+        if name == "bench7" {
+            // Cold cells compile+lint per job, so default to a small grid
+            // (like `lint`); `--nodes` scales it up explicitly.
+            let nodes = if nodes_set { cfg.nodes } else { 4 };
+            let workers = cfg.workers.max(1);
+            let report = a2a_bench::bench7(nodes, workers, tenants);
+            println!("\n{}", report.table());
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("BENCH_7.json"),
+                serde_json::to_string_pretty(&report).expect("serialize"),
+            )
+            .expect("write BENCH_7.json");
+            println!("  [bench7 done in {:.1?}]", start.elapsed());
+            if !report.meets_floor() {
+                eprintln!(
+                    "FAILED: warm cache sustains only {:.2}x the cold rate (hard floor {}x)",
+                    report.geomean_warm_over_cold(),
+                    a2a_bench::WARM_COLD_FLOOR
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Some(path) = &baseline {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+                let base: a2a_bench::Bench7Report =
+                    serde_json::from_str(&text).expect("parse baseline BENCH_7.json");
+                let bad = report.regressions_against(&base);
+                if !bad.is_empty() {
+                    for (algo, bytes, ratio) in &bad {
+                        eprintln!(
+                            "REGRESSION: {algo} @ {bytes} B cold-normalized jobs/sec at {:.2}x of baseline (floor {})",
+                            ratio,
+                            a2a_bench::BENCH7_REGRESSION_FLOOR
+                        );
+                    }
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "  baseline gate passed ({} cells vs {})",
+                    report.cells.len(),
+                    path.display()
+                );
+            }
+            continue;
+        }
+        if name == "serve" {
+            let nodes = if nodes_set { cfg.nodes } else { 4 };
+            let workers = cfg.workers.max(1);
+            let (summary, stats) = a2a_bench::serve_demo(nodes, workers, tenants, serve_jobs);
+            println!("\n{summary}");
+            println!("  [serve done in {:.1?}]", start.elapsed());
+            if stats.jobs_failed > 0 {
+                return ExitCode::FAILURE;
             }
             continue;
         }

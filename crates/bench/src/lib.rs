@@ -19,6 +19,7 @@ pub mod figures;
 pub mod harness;
 pub mod lint_sweep;
 pub mod microbench;
+pub mod service_bench;
 pub mod simrate;
 pub mod throughput;
 pub mod tune;
@@ -29,6 +30,10 @@ pub use harness::{
     machine_for, run_min, FigureData, RunConfig, Series, DEFAULT_SIZES, PAPER_GROUP_SIZES,
 };
 pub use lint_sweep::{lint_roster, LintCell, LintSweep};
+pub use service_bench::{
+    bench7, serve_demo, Bench7Cell, Bench7Report, BENCH7_REGRESSION_FLOOR, BENCH7_SIZES,
+    WARM_COLD_FLOOR,
+};
 pub use simrate::{bench6, Bench6Cell, Bench6Report};
 pub use throughput::{bench4, Bench4Cell, Bench4Report, REGRESSION_FLOOR};
 pub use tune::{tune, TuneResult};

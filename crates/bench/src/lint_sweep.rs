@@ -4,9 +4,18 @@
 //! every lint pass (`a2a-lint`). The sweep covers the BENCH_4 grid (4 ppn)
 //! plus the three scaled paper machines (dane, amber, tuolumne), so both
 //! the flat and deeply hierarchical topologies are proven deadlock- and
-//! race-free at every paper block size. CI denies warnings: the roster
-//! must come back completely clean.
+//! race-free at every paper block size. The v-variant (`MPI_Alltoallv`)
+//! algorithms are swept too, on two non-uniform count profiles (a lumpy
+//! asymmetric matrix with zeros, and a banded transpose-like one), so
+//! A2A000–A2A006 coverage extends to irregular schedules. CI denies
+//! warnings: the roster must come back completely clean.
 
+use std::sync::Arc;
+
+use a2a_core::alltoallv::{
+    AlltoallvAlgorithm, CountsFn, NodeAwareAlltoallv, NonblockingAlltoallv, PairwiseAlltoallv,
+    VContext, VSchedule,
+};
 use a2a_core::{A2AContext, AlgoSchedule};
 use a2a_lint::{lint_schedule, LintConfig, LintReport};
 use a2a_topo::ProcGrid;
@@ -123,9 +132,53 @@ fn lint_grids(nodes: usize) -> Vec<(String, ProcGrid)> {
     grids
 }
 
+/// The v-variant roster: every alltoallv algorithm.
+fn v_roster() -> Vec<Box<dyn AlltoallvAlgorithm>> {
+    vec![
+        Box::new(PairwiseAlltoallv),
+        Box::new(NonblockingAlltoallv),
+        Box::new(NodeAwareAlltoallv),
+    ]
+}
+
+/// Non-uniform count profiles the v-variants are linted under. Both are
+/// pure functions of `(src, dst)`, so every rank builds from the same
+/// matrix (the MPI_Alltoallv contract).
+fn v_profiles(n: usize) -> Vec<(&'static str, CountsFn)> {
+    let banded_n = n as i64;
+    vec![
+        // Lumpy and asymmetric, with plenty of zero pairs.
+        (
+            "lumpy",
+            Arc::new(move |s: u32, d: u32| {
+                let x = (s as u64 * 31 + d as u64 * 17) % 13;
+                if x < 4 {
+                    0
+                } else {
+                    x * (1 + (s as u64 + d as u64) % 5)
+                }
+            }) as CountsFn,
+        ),
+        // Transpose-like: traffic concentrates on a diagonal band.
+        (
+            "banded",
+            Arc::new(move |s: u32, d: u32| {
+                let dist = ((s as i64 - d as i64).rem_euclid(banded_n))
+                    .min((d as i64 - s as i64).rem_euclid(banded_n));
+                if dist <= 2 {
+                    256u64 >> dist
+                } else {
+                    0
+                }
+            }) as CountsFn,
+        ),
+    ]
+}
+
 /// Lint the eight-algorithm roster on every preset at every paper block
-/// size. Individual reports are folded into [`LintCell`]s; the rendered
-/// text of any non-clean report lands in `findings`.
+/// size, plus the v-variant roster on every non-uniform count profile.
+/// Individual reports are folded into [`LintCell`]s; the rendered text of
+/// any non-clean report lands in `findings`.
 pub fn lint_roster(nodes: usize, cfg: &LintConfig) -> LintSweep {
     let mut sweep = LintSweep {
         rendezvous: cfg.rendezvous,
@@ -148,6 +201,21 @@ pub fn lint_roster(nodes: usize, cfg: &LintConfig) -> LintSweep {
                 sweep
                     .cells
                     .push(cell(&machine, &grid, &algo.name(), bytes, &report));
+                if !report.is_clean() {
+                    sweep.findings.push(report.render_text());
+                }
+            }
+        }
+        // Non-uniform schedules: one cell per v-algorithm per count
+        // profile (a count matrix replaces the block-size axis, so the
+        // `bytes` column is 0 and the profile rides in the label).
+        for algo in v_roster() {
+            for (profile, counts) in v_profiles(grid.world_size()) {
+                let name = format!("{}[{}]", algo.name(), profile);
+                let label = format!("{} {} n={}", machine, name, grid.world_size());
+                let sched = VSchedule::new(algo.as_ref(), VContext::new(grid.clone(), counts));
+                let report = lint_schedule(label, &sched, &grid, cfg);
+                sweep.cells.push(cell(&machine, &grid, &name, 0, &report));
                 if !report.is_clean() {
                     sweep.findings.push(report.render_text());
                 }
@@ -185,19 +253,36 @@ mod tests {
     #[test]
     fn small_sweep_is_clean() {
         let sweep = lint_roster(2, &LintConfig::default());
-        // 4 machines x 8 algorithms x 6 sizes.
-        assert_eq!(sweep.cells.len(), 4 * 8 * 6);
+        // 4 machines x (8 algorithms x 6 sizes + 3 v-algorithms x 2
+        // count profiles).
+        assert_eq!(sweep.cells.len(), 4 * (8 * 6 + 3 * 2));
         assert_eq!(sweep.errors(), 0, "{:?}", sweep.findings);
         assert_eq!(sweep.warnings(), 0, "{:?}", sweep.findings);
         assert!(sweep.findings.is_empty());
     }
 
     #[test]
+    fn sweep_covers_v_variants() {
+        let sweep = lint_roster(2, &LintConfig::default());
+        for name in [
+            "alltoallv-pairwise[lumpy]",
+            "alltoallv-nonblocking[banded]",
+            "alltoallv-node-aware[lumpy]",
+        ] {
+            assert!(
+                sweep.cells.iter().any(|c| c.algo == name),
+                "missing v cell {name}"
+            );
+        }
+    }
+
+    #[test]
     fn table_collapses_sizes() {
         let sweep = lint_roster(2, &LintConfig::default());
         let t = sweep.table();
-        // One line per machine x algorithm plus the two headers.
-        assert_eq!(t.lines().count(), 2 + 4 * 8);
+        // One line per machine x algorithm (v profiles are distinct
+        // labels) plus the two headers.
+        assert_eq!(t.lines().count(), 2 + 4 * (8 + 3 * 2));
         assert!(t.contains("clean"));
     }
 }

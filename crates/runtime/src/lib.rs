@@ -44,11 +44,13 @@ mod comm;
 mod error;
 mod fabric;
 mod parallel;
+mod pool;
 
 pub use comm::{AlltoallRun, ThreadComm};
 pub use error::{BlockedKind, BlockedOp, RuntimeError};
 pub use fabric::{Fabric, RecvWant, WorldOptions};
 pub use parallel::{ParallelExecutor, ParallelOutput};
+pub use pool::{PoolStats, WorkerPool};
 
 use std::sync::Arc;
 

@@ -1,0 +1,234 @@
+//! A persistent worker pool for service-style traffic.
+//!
+//! [`crate::ThreadWorld`] spins up one scoped OS thread per rank per job —
+//! right for a single collective that owns the machine, wrong for a
+//! long-running service admitting thousands of jobs: thread spawn/join
+//! would dominate every small collective. [`WorkerPool`] keeps a fixed set
+//! of named worker threads alive for the life of the service and feeds
+//! them closures through a mutex-guarded queue.
+//!
+//! Properties the service layer relies on:
+//!
+//! * **Panic containment** — a panicking job is caught, counted, and the
+//!   worker keeps serving; one tenant's bug never takes a worker down.
+//! * **Drain on drop** — dropping the pool lets workers finish every job
+//!   already queued before joining, so no submitted job is silently lost.
+//! * **Completion tracking** — [`WorkerPool::drain`] blocks until every
+//!   submitted job has finished, which is how `Service::join` quiesces.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+    submitted: u64,
+    finished: u64,
+    panicked: u64,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signaled when a job is queued (or shutdown begins): wakes workers.
+    available: Condvar,
+    /// Signaled when a job finishes: wakes [`WorkerPool::drain`].
+    done: Condvar,
+}
+
+/// Lifetime counters of one pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub submitted: u64,
+    pub finished: u64,
+    /// Jobs that panicked (included in `finished`).
+    pub panicked: u64,
+    /// Jobs queued but not yet finished.
+    pub pending: u64,
+}
+
+/// A fixed set of persistent worker threads executing queued closures.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Mutex poisoning cannot corrupt the queue (jobs are popped before they
+/// run, counters are plain integers), so a poisoned lock is recovered the
+/// same way the fabric recovers its mailbox locks.
+fn lock_queue(shared: &PoolShared) -> MutexGuard<'_, PoolQueue> {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl WorkerPool {
+    /// Start `workers` (at least 1) persistent threads.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue::default()),
+            available: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..=workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{}", i - 1))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job for execution on some worker.
+    ///
+    /// # Panics
+    /// Panics if called after the pool started shutting down (only
+    /// possible from a job racing `Drop`, which the service layer never
+    /// does: it owns the pool and submits only while alive).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut q = lock_queue(&self.shared);
+        assert!(!q.shutdown, "spawn on a shut-down pool");
+        q.jobs.push_back(Box::new(job));
+        q.submitted += 1;
+        drop(q);
+        self.shared.available.notify_one();
+    }
+
+    /// Block until every job submitted so far has finished.
+    pub fn drain(&self) {
+        let mut q = lock_queue(&self.shared);
+        while q.finished < q.submitted {
+            q = self
+                .shared
+                .done
+                .wait(q)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        let q = lock_queue(&self.shared);
+        PoolStats {
+            submitted: q.submitted,
+            finished: q.finished,
+            panicked: q.panicked,
+            pending: q.submitted - q.finished,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = lock_queue(&self.shared);
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            // A worker that panicked outside a job (impossible today) still
+            // must not abort the drop of the others.
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = lock_queue(shared);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+        let mut q = lock_queue(shared);
+        q.finished += 1;
+        if panicked {
+            q.panicked += 1;
+        }
+        drop(q);
+        shared.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn executes_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 0..100u64 {
+            let sum = Arc::clone(&sum);
+            pool.spawn(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        pool.drain();
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.finished, 100);
+        assert_eq!(stats.panicked, 0);
+        assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        let ran = Arc::new(AtomicU64::new(0));
+        pool.spawn(|| panic!("job bug"));
+        let r = Arc::clone(&ran);
+        pool.spawn(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.drain();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "worker survived the panic");
+        assert_eq!(pool.stats().panicked, 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let r = Arc::clone(&ran);
+                pool.spawn(move || {
+                    r.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 50, "drop ran every queued job");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        pool.spawn(|| {});
+        pool.drain();
+    }
+}

@@ -239,6 +239,14 @@ const SRC_ARENA: Rank = Rank::MAX;
 /// Preparing once and calling [`DataExecutor::run_prepared`] in a loop is
 /// the intended bench path: programs are never rebuilt or cloned, and the
 /// paired [`ExecScratch`] recycles every byte of run-to-run state.
+///
+/// A prepared schedule is normally borrowed from its source for the
+/// duration of one run loop. Long-running consumers (the `a2a-service`
+/// schedule cache) instead sever the borrow with
+/// [`PreparedSchedule::into_owned`] and share the resulting
+/// `PreparedSchedule<'static>` behind an `Arc` across jobs and worker
+/// threads: every field is plain `Send + Sync` data.
+#[derive(Debug)]
 pub struct PreparedSchedule<'s> {
     nranks: usize,
     progs: Vec<Cow<'s, RankProgram>>,
@@ -282,6 +290,36 @@ impl<'s> PreparedSchedule<'s> {
         }
     }
 
+    /// Compile `source` straight into an owned (`'static`) prepared
+    /// schedule. Shorthand for `PreparedSchedule::new(src).into_owned()`
+    /// usable when the source is a temporary.
+    pub fn new_owned(source: &dyn ScheduleSource) -> PreparedSchedule<'static> {
+        PreparedSchedule::new(source).into_owned()
+    }
+
+    /// Sever the borrow of the compiled source, yielding a shareable
+    /// `PreparedSchedule<'static>` (e.g. for an `Arc`-based cache).
+    ///
+    /// Programs that were built by the source (generator-style
+    /// [`ScheduleSource::build_rank`] implementations, i.e. every
+    /// algorithm) are already owned `Cow`s and are **moved**, not cloned —
+    /// converting a freshly compiled algorithm schedule allocates nothing.
+    /// Only programs borrowed from a storing source are cloned, once.
+    pub fn into_owned(self) -> PreparedSchedule<'static> {
+        PreparedSchedule {
+            nranks: self.nranks,
+            progs: self
+                .progs
+                .into_iter()
+                .map(|p| Cow::Owned(p.into_owned()))
+                .collect(),
+            bufsizes: self.bufsizes,
+            tags: self.tags,
+            stable: self.stable,
+            phase_names: self.phase_names,
+        }
+    }
+
     pub fn nranks(&self) -> usize {
         self.nranks
     }
@@ -295,12 +333,35 @@ impl<'s> PreparedSchedule<'s> {
         self.progs[rank as usize].as_ref()
     }
 
+    /// Rank `rank`'s buffer sizes, borrowed — unlike
+    /// [`ScheduleSource::buffers`], which must allocate a fresh `Vec` per
+    /// call, this is free and is what the prepare path uses internally.
+    pub fn buffer_sizes(&self, rank: Rank) -> &[Bytes] {
+        &self.bufsizes[rank as usize]
+    }
+
     fn tag_slot(&self, tag: u32) -> usize {
         self.tags
             .binary_search(&tag)
             .expect("tag was collected from these programs at prepare time")
     }
 }
+
+/// Compiled-content equality across borrow states: a cached owned schedule
+/// compares equal to a freshly compiled borrowed one iff every program,
+/// buffer size, tag, stability flag, and phase name is bit-identical.
+impl<'b> PartialEq<PreparedSchedule<'b>> for PreparedSchedule<'_> {
+    fn eq(&self, other: &PreparedSchedule<'b>) -> bool {
+        self.nranks == other.nranks
+            && self.progs == other.progs
+            && self.bufsizes == other.bufsizes
+            && self.tags == other.tags
+            && self.stable == other.stable
+            && self.phase_names == other.phase_names
+    }
+}
+
+impl Eq for PreparedSchedule<'_> {}
 
 impl ScheduleSource for PreparedSchedule<'_> {
     fn nranks(&self) -> usize {
@@ -1468,5 +1529,75 @@ mod tests {
             crate::exec_legacy::LegacyDataExecutor::run(&src, |r, buf| buf.fill(r as u8 + 1))
                 .unwrap();
         assert_eq!(fast, legacy);
+    }
+
+    #[test]
+    fn owned_schedule_is_bit_identical_to_borrowed() {
+        let src = swap_schedule();
+        let borrowed = PreparedSchedule::new(&src);
+        let owned = PreparedSchedule::new(&src).into_owned();
+        assert_eq!(owned, borrowed);
+        // And it executes identically through a fresh scratch.
+        let mut s_b = ExecScratch::new(&borrowed);
+        let mut s_o = ExecScratch::new(&owned);
+        DataExecutor::run_prepared(&borrowed, &mut s_b, |r, buf| buf.fill(r as u8 + 1)).unwrap();
+        DataExecutor::run_prepared(&owned, &mut s_o, |r, buf| buf.fill(r as u8 + 1)).unwrap();
+        assert_eq!(s_b.rbuf(0), s_o.rbuf(0));
+        assert_eq!(s_b.rbuf(1), s_o.rbuf(1));
+    }
+
+    #[test]
+    fn into_owned_moves_generator_built_programs() {
+        // A generator-style source (only `build_rank`) hands the prepare
+        // path owned programs; `into_owned` must move them, not clone:
+        // the op vector's heap allocation survives the conversion.
+        struct Gen;
+        impl ScheduleSource for Gen {
+            fn nranks(&self) -> usize {
+                2
+            }
+            fn buffers(&self, _r: Rank) -> Vec<Bytes> {
+                vec![8, 8]
+            }
+            fn build_rank(&self, r: Rank) -> RankProgram {
+                swap_schedule().progs[r as usize].clone()
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["all"]
+            }
+        }
+        let prep = PreparedSchedule::new(&Gen);
+        let ptr_before = prep.prog(0).ops.as_ptr();
+        let owned = prep.into_owned();
+        assert_eq!(owned.prog(0).ops.as_ptr(), ptr_before, "moved, not cloned");
+    }
+
+    #[test]
+    fn owned_schedule_is_shareable_across_threads() {
+        let src = swap_schedule();
+        let prep = std::sync::Arc::new(PreparedSchedule::new(&src).into_owned());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let prep = std::sync::Arc::clone(&prep);
+                std::thread::spawn(move || {
+                    let mut scratch = ExecScratch::new(&prep);
+                    DataExecutor::run_prepared(&prep, &mut scratch, |r, buf| buf.fill(r as u8 + 1))
+                        .unwrap();
+                    scratch.rbuf(0).to_vec()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![2u8; 8]);
+        }
+    }
+
+    #[test]
+    fn buffer_sizes_borrow_matches_trait_buffers() {
+        let src = swap_schedule();
+        let prep = PreparedSchedule::new(&src);
+        for r in 0..2 {
+            assert_eq!(prep.buffer_sizes(r), &ScheduleSource::buffers(&prep, r)[..]);
+        }
     }
 }

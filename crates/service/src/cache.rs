@@ -1,0 +1,327 @@
+//! The prepared-schedule cache: compile + validate + lint once per
+//! distinct `(algorithm, topology, counts, window)` key, then serve every
+//! repeat submission from an `Arc`-shared owned [`PreparedSchedule`].
+//!
+//! Keying relies on compilation being deterministic: every algorithm
+//! builds its rank programs from nothing but its own parameters, the
+//! machine shape, and the byte counts, so two submissions with equal keys
+//! would compile bit-identical schedules — serving the cached one changes
+//! nothing but the work done (a property the service test suite pins with
+//! [`PreparedSchedule`]'s content equality).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use a2a_core::{A2AContext, AlgoSchedule, AlltoallAlgorithm};
+use a2a_lint::{lint_schedule, LintConfig};
+use a2a_sched::{validate, PreparedSchedule, ScheduleStats};
+use a2a_topo::ProcGrid;
+
+/// What makes two collective submissions share a compiled schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Algorithm display name (unique per roster entry, parameters
+    /// included — e.g. `hierarchical(g=4,nonblocking)`).
+    pub algo: String,
+    /// Machine signature: name plus the full node/socket/NUMA/core shape.
+    pub topology: String,
+    /// Count signature. Uniform all-to-alls use `uniform:<block bytes>`;
+    /// a v-variant front end would hash its count matrix here.
+    pub counts: String,
+    /// The lint send-window the schedule was admitted under (A2A005
+    /// findings depend on it, so reports must not be shared across
+    /// windows).
+    pub window: usize,
+}
+
+impl CacheKey {
+    /// The key for a uniform all-to-all of `block_bytes` per pair.
+    pub fn alltoall(
+        algo: &dyn AlltoallAlgorithm,
+        grid: &ProcGrid,
+        block_bytes: u64,
+        window: usize,
+    ) -> Self {
+        let m = grid.machine();
+        CacheKey {
+            algo: algo.name(),
+            topology: format!(
+                "{}:{}x{}x{}x{}",
+                m.name, m.nodes, m.sockets_per_node, m.numa_per_socket, m.cores_per_numa
+            ),
+            counts: format!("uniform:{block_bytes}"),
+            window,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ {} [{}] w{}",
+            self.algo, self.topology, self.counts, self.window
+        )
+    }
+}
+
+/// Why admission rejected a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// `a2a_sched::validate` failed: structurally broken schedule.
+    Validation(String),
+    /// The static analyzer found errors (warnings are recorded on the
+    /// cached entry, not rejected).
+    Lint { errors: usize, rendered: String },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Validation(e) => write!(f, "validation failed: {e}"),
+            CompileError::Lint { errors, rendered } => {
+                write!(f, "lint found {errors} error(s):\n{rendered}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One admitted schedule: the owned prepared form plus everything the
+/// cold-miss admission pipeline learned about it.
+pub struct CachedSchedule {
+    pub key: CacheKey,
+    pub prep: PreparedSchedule<'static>,
+    pub stats: ScheduleStats,
+    /// Lint warnings found at admission (errors reject the schedule).
+    pub lint_warnings: usize,
+}
+
+/// Compile + validate + lint one uniform all-to-all — the full cold-miss
+/// admission pipeline, run exactly once per cache key.
+pub fn compile_alltoall(
+    algo: &dyn AlltoallAlgorithm,
+    grid: &ProcGrid,
+    block_bytes: u64,
+    lint: &LintConfig,
+) -> Result<CachedSchedule, CompileError> {
+    let key = CacheKey::alltoall(algo, grid, block_bytes, lint.send_window);
+    let sched = AlgoSchedule::new(algo, A2AContext::new(grid.clone(), block_bytes));
+    let stats = validate(&sched, grid).map_err(|e| CompileError::Validation(e.to_string()))?;
+    let report = lint_schedule(key.to_string(), &sched, grid, lint);
+    if report.errors() > 0 {
+        return Err(CompileError::Lint {
+            errors: report.errors(),
+            rendered: report.render_text(),
+        });
+    }
+    let lint_warnings = report.warnings();
+    // Programs were generator-built (owned Cows), so this moves them:
+    // the prepare path performs no clone.
+    let prep = PreparedSchedule::new_owned(&sched);
+    Ok(CachedSchedule {
+        key,
+        prep,
+        stats,
+        lint_warnings,
+    })
+}
+
+/// Hit/miss/eviction accounting, all lifetime totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Cold-miss compiles actually performed (equals `misses` except when
+    /// concurrent misses race on one key, or capacity is 0).
+    pub compiled: u64,
+}
+
+struct Entry {
+    sched: Arc<CachedSchedule>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// An LRU cache of admitted schedules. `capacity == 0` disables storage
+/// (every lookup misses and compiles) — the bench's cold path.
+pub struct ScheduleCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ScheduleCache {
+    pub fn new(capacity: usize) -> Self {
+        ScheduleCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Serve `key` from the cache, or admit it through `compile`.
+    ///
+    /// Compilation runs outside the lock, so a large cold miss never
+    /// stalls concurrent hits; if two submissions race the same cold key,
+    /// both compile (deterministically identical schedules) and the first
+    /// insertion wins.
+    pub fn get_or_compile(
+        &self,
+        key: &CacheKey,
+        compile: impl FnOnce() -> Result<CachedSchedule, CompileError>,
+    ) -> Result<Arc<CachedSchedule>, CompileError> {
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.last_used = tick;
+                let sched = Arc::clone(&entry.sched);
+                inner.stats.hits += 1;
+                return Ok(sched);
+            }
+            inner.stats.misses += 1;
+        }
+        let compiled = Arc::new(compile()?);
+        let mut inner = self.lock();
+        inner.stats.compiled += 1;
+        if self.capacity == 0 {
+            return Ok(compiled);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let sched = match inner.map.get_mut(key) {
+            // Lost a compile race: serve the incumbent so every consumer
+            // of this key shares one allocation.
+            Some(entry) => {
+                entry.last_used = tick;
+                Arc::clone(&entry.sched)
+            }
+            None => {
+                inner.map.insert(
+                    key.clone(),
+                    Entry {
+                        sched: Arc::clone(&compiled),
+                        last_used: tick,
+                    },
+                );
+                compiled
+            }
+        };
+        while inner.map.len() > self.capacity {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity map");
+            inner.map.remove(&lru);
+            inner.stats.evictions += 1;
+        }
+        Ok(sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_core::PairwiseAlltoall;
+    use a2a_topo::Machine;
+
+    fn grid() -> ProcGrid {
+        ProcGrid::new(Machine::custom("bench", 2, 2, 1, 2))
+    }
+
+    fn compile(bytes: u64) -> CachedSchedule {
+        compile_alltoall(&PairwiseAlltoall, &grid(), bytes, &LintConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hits() {
+        let cache = ScheduleCache::new(4);
+        let key = CacheKey::alltoall(&PairwiseAlltoall, &grid(), 64, 32);
+        for _ in 0..5 {
+            let s = cache.get_or_compile(&key, || Ok(compile(64))).unwrap();
+            assert_eq!(s.key, key);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.compiled, 1);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn cached_schedule_is_bit_identical_to_fresh_compile() {
+        let cache = ScheduleCache::new(4);
+        let key = CacheKey::alltoall(&PairwiseAlltoall, &grid(), 64, 32);
+        cache.get_or_compile(&key, || Ok(compile(64))).unwrap();
+        let cached = cache.get_or_compile(&key, || Ok(compile(64))).unwrap();
+        assert_eq!(cache.stats().compiled, 1, "second call was a hit");
+        let fresh = compile(64);
+        assert_eq!(cached.prep, fresh.prep);
+    }
+
+    #[test]
+    fn lru_eviction_counts() {
+        let cache = ScheduleCache::new(2);
+        for bytes in [4u64, 16, 64] {
+            let key = CacheKey::alltoall(&PairwiseAlltoall, &grid(), bytes, 32);
+            cache.get_or_compile(&key, || Ok(compile(bytes))).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The oldest key (4 B) was evicted: re-asking for it misses...
+        let key4 = CacheKey::alltoall(&PairwiseAlltoall, &grid(), 4, 32);
+        cache.get_or_compile(&key4, || Ok(compile(4))).unwrap();
+        // ...while the most recently used (64 B) still hits.
+        let key64 = CacheKey::alltoall(&PairwiseAlltoall, &grid(), 64, 32);
+        cache.get_or_compile(&key64, || Ok(compile(64))).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ScheduleCache::new(0);
+        let key = CacheKey::alltoall(&PairwiseAlltoall, &grid(), 64, 32);
+        for _ in 0..3 {
+            cache.get_or_compile(&key, || Ok(compile(64))).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.compiled, 3);
+        assert_eq!(stats.hits, 0);
+        assert!(cache.is_empty());
+    }
+}

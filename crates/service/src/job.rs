@@ -1,0 +1,358 @@
+//! Jobs, tenants, and completion handles.
+//!
+//! A *job* is one collective execution request; a *tenant* is the failure
+//! domain it belongs to. Tenants reuse the fabric's first-error-wins abort
+//! idea one level up: the first error any of a tenant's jobs hits latches
+//! that tenant's [`TenantGate`], and every later (or queued) job of the
+//! same tenant fails fast with [`JobError::TenantAborted`] carrying the
+//! root cause — while other tenants' jobs are untouched.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use a2a_faults::FaultPlan;
+use a2a_sched::Bytes;
+use a2a_topo::Rank;
+
+/// Tenants are small integers; the service creates gates on first use.
+pub type TenantId = u32;
+
+/// How a job fills each rank's send buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// The deterministic all-to-all transpose pattern
+    /// (`a2a_sched::fill_alltoall_sbuf`) — the only fill the in-service
+    /// verifier understands.
+    Transpose,
+    /// Seeded pseudo-random bytes, distinct per rank.
+    Seeded(u64),
+}
+
+/// Which execution engine carries the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The sequential zero-copy data executor on a pooled scratch —
+    /// batchable with other jobs of the same cache key.
+    Data,
+    /// `a2a_runtime::ParallelExecutor` with this many worker threads,
+    /// covered by the runtime's watchdog/abort machinery. Never batched.
+    Parallel { threads: usize },
+}
+
+/// One collective submission.
+#[derive(Clone)]
+pub struct JobSpec {
+    pub tenant: TenantId,
+    /// Per-pair block bytes (part of the cache key).
+    pub block_bytes: u64,
+    pub fill: Fill,
+    pub engine: Engine,
+    /// Optional fault plan (chaos testing / tenant-isolation drills).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Check the transpose after execution (requires [`Fill::Transpose`]).
+    pub verify: bool,
+    /// Carry every rank's receive buffer back in the [`JobOutput`].
+    pub return_data: bool,
+}
+
+impl JobSpec {
+    /// A verified transpose on the sequential engine — the common case.
+    pub fn new(tenant: TenantId, block_bytes: u64) -> Self {
+        JobSpec {
+            tenant,
+            block_bytes,
+            fill: Fill::Transpose,
+            engine: Engine::Data,
+            faults: None,
+            verify: true,
+            return_data: false,
+        }
+    }
+
+    pub fn with_fill(mut self, fill: Fill) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    pub fn with_return_data(mut self, return_data: bool) -> Self {
+        self.return_data = return_data;
+        self
+    }
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Admission rejected the schedule (validation or lint errors) or the
+    /// spec itself (e.g. `verify` without [`Fill::Transpose`]).
+    Rejected(String),
+    /// The job's fault plan declares a dead rank: the collective cannot
+    /// complete (mirrors `RuntimeError::DeadRank`).
+    DeadRank { rank: Rank },
+    /// The executor failed (rendered `a2a_sched::ExecError`).
+    Exec(String),
+    /// The parallel runtime failed (rendered `a2a_runtime::RuntimeError`).
+    Runtime(String),
+    /// Post-run verification found a wrong byte.
+    Verification(String),
+    /// A previous job of the same tenant already failed; `first` is the
+    /// latched root cause.
+    TenantAborted {
+        tenant: TenantId,
+        first: Box<JobError>,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Rejected(e) => write!(f, "rejected at admission: {e}"),
+            JobError::DeadRank { rank } => write!(f, "rank {rank} is dead"),
+            JobError::Exec(e) => write!(f, "execution failed: {e}"),
+            JobError::Runtime(e) => write!(f, "runtime failed: {e}"),
+            JobError::Verification(e) => write!(f, "verification failed: {e}"),
+            JobError::TenantAborted { tenant, first } => {
+                write!(f, "tenant {tenant} aborted by earlier failure: {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// What a successful job reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// Messages delivered by the schedule.
+    pub messages: usize,
+    /// Total payload bytes moved.
+    pub message_bytes: Bytes,
+    /// FNV-1a digest over every rank's receive buffer, rank-ordered —
+    /// cheap byte-identity evidence without shipping the buffers.
+    pub digest: u64,
+    /// How many jobs shared this job's executor batch (1 = ran alone).
+    pub batched: usize,
+    /// Receive buffers, if `return_data` was set.
+    pub rbufs: Option<Vec<Vec<u8>>>,
+}
+
+/// FNV-1a over rank-ordered receive buffers (length-prefixed so
+/// `[a,b] / [ab]` splits cannot collide).
+pub(crate) fn digest_rbufs<'a>(rbufs: impl Iterator<Item = &'a [u8]>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut byte = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for buf in rbufs {
+        for b in (buf.len() as u64).to_le_bytes() {
+            byte(b);
+        }
+        for &b in buf {
+            byte(b);
+        }
+    }
+    h
+}
+
+/// Deterministic per-rank pseudo-random fill (SplitMix64 stream).
+pub(crate) fn seeded_fill(seed: u64, rank: Rank, buf: &mut [u8]) {
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1);
+    let mut next = || {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for chunk in buf.chunks_mut(8) {
+        let w = next().to_le_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+}
+
+/// First-error-wins failure latch for one tenant, mirroring the fabric's
+/// abort latch: the fast path is a single relaxed atomic load.
+#[derive(Default)]
+pub struct TenantGate {
+    failed: AtomicBool,
+    first: Mutex<Option<JobError>>,
+}
+
+impl TenantGate {
+    /// Latch `err` if the gate is still open; returns the error that won
+    /// (the latched first error, which may not be `err`).
+    pub fn latch(&self, err: JobError) -> JobError {
+        let mut slot = self
+            .first
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let winner = slot.get_or_insert(err).clone();
+        self.failed.store(true, Ordering::Release);
+        winner
+    }
+
+    /// The latched first error, if any.
+    pub fn error(&self) -> Option<JobError> {
+        if !self.failed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.first
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
+    }
+
+    /// Reopen the gate (`Service::reset_tenant`).
+    pub fn reset(&self) {
+        let mut slot = self
+            .first
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        *slot = None;
+        self.failed.store(false, Ordering::Release);
+    }
+}
+
+pub(crate) struct JobShared {
+    result: Mutex<Option<Result<JobOutput, JobError>>>,
+    done: Condvar,
+}
+
+/// A handle to one submitted job; [`JobHandle::wait`] blocks until the
+/// service completes it.
+pub struct JobHandle {
+    pub(crate) shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    pub(crate) fn new() -> Self {
+        JobHandle {
+            shared: Arc::new(JobShared {
+                result: Mutex::new(None),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A handle already completed with `err` (fast-fail at submission).
+    pub(crate) fn failed(err: JobError) -> Self {
+        let h = JobHandle::new();
+        h.shared.complete(Err(err));
+        h
+    }
+
+    /// Block until the job completes; repeat calls return a clone of the
+    /// same result.
+    pub fn wait(&self) -> Result<JobOutput, JobError> {
+        let mut slot = self
+            .shared
+            .result
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        loop {
+            if let Some(res) = slot.as_ref() {
+                return res.clone();
+            }
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+
+    /// The result if the job already completed (non-blocking).
+    pub fn try_result(&self) -> Option<Result<JobOutput, JobError>> {
+        self.shared
+            .result
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
+    }
+}
+
+impl JobShared {
+    pub(crate) fn complete(&self, res: Result<JobOutput, JobError>) {
+        let mut slot = self
+            .result
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        debug_assert!(slot.is_none(), "job completed twice");
+        *slot = Some(res);
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_latches_first_error_only() {
+        let gate = TenantGate::default();
+        assert_eq!(gate.error(), None);
+        let first = gate.latch(JobError::DeadRank { rank: 3 });
+        assert_eq!(first, JobError::DeadRank { rank: 3 });
+        let second = gate.latch(JobError::Exec("later".into()));
+        assert_eq!(second, JobError::DeadRank { rank: 3 }, "first error wins");
+        assert_eq!(gate.error(), Some(JobError::DeadRank { rank: 3 }));
+        gate.reset();
+        assert_eq!(gate.error(), None);
+    }
+
+    #[test]
+    fn digest_is_order_and_boundary_sensitive() {
+        let a: &[u8] = &[1, 2];
+        let b: &[u8] = &[3];
+        let ab: &[u8] = &[1, 2, 3];
+        let empty: &[u8] = &[];
+        assert_ne!(
+            digest_rbufs([a, b].into_iter()),
+            digest_rbufs([b, a].into_iter())
+        );
+        assert_ne!(
+            digest_rbufs([a, b].into_iter()),
+            digest_rbufs([ab, empty].into_iter())
+        );
+        assert_eq!(
+            digest_rbufs([a, b].into_iter()),
+            digest_rbufs([a, b].into_iter())
+        );
+    }
+
+    #[test]
+    fn seeded_fill_is_deterministic_and_rank_distinct() {
+        let mut a = [0u8; 33];
+        let mut b = [0u8; 33];
+        let mut c = [0u8; 33];
+        seeded_fill(7, 0, &mut a);
+        seeded_fill(7, 0, &mut b);
+        seeded_fill(7, 1, &mut c);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn handle_wait_returns_completed_result() {
+        let h = JobHandle::failed(JobError::Rejected("nope".into()));
+        assert_eq!(h.wait(), Err(JobError::Rejected("nope".into())));
+        assert!(h.try_result().is_some());
+    }
+}

@@ -1,0 +1,624 @@
+//! A long-running collective service over the all-to-all stack.
+//!
+//! Every prior layer assumes "one run owns the world": an algorithm is
+//! compiled, validated, linted, and executed once, then everything is torn
+//! down. This crate is the ROADMAP's "millions of users" front end — a
+//! [`Service`] that stays up and admits a queue of collective jobs from
+//! many tenants:
+//!
+//! * **Schedule cache** ([`ScheduleCache`]) — compile + validate + lint
+//!   run once per distinct `(algorithm, topology, counts, window)` key on
+//!   a cold miss; repeat traffic is served an `Arc`-shared owned
+//!   [`a2a_sched::PreparedSchedule`] and skips all three entirely, with
+//!   hit/miss/eviction accounting.
+//! * **Persistent workers** ([`a2a_runtime::WorkerPool`]) — jobs execute
+//!   on a fixed pool instead of per-job `std::thread::scope` spin-up.
+//! * **Batching** — a worker draining the queue fuses up to
+//!   [`ServiceConfig::max_batch`] compatible jobs (same cache key, both on
+//!   the sequential engine) and runs them back-to-back on one pooled
+//!   [`ExecScratch`]. Jobs in a batch still execute one at a time with
+//!   their own fill and fault plan, and scratch reuse is exactly the
+//!   documented `run_prepared` semantics, so batched execution is
+//!   byte-identical to per-job execution — only setup cost is shared.
+//! * **Tenant isolation** ([`TenantGate`]) — the first failure in a
+//!   tenant's traffic latches that tenant's gate (first-error-wins, like
+//!   the fabric's abort latch); its queued and future jobs fail fast with
+//!   the root cause while every other tenant's jobs are untouched.
+
+mod cache;
+mod job;
+
+pub use cache::{
+    compile_alltoall, CacheKey, CacheStats, CachedSchedule, CompileError, ScheduleCache,
+};
+pub use job::{Engine, Fill, JobError, JobHandle, JobOutput, JobSpec, TenantGate, TenantId};
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use a2a_core::AlltoallAlgorithm;
+use a2a_lint::LintConfig;
+use a2a_runtime::{ParallelExecutor, PoolStats, RuntimeError, WorkerPool, WorldOptions};
+use a2a_sched::{check_alltoall_rbuf, fill_alltoall_sbuf, DataExecutor, ExecScratch};
+use a2a_topo::{ProcGrid, Rank};
+
+use job::{digest_rbufs, seeded_fill, JobShared};
+
+/// Service tuning knobs.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Persistent pool workers (clamped to at least 1).
+    pub workers: usize,
+    /// Schedule-cache capacity; 0 disables caching *and* scratch pooling,
+    /// so every job pays the full cold compile+validate+lint+scratch cost
+    /// (the bench's per-job baseline).
+    pub cache_capacity: usize,
+    /// Admission lint configuration; its `send_window` is part of the
+    /// cache key.
+    pub lint: LintConfig,
+    /// Maximum jobs fused into one executor batch.
+    pub max_batch: usize,
+    /// Idle scratches kept per cache key.
+    pub scratch_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 64,
+            lint: LintConfig::default(),
+            max_batch: 32,
+            scratch_cap: 4,
+        }
+    }
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    pub cache: CacheStats,
+    pub pool: PoolStats,
+    pub jobs_ok: u64,
+    pub jobs_failed: u64,
+    /// Executor batches drained (each covers >= 1 job).
+    pub batches: u64,
+    /// Jobs that shared a batch with at least one other job.
+    pub batched_jobs: u64,
+    /// Fresh [`ExecScratch`] constructions (cache-key scratch pool
+    /// misses); flat at steady state.
+    pub scratch_builds: u64,
+}
+
+struct Queued {
+    sched: Arc<CachedSchedule>,
+    spec: JobSpec,
+    gate: Arc<TenantGate>,
+    shared: Arc<JobShared>,
+}
+
+struct State {
+    queue: Mutex<VecDeque<Queued>>,
+    tenants: Mutex<HashMap<TenantId, Arc<TenantGate>>>,
+    scratches: Mutex<HashMap<CacheKey, Vec<ExecScratch>>>,
+    scratch_builds: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    max_batch: usize,
+    scratch_cap: usize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// The long-running collective service. See the crate docs.
+pub struct Service {
+    lint: LintConfig,
+    cache: ScheduleCache,
+    state: Arc<State>,
+    pool: WorkerPool,
+}
+
+impl Service {
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let scratch_cap = if cfg.cache_capacity == 0 {
+            0
+        } else {
+            cfg.scratch_cap
+        };
+        Service {
+            lint: cfg.lint,
+            cache: ScheduleCache::new(cfg.cache_capacity),
+            state: Arc::new(State {
+                queue: Mutex::new(VecDeque::new()),
+                tenants: Mutex::new(HashMap::new()),
+                scratches: Mutex::new(HashMap::new()),
+                scratch_builds: AtomicU64::new(0),
+                jobs_ok: AtomicU64::new(0),
+                jobs_failed: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                batched_jobs: AtomicU64::new(0),
+                max_batch: cfg.max_batch.max(1),
+                scratch_cap,
+            }),
+            pool: WorkerPool::new(cfg.workers),
+        }
+    }
+
+    /// Submit one collective job. Admission happens inline — tenant gate
+    /// check, cache lookup, cold-miss compile+validate+lint — and the
+    /// execution is queued onto the pool. Never blocks on execution.
+    pub fn submit(
+        &self,
+        algo: &dyn AlltoallAlgorithm,
+        grid: &ProcGrid,
+        spec: JobSpec,
+    ) -> JobHandle {
+        if spec.verify && spec.fill != Fill::Transpose {
+            self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return JobHandle::failed(JobError::Rejected("verify requires Fill::Transpose".into()));
+        }
+        let gate = self.state.gate(spec.tenant);
+        if let Some(first) = gate.error() {
+            self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return JobHandle::failed(JobError::TenantAborted {
+                tenant: spec.tenant,
+                first: Box::new(first),
+            });
+        }
+        let key = CacheKey::alltoall(algo, grid, spec.block_bytes, self.lint.send_window);
+        let sched = match self.cache.get_or_compile(&key, || {
+            compile_alltoall(algo, grid, spec.block_bytes, &self.lint)
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                return JobHandle::failed(JobError::Rejected(e.to_string()));
+            }
+        };
+        let handle = JobHandle::new();
+        lock(&self.state.queue).push_back(Queued {
+            sched,
+            spec,
+            gate,
+            shared: Arc::clone(&handle.shared),
+        });
+        let state = Arc::clone(&self.state);
+        self.pool.spawn(move || State::drain_one(&state));
+        handle
+    }
+
+    /// Block until every job submitted so far has completed.
+    pub fn join(&self) {
+        self.pool.drain();
+    }
+
+    /// Reopen a latched tenant gate so the tenant can submit again.
+    pub fn reset_tenant(&self, tenant: TenantId) {
+        self.state.gate(tenant).reset();
+    }
+
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.cache.stats(),
+            pool: self.pool.stats(),
+            jobs_ok: self.state.jobs_ok.load(Ordering::Relaxed),
+            jobs_failed: self.state.jobs_failed.load(Ordering::Relaxed),
+            batches: self.state.batches.load(Ordering::Relaxed),
+            batched_jobs: self.state.batched_jobs.load(Ordering::Relaxed),
+            scratch_builds: self.state.scratch_builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl State {
+    fn gate(&self, tenant: TenantId) -> Arc<TenantGate> {
+        Arc::clone(lock(&self.tenants).entry(tenant).or_default())
+    }
+
+    /// Pop the queue head and fuse compatible followers: same cache key,
+    /// both on the sequential engine. Tenant and fill may differ — each
+    /// job still executes by itself on the shared scratch, so fusing only
+    /// shares setup, never results.
+    fn take_batch(&self) -> Option<Vec<Queued>> {
+        let mut q = lock(&self.queue);
+        let head = q.pop_front()?;
+        let fuse = matches!(head.spec.engine, Engine::Data);
+        let key = head.sched.key.clone();
+        let mut batch = vec![head];
+        if fuse {
+            let mut i = 0;
+            while batch.len() < self.max_batch && i < q.len() {
+                if matches!(q[i].spec.engine, Engine::Data) && q[i].sched.key == key {
+                    batch.push(q.remove(i).expect("index checked"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    fn take_scratch(&self, sched: &CachedSchedule) -> ExecScratch {
+        if let Some(s) = lock(&self.scratches)
+            .get_mut(&sched.key)
+            .and_then(|v| v.pop())
+        {
+            return s;
+        }
+        self.scratch_builds.fetch_add(1, Ordering::Relaxed);
+        ExecScratch::new(&sched.prep)
+    }
+
+    fn put_scratch(&self, key: &CacheKey, s: ExecScratch) {
+        if self.scratch_cap == 0 {
+            return;
+        }
+        let mut map = lock(&self.scratches);
+        let v = map.entry(key.clone()).or_default();
+        if v.len() < self.scratch_cap {
+            v.push(s);
+        }
+    }
+
+    /// One pool task: drain one batch off the queue (a task finding the
+    /// queue already emptied by a sibling's batch is a cheap no-op).
+    fn drain_one(state: &Arc<State>) {
+        let Some(batch) = state.take_batch() else {
+            return;
+        };
+        let nbatch = batch.len();
+        state.batches.fetch_add(1, Ordering::Relaxed);
+        if nbatch > 1 {
+            state
+                .batched_jobs
+                .fetch_add(nbatch as u64, Ordering::Relaxed);
+        }
+        let mut scratch = match batch[0].spec.engine {
+            Engine::Data => Some(state.take_scratch(&batch[0].sched)),
+            Engine::Parallel { .. } => None,
+        };
+        let key = batch[0].sched.key.clone();
+        for q in batch {
+            let res = execute(&q, scratch.as_mut(), nbatch);
+            match &res {
+                Ok(_) => {
+                    state.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    if !matches!(e, JobError::TenantAborted { .. }) {
+                        q.gate.latch(e.clone());
+                    }
+                }
+            }
+            q.shared.complete(res);
+        }
+        if let Some(s) = scratch {
+            state.put_scratch(&key, s);
+        }
+    }
+}
+
+/// Run one job. The tenant gate is re-checked here (it may have latched
+/// between admission and execution), then the job's own fill and fault
+/// plan apply — a batch changes nothing about this function.
+fn execute(
+    q: &Queued,
+    scratch: Option<&mut ExecScratch>,
+    batched: usize,
+) -> Result<JobOutput, JobError> {
+    if let Some(first) = q.gate.error() {
+        return Err(JobError::TenantAborted {
+            tenant: q.spec.tenant,
+            first: Box::new(first),
+        });
+    }
+    if let Some(plan) = &q.spec.faults {
+        if let Some(&rank) = plan.dead_ranks().first() {
+            return Err(JobError::DeadRank { rank });
+        }
+    }
+    let prep = &q.sched.prep;
+    let n = prep.nranks();
+    let bytes = q.spec.block_bytes;
+    let spec_fill = q.spec.fill;
+    let fill = move |r: Rank, buf: &mut [u8]| match spec_fill {
+        Fill::Transpose => fill_alltoall_sbuf(r, n, bytes, buf),
+        Fill::Seeded(seed) => seeded_fill(seed, r, buf),
+    };
+    match q.spec.engine {
+        Engine::Data => {
+            let scratch = scratch.expect("data-engine batch carries a scratch");
+            let stats = match &q.spec.faults {
+                Some(plan) => {
+                    DataExecutor::run_prepared_with_faults(prep, scratch, fill, plan.as_ref())
+                        .map(|(stats, _)| stats)
+                }
+                None => DataExecutor::run_prepared(prep, scratch, fill),
+            }
+            .map_err(|e| JobError::Exec(e.to_string()))?;
+            if q.spec.verify {
+                for r in 0..n as Rank {
+                    check_alltoall_rbuf(r, n, bytes, scratch.rbuf(r))
+                        .map_err(JobError::Verification)?;
+                }
+            }
+            let digest = digest_rbufs((0..n as Rank).map(|r| scratch.rbuf(r)));
+            let rbufs = q
+                .spec
+                .return_data
+                .then(|| (0..n as Rank).map(|r| scratch.rbuf(r).to_vec()).collect());
+            Ok(JobOutput {
+                messages: stats.messages,
+                message_bytes: stats.message_bytes,
+                digest,
+                batched,
+                rbufs,
+            })
+        }
+        Engine::Parallel { threads } => {
+            let mut opts = WorldOptions::default();
+            if let Some(plan) = &q.spec.faults {
+                opts = opts.with_faults(Arc::clone(plan));
+            }
+            let out =
+                ParallelExecutor::run_with(prep, opts, threads, fill).map_err(|e| match e {
+                    RuntimeError::DeadRank { rank } => JobError::DeadRank { rank },
+                    other => JobError::Runtime(other.to_string()),
+                })?;
+            if q.spec.verify {
+                for (r, rbuf) in out.rbufs.iter().enumerate() {
+                    check_alltoall_rbuf(r as Rank, n, bytes, rbuf)
+                        .map_err(JobError::Verification)?;
+                }
+            }
+            let digest = digest_rbufs(out.rbufs.iter().map(|b| b.as_slice()));
+            Ok(JobOutput {
+                messages: out.messages,
+                message_bytes: out.message_bytes,
+                digest,
+                batched,
+                rbufs: q.spec.return_data.then_some(out.rbufs),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_core::{
+        A2AContext, AlgoSchedule, BruckAlltoall, ExchangeKind, HierarchicalAlltoall,
+        MpichShmAlltoall, MultileaderNodeAwareAlltoall, NodeAwareAlltoall, NonblockingAlltoall,
+        PairwiseAlltoall,
+    };
+    use a2a_faults::{FaultPlan, FaultSpec};
+    use a2a_topo::Machine;
+
+    fn grid() -> ProcGrid {
+        ProcGrid::new(Machine::custom("bench", 2, 2, 1, 2))
+    }
+
+    /// The BENCH_4 roster, rebuilt locally (the bench crate depends on
+    /// this one, so it cannot be imported here).
+    fn roster() -> Vec<Box<dyn AlltoallAlgorithm>> {
+        vec![
+            Box::new(PairwiseAlltoall),
+            Box::new(NonblockingAlltoall),
+            Box::new(BruckAlltoall),
+            Box::new(HierarchicalAlltoall::new(4, ExchangeKind::Nonblocking)),
+            Box::new(NodeAwareAlltoall::node_aware(ExchangeKind::Pairwise)),
+            Box::new(NodeAwareAlltoall::locality_aware(2, ExchangeKind::Pairwise)),
+            Box::new(MultileaderNodeAwareAlltoall::new(2, ExchangeKind::Pairwise)),
+            Box::new(MpichShmAlltoall::default()),
+        ]
+    }
+
+    #[test]
+    fn submit_executes_and_verifies() {
+        let svc = Service::new(ServiceConfig::default());
+        let out = svc
+            .submit(&PairwiseAlltoall, &grid(), JobSpec::new(0, 64))
+            .wait()
+            .unwrap();
+        assert!(out.messages > 0);
+        assert_eq!(out.rbufs, None);
+        let stats = svc.stats();
+        assert_eq!(stats.jobs_ok, 1);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn warm_cache_steady_state_does_zero_compile_work() {
+        // The satellite guarantee: once a key is warm, submissions do no
+        // schedule-compile work at all — no compile, no validate, no lint
+        // (all counted by `compiled`/`misses`), and at steady state not
+        // even a scratch construction.
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        svc.submit(&PairwiseAlltoall, &grid(), JobSpec::new(0, 64))
+            .wait()
+            .unwrap();
+        let warm = svc.stats();
+        assert_eq!(warm.cache.misses, 1);
+        assert_eq!(warm.cache.compiled, 1);
+
+        let handles: Vec<_> = (0..200)
+            .map(|i| svc.submit(&PairwiseAlltoall, &grid(), JobSpec::new(i % 4, 64)))
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let steady = svc.stats();
+        assert_eq!(steady.cache.misses, 1, "no new cache misses");
+        assert_eq!(steady.cache.compiled, 1, "zero schedule-compile work");
+        assert_eq!(steady.cache.hits, 200);
+        assert_eq!(steady.jobs_ok, 201);
+        assert!(
+            steady.scratch_builds <= svc.workers() as u64,
+            "scratch pool bounded by concurrency: built {}",
+            steady.scratch_builds
+        );
+    }
+
+    #[test]
+    fn forced_batch_is_byte_identical_to_per_job_execution() {
+        // The acceptance criterion, pinned deterministically: queue a
+        // multi-tenant batch for every roster algorithm and drain it in
+        // one call, then compare every job's receive buffers against a
+        // fresh standalone execution.
+        let g = grid();
+        let n = g.world_size();
+        for algo in roster() {
+            let bytes = 64;
+            let oracle = DataExecutor::run(
+                &AlgoSchedule::new(algo.as_ref(), A2AContext::new(g.clone(), bytes)),
+                |r, buf| fill_alltoall_sbuf(r, n, bytes, buf),
+            )
+            .unwrap();
+
+            let svc = Service::new(ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            });
+            let sched = svc
+                .cache
+                .get_or_compile(
+                    &CacheKey::alltoall(algo.as_ref(), &g, bytes, svc.lint.send_window),
+                    || compile_alltoall(algo.as_ref(), &g, bytes, &svc.lint),
+                )
+                .unwrap();
+            // Enqueue 6 jobs across 3 tenants without spawning drainers,
+            // then drain once: all 6 must ride one batch.
+            let handles: Vec<JobHandle> = (0..6)
+                .map(|i| {
+                    let handle = JobHandle::new();
+                    lock(&svc.state.queue).push_back(Queued {
+                        sched: Arc::clone(&sched),
+                        spec: JobSpec::new(i % 3, bytes).with_return_data(true),
+                        gate: svc.state.gate(i % 3),
+                        shared: Arc::clone(&handle.shared),
+                    });
+                    handle
+                })
+                .collect();
+            State::drain_one(&svc.state);
+            for h in &handles {
+                let out = h.wait().unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+                assert_eq!(out.batched, 6, "{}: jobs fused into one batch", algo.name());
+                assert_eq!(
+                    out.rbufs.as_ref().unwrap(),
+                    &oracle.rbufs,
+                    "{}: batched output differs from standalone run",
+                    algo.name()
+                );
+            }
+            let stats = svc.stats();
+            assert_eq!(stats.batches, 1);
+            assert_eq!(stats.batched_jobs, 6);
+            assert_eq!(stats.scratch_builds, 1, "one scratch served the batch");
+        }
+    }
+
+    #[test]
+    fn tenant_failure_latches_gate_but_spares_others() {
+        let g = grid();
+        let svc = Service::new(ServiceConfig::default());
+        let dead = Arc::new(FaultPlan::new(
+            1,
+            g.world_size(),
+            FaultSpec::none().with_dead(1.0, 1),
+        ));
+        let bad = svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64).with_faults(dead));
+        assert!(matches!(bad.wait(), Err(JobError::DeadRank { .. })));
+        // Tenant 7 is now latched: clean jobs fail fast with the cause.
+        let after = svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64));
+        match after.wait() {
+            Err(JobError::TenantAborted { tenant: 7, first }) => {
+                assert!(matches!(*first, JobError::DeadRank { .. }));
+            }
+            other => panic!("expected TenantAborted, got {other:?}"),
+        }
+        // Other tenants are untouched.
+        svc.submit(&PairwiseAlltoall, &g, JobSpec::new(8, 64))
+            .wait()
+            .unwrap();
+        // And the gate can be reopened.
+        svc.reset_tenant(7);
+        svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64))
+            .wait()
+            .unwrap();
+    }
+
+    #[test]
+    fn parallel_engine_jobs_run_unbatched() {
+        let svc = Service::new(ServiceConfig::default());
+        let out = svc
+            .submit(
+                &NonblockingAlltoall,
+                &grid(),
+                JobSpec::new(0, 32).with_engine(Engine::Parallel { threads: 2 }),
+            )
+            .wait()
+            .unwrap();
+        assert_eq!(out.batched, 1);
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn data_and_parallel_engines_agree_on_digest() {
+        let svc = Service::new(ServiceConfig::default());
+        let g = grid();
+        let a = svc
+            .submit(&BruckAlltoall, &g, JobSpec::new(0, 64))
+            .wait()
+            .unwrap();
+        let b = svc
+            .submit(
+                &BruckAlltoall,
+                &g,
+                JobSpec::new(1, 64).with_engine(Engine::Parallel { threads: 3 }),
+            )
+            .wait()
+            .unwrap();
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn verify_with_seeded_fill_is_rejected() {
+        let svc = Service::new(ServiceConfig::default());
+        let res = svc
+            .submit(
+                &PairwiseAlltoall,
+                &grid(),
+                JobSpec::new(0, 64).with_fill(Fill::Seeded(3)),
+            )
+            .wait();
+        assert!(matches!(res, Err(JobError::Rejected(_))));
+        // Turning verification off makes the same spec legal.
+        svc.submit(
+            &PairwiseAlltoall,
+            &grid(),
+            JobSpec::new(0, 64)
+                .with_fill(Fill::Seeded(3))
+                .with_verify(false),
+        )
+        .wait()
+        .unwrap();
+    }
+}

@@ -11,6 +11,8 @@
 //!   executors.
 //! * [`lint`] — the static schedule analyzer (deadlock, buffer-race,
 //!   determinism, and resource-pressure lints).
+//! * [`service`] — the long-running collective service (schedule cache,
+//!   job admission and batching, per-tenant isolation).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the architecture.
 
@@ -20,4 +22,5 @@ pub use a2a_lint as lint;
 pub use a2a_netsim as netsim;
 pub use a2a_runtime as runtime;
 pub use a2a_sched as sched;
+pub use a2a_service as service;
 pub use a2a_topo as topo;

@@ -7,8 +7,11 @@ use std::sync::Arc;
 use a2a_testutil::run_cases;
 use alltoall_suite::algos::alltoallv::*;
 use alltoall_suite::netsim::{models, simulate, SimOptions};
-use alltoall_suite::sched::validate;
-use alltoall_suite::topo::{Machine, ProcGrid};
+use alltoall_suite::runtime::ParallelExecutor;
+use alltoall_suite::sched::{
+    validate, DataExecutor, ExecScratch, LegacyDataExecutor, PreparedSchedule,
+};
+use alltoall_suite::topo::{Machine, ProcGrid, Rank};
 
 fn grid(nodes: usize, ppn_cores: usize) -> ProcGrid {
     ProcGrid::new(Machine::custom("v", nodes, 2, 1, ppn_cores))
@@ -72,6 +75,73 @@ fn skewed_fft_like_counts_simulate_and_verify() {
     let sched = VSchedule::new(&NodeAwareAlltoallv, ctx);
     let rep = simulate(&sched, &g, &models::dane(), &SimOptions::default()).unwrap();
     assert!(rep.total_us > 0.0);
+}
+
+#[test]
+fn every_executor_agrees_on_v_schedules_byte_for_byte() {
+    // Cross-crate differential: the same non-uniform VSchedule must
+    // produce identical receive buffers through the fast prepared data
+    // executor, the legacy executor, and the parallel runtime at several
+    // worker counts — the uniform-alltoall identity extended to
+    // irregular counts.
+    let algos: [&dyn AlltoallvAlgorithm; 3] = [
+        &PairwiseAlltoallv,
+        &NonblockingAlltoallv,
+        &NodeAwareAlltoallv,
+    ];
+    for nodes in [1usize, 3] {
+        let g = grid(nodes, 2);
+        let n = g.world_size() as u64;
+        let counts: CountsFn = Arc::new(move |s, d| {
+            let x = (s as u64 * 31 + d as u64 * 17) % 13;
+            if x < 4 {
+                0
+            } else {
+                (x * (1 + (s as u64 + d as u64) % 5)) % (n + 7)
+            }
+        });
+        let ctx = VContext::new(g, counts);
+        for algo in algos {
+            let sched = VSchedule::new(algo, ctx.clone());
+            let fill = |r: Rank, buf: &mut [u8]| fill_alltoallv_sbuf(&ctx, r, buf);
+
+            // Fast path: prepared schedule + reusable scratch, run twice
+            // to cover scratch reuse.
+            let prep = PreparedSchedule::new(&sched);
+            let mut scratch = ExecScratch::new(&prep);
+            for _ in 0..2 {
+                DataExecutor::run_prepared(&prep, &mut scratch, fill)
+                    .unwrap_or_else(|e| panic!("{} nodes={nodes}: {e}", algo.name()));
+            }
+            let fast: Vec<Vec<u8>> = (0..ctx.n() as Rank)
+                .map(|r| scratch.rbuf(r).to_vec())
+                .collect();
+            for (r, rbuf) in fast.iter().enumerate() {
+                check_alltoallv_rbuf(&ctx, r as Rank, rbuf)
+                    .unwrap_or_else(|e| panic!("{} nodes={nodes}: {e}", algo.name()));
+            }
+
+            let legacy = LegacyDataExecutor::run(&sched, fill)
+                .unwrap_or_else(|e| panic!("{} nodes={nodes}: {e}", algo.name()));
+            assert_eq!(
+                legacy.rbufs,
+                fast,
+                "{} nodes={nodes}: legacy executor diverged",
+                algo.name()
+            );
+
+            for workers in [1usize, 2, 3] {
+                let par = ParallelExecutor::run(&sched, workers, fill)
+                    .unwrap_or_else(|e| panic!("{} nodes={nodes}: {e}", algo.name()));
+                assert_eq!(
+                    par.rbufs,
+                    fast,
+                    "{} nodes={nodes} workers={workers}: parallel runtime diverged",
+                    algo.name()
+                );
+            }
+        }
+    }
 }
 
 #[test]
