@@ -12,6 +12,8 @@
 //!
 //! repro serve --jobs 2000       # long-running collective service demo
 //! repro bench7 --workers 4      # sustained service throughput, warm vs cold
+//! repro bench8 --workers 4      # goodput under queue overload, per policy
+//! repro storm --seed 42         # seeded fault storm against the service
 //!
 //! options:
 //!   --nodes N      largest node count (default 32; `lint` defaults to 2,
@@ -29,7 +31,8 @@
 //!   --deny warnings    (lint only) exit nonzero on warnings, not just errors
 //!   --window N     (lint only) A2A005 per-destination send window (default 32)
 //!   --jobs N       (serve only) jobs to push through the service (default 2000)
-//!   --tenants N    (serve/bench7) tenants to round-robin jobs across (default 4)
+//!   --tenants N    (serve/bench7/bench8) tenants to round-robin jobs across
+//!                  (default 4)
 //! ```
 
 use std::path::PathBuf;
@@ -118,10 +121,12 @@ fn main() -> ExitCode {
             "bench4" => figures.push("bench4".into()),
             "bench6" => figures.push("bench6".into()),
             "bench7" => figures.push("bench7".into()),
+            "bench8" => figures.push("bench8".into()),
+            "storm" => figures.push("storm".into()),
             "serve" => figures.push("serve".into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tune|chaos|bench4|bench6|bench7|serve|lint|fig7..fig18|headline|ablation-*]... [options]"
+                    "usage: repro [all|table1|tune|chaos|bench4|bench6|bench7|bench8|storm|serve|lint|fig7..fig18|headline|ablation-*]... [options]"
                 );
                 println!("figures: {:?}", known_figures());
                 println!(
@@ -322,6 +327,66 @@ fn main() -> ExitCode {
                     report.cells.len(),
                     path.display()
                 );
+            }
+            continue;
+        }
+        if name == "bench8" {
+            let nodes = if nodes_set { cfg.nodes } else { 1 };
+            let workers = cfg.workers.max(1);
+            let report = a2a_bench::bench8(nodes, workers, tenants);
+            println!("\n{}", report.table());
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("BENCH_8.json"),
+                serde_json::to_string_pretty(&report).expect("serialize"),
+            )
+            .expect("write BENCH_8.json");
+            println!("  [bench8 done in {:.1?}]", start.elapsed());
+            if !report.meets_floor() {
+                eprintln!(
+                    "FAILED: geomean goodput under overload at {:.2}x of the warm rate (hard floor {}x)",
+                    report.geomean_goodput_over_warm(),
+                    a2a_bench::OVERLOAD_FLOOR
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Some(path) = &baseline {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+                let base: a2a_bench::Bench8Report =
+                    serde_json::from_str(&text).expect("parse baseline BENCH_8.json");
+                let bad = report.regressions_against(&base);
+                if !bad.is_empty() {
+                    for (scope, ratio) in &bad {
+                        eprintln!(
+                            "REGRESSION: {scope} warm-normalized goodput at {:.2}x of baseline (floor {})",
+                            ratio,
+                            a2a_bench::BENCH8_REGRESSION_FLOOR
+                        );
+                    }
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "  baseline gate passed ({} cells vs {})",
+                    report.cells.len(),
+                    path.display()
+                );
+            }
+            continue;
+        }
+        if name == "storm" {
+            let workers = cfg.workers.max(2);
+            let (summary, report) = a2a_bench::storm(cfg.seed, workers);
+            println!("\n{summary}");
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("storm.json"),
+                serde_json::to_string_pretty(&report).expect("serialize"),
+            )
+            .expect("write storm.json");
+            println!("  [storm done in {:.1?}]", start.elapsed());
+            if !report.check().is_empty() {
+                return ExitCode::FAILURE;
             }
             continue;
         }

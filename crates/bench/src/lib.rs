@@ -21,6 +21,7 @@ pub mod lint_sweep;
 pub mod microbench;
 pub mod service_bench;
 pub mod simrate;
+pub mod storm;
 pub mod throughput;
 pub mod tune;
 
@@ -35,5 +36,9 @@ pub use service_bench::{
     WARM_COLD_FLOOR,
 };
 pub use simrate::{bench6, Bench6Cell, Bench6Report};
+pub use storm::{
+    bench8, storm, Bench8Cell, Bench8Report, StormRecord, StormReport, BENCH8_REGRESSION_FLOOR,
+    OVERLOAD_FLOOR,
+};
 pub use throughput::{bench4, Bench4Cell, Bench4Report, REGRESSION_FLOOR};
 pub use tune::{tune, TuneResult};

@@ -32,6 +32,9 @@ use a2a_sched::{FaultInjector, MessageFault};
 use a2a_testutil::Rng;
 use a2a_topo::Rank;
 
+mod storm;
+pub use storm::{StormPhase, StormProfile};
+
 /// Per-fault-class probabilities and magnitudes. Probabilities are in
 /// `[0.0, 1.0]`; `0.0` disables the class. All fields are plain data so a
 /// spec can be built in CI scripts and printed for replay.
@@ -149,7 +152,7 @@ mod stream {
 
 /// SplitMix64 finalizer: a high-quality 64-bit mix used to turn message
 /// coordinates into an independent uniform draw.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -208,6 +211,27 @@ impl FaultPlan {
 
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// A fresh realization of the same spec over the same world, reseeded
+    /// for retry `attempt` (attempt 0 returns a clone of `self`).
+    ///
+    /// The in-fabric retransmit layer re-rolls *per packet* via
+    /// [`FaultPlan::message_fault_attempt`]; this is the job-level
+    /// analogue for a service retrying a whole collective: a transient
+    /// storm (drops, stragglers) draws new fates on the retry, while
+    /// anything with probability 0 or 1 — a poisoned tenant's certain
+    /// dead rank, a clean spec — keeps its fate, so retries stay both
+    /// deterministic and meaningful.
+    pub fn reroll(&self, attempt: u32) -> FaultPlan {
+        if attempt == 0 {
+            return self.clone();
+        }
+        FaultPlan::new(
+            mix(self.seed ^ 0xA77E_3F00u64.wrapping_add(attempt as u64)),
+            self.n,
+            self.spec,
+        )
     }
 
     pub fn nranks(&self) -> usize {

@@ -1,0 +1,195 @@
+//! Fault-storm profiles: phased, seeded fault schedules for overload and
+//! chaos drills.
+//!
+//! A [`StormProfile`] describes how one tenant's traffic is perturbed
+//! over the life of a storm run: an ordered list of [`StormPhase`]s, each
+//! covering a fixed number of that tenant's jobs with one [`FaultSpec`].
+//! The profile is pure data; [`StormProfile::plan_at`] realizes the
+//! phase's spec into a per-job [`FaultPlan`] whose seed is a hash of
+//! `(storm seed, tenant, job index)` — so the whole storm, across every
+//! tenant and phase, is a deterministic function of one seed, and any
+//! job's fate can be replayed in isolation.
+//!
+//! The canonical profiles mirror the regimes the robustness layer must
+//! survive:
+//!
+//! * [`StormProfile::healthy`] — clean traffic end to end (the control
+//!   group whose p99 must stay bounded while neighbours burn);
+//! * [`StormProfile::flaky`] — a ramp of message-drop rates followed by a
+//!   straggler burst: transient faults that retries should absorb;
+//! * [`StormProfile::poisoned`] — a dead rank appearing mid-stream and
+//!   then going away: a permanent fault that must open the tenant's
+//!   breaker, followed by clean traffic that should close it again.
+
+use crate::{mix, FaultPlan, FaultSpec};
+
+/// One contiguous stretch of a tenant's storm traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormPhase {
+    /// Phase label for reports (`"warmup"`, `"ramp-30%"`, ...).
+    pub name: &'static str,
+    /// How many of the tenant's jobs this phase covers.
+    pub jobs: u64,
+    /// The fault spec applied to each of those jobs.
+    pub spec: FaultSpec,
+}
+
+impl StormPhase {
+    pub fn new(name: &'static str, jobs: u64, spec: FaultSpec) -> Self {
+        StormPhase { name, jobs, spec }
+    }
+
+    /// Whether this phase injects nothing (its plans can be elided).
+    pub fn is_clean(&self) -> bool {
+        self.spec == FaultSpec::none()
+    }
+}
+
+/// A phased fault schedule for one tenant's storm traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormProfile {
+    pub name: &'static str,
+    pub phases: Vec<StormPhase>,
+}
+
+impl StormProfile {
+    /// Clean traffic for `jobs` jobs: the healthy-control tenant.
+    pub fn healthy(jobs: u64) -> Self {
+        StormProfile {
+            name: "healthy",
+            phases: vec![StormPhase::new("clean", jobs, FaultSpec::none())],
+        }
+    }
+
+    /// Transient trouble: drop rates ramping 5% → 15% → 30%, then a
+    /// straggler burst, then a clean cooldown. Sized so each phase gets
+    /// `jobs_per_phase` jobs.
+    pub fn flaky(jobs_per_phase: u64) -> Self {
+        StormProfile {
+            name: "flaky",
+            phases: vec![
+                StormPhase::new("warmup", jobs_per_phase, FaultSpec::none()),
+                StormPhase::new("ramp-5%", jobs_per_phase, FaultSpec::drops(0.05)),
+                StormPhase::new("ramp-15%", jobs_per_phase, FaultSpec::drops(0.15)),
+                StormPhase::new(
+                    "ramp-30%",
+                    jobs_per_phase,
+                    FaultSpec::drops(0.30).with_corrupt(0.05),
+                ),
+                StormPhase::new(
+                    "stragglers",
+                    jobs_per_phase,
+                    FaultSpec::none().with_stragglers(0.5, 8.0),
+                ),
+                StormPhase::new("cooldown", jobs_per_phase, FaultSpec::none()),
+            ],
+        }
+    }
+
+    /// Permanent trouble mid-stream: clean warmup, then every job carries
+    /// a certainly-dead rank, then clean recovery traffic. The dead-rank
+    /// phase must open the tenant's circuit breaker; the recovery phase
+    /// is what the breaker's half-open probe samples.
+    pub fn poisoned(warmup: u64, poisoned: u64, recovery: u64) -> Self {
+        StormProfile {
+            name: "poisoned",
+            phases: vec![
+                StormPhase::new("warmup", warmup, FaultSpec::none()),
+                StormPhase::new("dead-rank", poisoned, FaultSpec::none().with_dead(1.0, 1)),
+                StormPhase::new("recovery", recovery, FaultSpec::none()),
+            ],
+        }
+    }
+
+    /// Total jobs across all phases.
+    pub fn total_jobs(&self) -> u64 {
+        self.phases.iter().map(|p| p.jobs).sum()
+    }
+
+    /// The phase covering this tenant's `job`-th submission (0-based),
+    /// or `None` past the end of the profile.
+    pub fn phase_at(&self, job: u64) -> Option<&StormPhase> {
+        let mut idx = job;
+        for phase in &self.phases {
+            if idx < phase.jobs {
+                return Some(phase);
+            }
+            idx -= phase.jobs;
+        }
+        None
+    }
+
+    /// The seeded fault plan for this tenant's `job`-th submission over an
+    /// `nranks`-rank world, or `None` when the covering phase (or the
+    /// tail past the profile) is clean. `tenant` keeps concurrent
+    /// profiles' streams independent even under one storm seed.
+    pub fn plan_at(&self, seed: u64, tenant: u32, nranks: usize, job: u64) -> Option<FaultPlan> {
+        let phase = self.phase_at(job)?;
+        if phase.is_clean() {
+            return None;
+        }
+        let job_seed = mix(mix(seed ^ 0x5708_A11E) ^ ((tenant as u64) << 32 | job));
+        Some(FaultPlan::new(job_seed, nranks, phase.spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_partition_the_job_stream() {
+        let p = StormProfile::poisoned(3, 2, 4);
+        assert_eq!(p.total_jobs(), 9);
+        assert_eq!(p.phase_at(0).unwrap().name, "warmup");
+        assert_eq!(p.phase_at(2).unwrap().name, "warmup");
+        assert_eq!(p.phase_at(3).unwrap().name, "dead-rank");
+        assert_eq!(p.phase_at(4).unwrap().name, "dead-rank");
+        assert_eq!(p.phase_at(5).unwrap().name, "recovery");
+        assert_eq!(p.phase_at(8).unwrap().name, "recovery");
+        assert!(p.phase_at(9).is_none());
+    }
+
+    #[test]
+    fn clean_phases_elide_plans_and_faulty_ones_are_deterministic() {
+        let p = StormProfile::flaky(4);
+        assert!(p.plan_at(7, 1, 8, 0).is_none(), "warmup is clean");
+        let a = p.plan_at(7, 1, 8, 5).expect("ramp phase injects");
+        let b = p.plan_at(7, 1, 8, 5).unwrap();
+        assert_eq!(a.seed(), b.seed());
+        for seq in 0..64 {
+            assert_eq!(a.message_fault(0, 1, 0, seq), b.message_fault(0, 1, 0, seq));
+        }
+        // Distinct jobs and distinct tenants draw independent streams.
+        assert_ne!(a.seed(), p.plan_at(7, 1, 8, 6).unwrap().seed());
+        assert_ne!(a.seed(), p.plan_at(7, 2, 8, 5).unwrap().seed());
+    }
+
+    #[test]
+    fn poisoned_phase_always_kills_a_rank() {
+        let p = StormProfile::poisoned(1, 3, 1);
+        for job in 1..4 {
+            let plan = p.plan_at(99, 3, 16, job).expect("dead-rank phase");
+            assert_eq!(plan.dead_ranks().len(), 1, "job {job}");
+        }
+    }
+
+    #[test]
+    fn reroll_redraws_transient_fates_but_not_certainties() {
+        let plan = FaultPlan::new(5, 8, FaultSpec::drops(0.5));
+        assert_eq!(plan.reroll(0).seed(), plan.seed());
+        let r1 = plan.reroll(1);
+        let r1_again = plan.reroll(1);
+        assert_eq!(r1.seed(), r1_again.seed(), "reroll is deterministic");
+        assert_ne!(r1.seed(), plan.seed());
+        let fates = |p: &FaultPlan| -> Vec<bool> {
+            (0..128).map(|s| p.message_fault(0, 1, 0, s).drop).collect()
+        };
+        assert_ne!(fates(&plan), fates(&r1), "attempt 1 draws fresh fates");
+        // A certain dead rank stays dead on every attempt.
+        let dead = FaultPlan::new(5, 8, FaultSpec::none().with_dead(1.0, 1));
+        for attempt in 0..4 {
+            assert_eq!(dead.reroll(attempt).dead_ranks().len(), 1);
+        }
+    }
+}

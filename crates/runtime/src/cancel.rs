@@ -1,0 +1,51 @@
+//! Cooperative cancellation for service-style traffic.
+//!
+//! A [`CancelToken`] is a cheaply cloneable flag shared between whoever
+//! owns a unit of work (a service's deadline wheel, a caller that lost
+//! interest) and whoever executes it (a [`crate::WorkerPool`] task, a
+//! [`crate::ParallelExecutor`] world). Cancellation is strictly
+//! cooperative and one-way: once fired it never un-fires, every clone
+//! observes it, and each checkpoint decides what "stop" means there —
+//! the pool skips not-yet-started tasks, the fabric aborts an in-flight
+//! world with [`crate::RuntimeError::Cancelled`] through the same abort
+//! latch a failing rank would use.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, latching cancellation flag. Clones observe the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fire the token. Idempotent; returns whether this call was the
+    /// first to fire it.
+    pub fn cancel(&self) -> bool {
+        !self.fired.swap(true, Ordering::AcqRel)
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_latches_and_is_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(t.cancel(), "first fire reports true");
+        assert!(!clone.cancel(), "second fire reports false");
+        assert!(clone.is_cancelled());
+    }
+}

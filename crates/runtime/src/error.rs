@@ -101,6 +101,48 @@ pub enum RuntimeError {
     /// A rank-level check failed (e.g. a transpose verification in a test
     /// body); carries the rank and a human-readable detail string.
     VerificationFailed { rank: u32, detail: String },
+    /// The run was cancelled from outside (a fired
+    /// [`crate::CancelToken`] — e.g. a service deadline): the world was
+    /// torn down through the abort latch before completing.
+    Cancelled,
+}
+
+/// Whether a failure is worth retrying.
+///
+/// The split follows the fault model: *transient* errors are the
+/// environment misbehaving (packets lost or damaged beyond the retransmit
+/// budget, a straggler tripping the progress watchdog) — an identical
+/// retry may well succeed. *Permanent* errors are properties of the job
+/// or the world (a dead rank, a malformed schedule, a failed verification,
+/// an explicit cancellation) — retrying reproduces them and only burns
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    Transient,
+    Permanent,
+}
+
+impl RuntimeError {
+    /// Classify this failure for retry policies. See [`ErrorClass`].
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            RuntimeError::WatchdogTimeout { .. }
+            | RuntimeError::MessageDropped { .. }
+            | RuntimeError::RetriesExhausted { .. }
+            | RuntimeError::CorruptPayload { .. } => ErrorClass::Transient,
+            RuntimeError::LengthMismatch { .. }
+            | RuntimeError::MissingRootPayload { .. }
+            | RuntimeError::RankPanicked { .. }
+            | RuntimeError::DeadRank { .. }
+            | RuntimeError::UnconsumedMessages { .. }
+            | RuntimeError::VerificationFailed { .. }
+            | RuntimeError::Cancelled => ErrorClass::Permanent,
+        }
+    }
+
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -158,6 +200,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::VerificationFailed { rank, detail } => {
                 write!(f, "rank {rank}: verification failed: {detail}")
             }
+            RuntimeError::Cancelled => write!(f, "run cancelled (deadline or external abort)"),
         }
     }
 }

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 use a2a_faults::FaultPlan;
 use a2a_sched::MessageFault;
 
+use crate::cancel::CancelToken;
 use crate::error::{BlockedKind, BlockedOp, RuntimeError};
 
 /// Resilience knobs for a [`Fabric`] / `ThreadWorld`.
@@ -63,6 +64,10 @@ pub struct WorldOptions {
     pub backoff: Duration,
     /// Optional seeded fault plan perturbing every transfer.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Optional cooperative cancellation: when the token fires, the world
+    /// aborts with [`RuntimeError::Cancelled`] through the same latch a
+    /// failing rank uses, so every blocked rank unblocks promptly.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for WorldOptions {
@@ -72,6 +77,7 @@ impl Default for WorldOptions {
             max_retransmits: 16,
             backoff: Duration::from_micros(50),
             faults: None,
+            cancel: None,
         }
     }
 }
@@ -90,6 +96,11 @@ impl WorldOptions {
 
     pub fn with_max_retransmits(mut self, n: u32) -> Self {
         self.max_retransmits = n;
+        self
+    }
+
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -265,13 +276,20 @@ impl Fabric {
         winner
     }
 
-    /// The world's failure, if any rank has aborted.
+    /// The world's failure, if any rank has aborted. Also the single
+    /// cancellation checkpoint: every blocking loop polls this, so a
+    /// fired [`CancelToken`] latches [`RuntimeError::Cancelled`] here and
+    /// tears the world down exactly like a failing rank would.
     pub fn abort_error(&self) -> Option<RuntimeError> {
         if self.aborted.load(Ordering::SeqCst) {
-            lock_recover(&self.abort).clone()
-        } else {
-            None
+            return lock_recover(&self.abort).clone();
         }
+        if let Some(token) = &self.opts.cancel {
+            if token.is_cancelled() {
+                return Some(self.abort(RuntimeError::Cancelled));
+            }
+        }
+        None
     }
 
     fn bump_progress(&self) {

@@ -40,14 +40,16 @@
 //! assert_eq!(outputs, vec![3, 0, 1, 2]);
 //! ```
 
+mod cancel;
 mod comm;
 mod error;
 mod fabric;
 mod parallel;
 mod pool;
 
+pub use cancel::CancelToken;
 pub use comm::{AlltoallRun, ThreadComm};
-pub use error::{BlockedKind, BlockedOp, RuntimeError};
+pub use error::{BlockedKind, BlockedOp, ErrorClass, RuntimeError};
 pub use fabric::{Fabric, RecvWant, WorldOptions};
 pub use parallel::{ParallelExecutor, ParallelOutput};
 pub use pool::{PoolStats, WorkerPool};

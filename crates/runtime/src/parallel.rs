@@ -450,6 +450,51 @@ mod tests {
     }
 
     #[test]
+    fn fired_cancel_token_aborts_a_stuck_world() {
+        // The same never-completing schedule the watchdog test uses, but
+        // with a generous watchdog and an externally fired token: the
+        // world must come down with `Cancelled`, not `WatchdogTimeout`.
+        use a2a_sched::{Block, Phase, ProgBuilder, RBUF};
+        struct Hung;
+        impl ScheduleSource for Hung {
+            fn nranks(&self) -> usize {
+                2
+            }
+            fn buffers(&self, _r: a2a_topo::Rank) -> Vec<a2a_sched::Bytes> {
+                vec![8, 8]
+            }
+            fn build_rank(&self, r: a2a_topo::Rank) -> RankProgram {
+                if r == 0 {
+                    let mut b = ProgBuilder::new(Phase(0));
+                    let req = b.irecv(1, Block::new(RBUF, 0, 8), 3);
+                    b.waitall(req, 1);
+                    b.finish()
+                } else {
+                    RankProgram::default()
+                }
+            }
+            fn phase_names(&self) -> Vec<&'static str> {
+                vec!["all"]
+            }
+        }
+        let token = crate::CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                token.cancel();
+            })
+        };
+        let opts = WorldOptions::default()
+            .with_watchdog(Duration::from_secs(30))
+            .with_cancel(token);
+        let err = ParallelExecutor::run_with(&Hung, opts, 2, |_, _| {}).unwrap_err();
+        assert_eq!(err, RuntimeError::Cancelled);
+        assert!(err.class() == crate::ErrorClass::Permanent);
+        canceller.join().unwrap();
+    }
+
+    #[test]
     fn parallel_dead_rank_is_typed() {
         use a2a_faults::{FaultPlan, FaultSpec};
         let spec = FaultSpec::none().with_dead(1.0, 1);

@@ -20,15 +20,25 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
+use crate::cancel::CancelToken;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueuedJob {
+    job: Job,
+    /// Checked when a worker pops the job: a fired token skips execution
+    /// entirely (counted in [`PoolStats::cancelled`]).
+    token: Option<CancelToken>,
+}
 
 #[derive(Default)]
 struct PoolQueue {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     shutdown: bool,
     submitted: u64,
     finished: u64,
     panicked: u64,
+    cancelled: u64,
 }
 
 struct PoolShared {
@@ -46,6 +56,9 @@ pub struct PoolStats {
     pub finished: u64,
     /// Jobs that panicked (included in `finished`).
     pub panicked: u64,
+    /// Jobs whose [`CancelToken`] fired before a worker picked them up;
+    /// skipped without running (included in `finished`).
+    pub cancelled: u64,
     /// Jobs queued but not yet finished.
     pub pending: u64,
 }
@@ -97,9 +110,22 @@ impl WorkerPool {
     /// possible from a job racing `Drop`, which the service layer never
     /// does: it owns the pool and submits only while alive).
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.enqueue(Box::new(job), None);
+    }
+
+    /// Queue a job that is skipped (never run, counted in
+    /// [`PoolStats::cancelled`]) if `token` fires before a worker picks
+    /// it up. A token firing mid-run does not interrupt the closure —
+    /// in-flight cancellation is the closure's own business (e.g. a
+    /// world checking the same token through its fabric).
+    pub fn spawn_cancellable(&self, token: CancelToken, job: impl FnOnce() + Send + 'static) {
+        self.enqueue(Box::new(job), Some(token));
+    }
+
+    fn enqueue(&self, job: Job, token: Option<CancelToken>) {
         let mut q = lock_queue(&self.shared);
         assert!(!q.shutdown, "spawn on a shut-down pool");
-        q.jobs.push_back(Box::new(job));
+        q.jobs.push_back(QueuedJob { job, token });
         q.submitted += 1;
         drop(q);
         self.shared.available.notify_one();
@@ -123,6 +149,7 @@ impl WorkerPool {
             submitted: q.submitted,
             finished: q.finished,
             panicked: q.panicked,
+            cancelled: q.cancelled,
             pending: q.submitted - q.finished,
         }
     }
@@ -145,11 +172,17 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &PoolShared) {
     loop {
-        let job = {
+        let queued = {
             let mut q = lock_queue(shared);
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
+                if let Some(queued) = q.jobs.pop_front() {
+                    if queued.token.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        q.finished += 1;
+                        q.cancelled += 1;
+                        shared.done.notify_all();
+                        continue;
+                    }
+                    break queued;
                 }
                 if q.shutdown {
                     return;
@@ -160,7 +193,7 @@ fn worker_loop(shared: &PoolShared) {
                     .unwrap_or_else(|poison| poison.into_inner());
             }
         };
-        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(queued.job)).is_err();
         let mut q = lock_queue(shared);
         q.finished += 1;
         if panicked {
@@ -222,6 +255,43 @@ mod tests {
             }
         }
         assert_eq!(ran.load(Ordering::Relaxed), 50, "drop ran every queued job");
+    }
+
+    #[test]
+    fn cancelled_jobs_are_skipped_but_counted_finished() {
+        let pool = WorkerPool::new(1);
+        // Wedge the single worker so later spawns stay queued.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.spawn(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        let ran = Arc::new(AtomicU64::new(0));
+        let token = CancelToken::new();
+        let r = Arc::clone(&ran);
+        pool.spawn_cancellable(token.clone(), move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        let r = Arc::clone(&ran);
+        pool.spawn_cancellable(CancelToken::new(), move || {
+            r.fetch_add(10, Ordering::Relaxed);
+        });
+        token.cancel();
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.drain();
+        assert_eq!(ran.load(Ordering::Relaxed), 10, "cancelled job never ran");
+        let stats = pool.stats();
+        assert_eq!(stats.finished, 3, "skip still counts as finished");
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.pending, 0);
     }
 
     #[test]

@@ -312,6 +312,53 @@ mod tests {
     }
 
     #[test]
+    fn eviction_racing_concurrent_compiles_stays_consistent() {
+        // Robustness satellite: hammer a capacity-1 cache from many
+        // threads over several keys, so insertions, LRU evictions, and
+        // outside-the-lock compiles constantly race. Invariants:
+        //
+        // * every returned schedule matches the key asked for and stays
+        //   usable after its entry is evicted (Arc keeps it alive);
+        // * a miss compiles at most once per miss — `compiled <= misses`
+        //   even when racing compilers both run (each raced compile
+        //   counted its own miss first);
+        // * the losing compiler of a same-key race is handed the
+        //   incumbent, never a freed or mismatched entry.
+        let cache = std::sync::Arc::new(ScheduleCache::new(1));
+        let keys: Vec<(u64, CacheKey)> = [4u64, 16, 64]
+            .into_iter()
+            .map(|b| (b, CacheKey::alltoall(&PairwiseAlltoall, &grid(), b, 32)))
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = std::sync::Arc::clone(&cache);
+                let keys = keys.clone();
+                scope.spawn(move || {
+                    for i in 0..30 {
+                        let (bytes, key) = &keys[(t + i) % keys.len()];
+                        let s = cache.get_or_compile(key, || Ok(compile(*bytes))).unwrap();
+                        assert_eq!(&s.key, key, "served schedule matches its key");
+                        // The entry may be evicted by a sibling thread
+                        // right now; the Arc must still be fully usable.
+                        assert_eq!(s.prep.nranks(), grid().world_size());
+                        assert_eq!(s.prep, compile(*bytes).prep, "bit-identical to fresh");
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 30, "every call accounted");
+        assert!(
+            stats.compiled <= stats.misses,
+            "never more than one compile per miss: compiled {} misses {}",
+            stats.compiled,
+            stats.misses
+        );
+        assert!(stats.evictions > 0, "capacity 1 over 3 keys must evict");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn zero_capacity_disables_storage() {
         let cache = ScheduleCache::new(0);
         let key = CacheKey::alltoall(&PairwiseAlltoall, &grid(), 64, 32);

@@ -1,0 +1,110 @@
+//! Service health snapshot: what an operator (or the storm harness)
+//! reads to see how degraded the service is and why.
+
+use crate::breaker::{BreakerSnapshot, BreakerState};
+use crate::job::TenantId;
+use crate::queue::Pressure;
+
+/// Lifetime counters of the robustness layer (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessCounters {
+    /// Jobs refused at admission because the queue was full
+    /// (`OverloadPolicy::Reject`).
+    pub rejected_overload: u64,
+    /// Queued jobs evicted to make room (`OverloadPolicy::ShedOldest`).
+    pub shed: u64,
+    /// Submissions refused by the per-tenant in-flight quota.
+    pub quota_denied: u64,
+    /// Submissions refused by an open circuit breaker.
+    pub breaker_denied: u64,
+    /// Jobs resolved `DeadlineExceeded` by the deadline wheel.
+    pub deadline_expired: u64,
+    /// Re-executions scheduled for transiently-failed jobs.
+    pub retries: u64,
+    /// Parallel-engine jobs demoted to the sequential engine under
+    /// saturation.
+    pub demoted: u64,
+    /// Batches whose opportunistic fusing was shed under pressure.
+    pub batch_sheds: u64,
+    /// Queued jobs drained with `TenantReset` by `reset_tenant`.
+    pub tenant_reset_jobs: u64,
+}
+
+/// One tenant's slice of the health report.
+#[derive(Debug, Clone)]
+pub struct TenantHealth {
+    pub tenant: TenantId,
+    pub breaker: BreakerSnapshot,
+    /// Jobs admitted for this tenant and not yet resolved.
+    pub inflight: u64,
+}
+
+/// Point-in-time health of the whole service.
+#[derive(Debug, Clone)]
+pub struct Health {
+    /// Jobs queued but not yet picked up by a drainer.
+    pub queue_depth: usize,
+    pub queue_capacity: usize,
+    pub pressure: Pressure,
+    /// Jobs admitted and not yet resolved (queued + executing + parked
+    /// for retry backoff).
+    pub inflight: u64,
+    /// Deadline watchers and retry timers parked in the wheel.
+    pub timers_pending: usize,
+    /// Per-tenant breaker states, sorted by tenant id.
+    pub tenants: Vec<TenantHealth>,
+    pub counters: RobustnessCounters,
+}
+
+impl Health {
+    /// True when the service is not running at full quality: elevated
+    /// queue pressure or any tenant's breaker not closed.
+    pub fn degraded(&self) -> bool {
+        self.pressure > Pressure::Nominal
+            || self
+                .tenants
+                .iter()
+                .any(|t| t.breaker.state != BreakerState::Closed)
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queue {}/{} ({}), inflight {}, timers {}",
+            self.queue_depth,
+            self.queue_capacity,
+            self.pressure,
+            self.inflight,
+            self.timers_pending
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  tenant {}: breaker {} (window {}/{}, opens {}), inflight {}",
+                t.tenant,
+                t.breaker.state,
+                t.breaker.window_failures,
+                t.breaker.window_samples,
+                t.breaker.opens,
+                t.inflight
+            )?;
+        }
+        let c = &self.counters;
+        write!(
+            f,
+            "  rejected {}, shed {}, quota {}, breaker-denied {}, deadline {}, \
+             retries {}, demoted {}, batch-sheds {}, reset {}",
+            c.rejected_overload,
+            c.shed,
+            c.quota_denied,
+            c.breaker_denied,
+            c.deadline_expired,
+            c.retries,
+            c.demoted,
+            c.batch_sheds,
+            c.tenant_reset_jobs
+        )
+    }
+}

@@ -2,16 +2,23 @@
 //!
 //! A *job* is one collective execution request; a *tenant* is the failure
 //! domain it belongs to. Tenants reuse the fabric's first-error-wins abort
-//! idea one level up: the first error any of a tenant's jobs hits latches
-//! that tenant's [`TenantGate`], and every later (or queued) job of the
-//! same tenant fails fast with [`JobError::TenantAborted`] carrying the
-//! root cause — while other tenants' jobs are untouched.
+//! idea one level up: the first failure that opens a tenant's circuit
+//! breaker (`crate::BreakerState`) is latched, and every denied submission
+//! of the same tenant fails fast with [`JobError::TenantAborted`] carrying
+//! the root cause — while other tenants' jobs are untouched.
+//!
+//! [`JobError`] is the service's *typed* error taxonomy: executor and
+//! runtime failures are carried verbatim (not stringified), so callers and
+//! the retry policy can match on the root cause, and
+//! [`JobError::class`] projects every variant onto the runtime's
+//! transient/permanent [`ErrorClass`] split.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use a2a_faults::FaultPlan;
-use a2a_sched::Bytes;
+use a2a_runtime::{ErrorClass, RuntimeError};
+use a2a_sched::{Bytes, ExecError};
 use a2a_topo::Rank;
 
 /// Tenants are small integers; the service creates gates on first use.
@@ -53,6 +60,10 @@ pub struct JobSpec {
     pub verify: bool,
     /// Carry every rank's receive buffer back in the [`JobOutput`].
     pub return_data: bool,
+    /// Resolve the job with [`JobError::DeadlineExceeded`] if it has not
+    /// completed this long after admission. A queued job is discarded; a
+    /// running parallel world is torn down through its cancel token.
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -66,6 +77,7 @@ impl JobSpec {
             faults: None,
             verify: true,
             return_data: false,
+            deadline: None,
         }
     }
 
@@ -93,10 +105,16 @@ impl JobSpec {
         self.return_data = return_data;
         self
     }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
-/// Why a job failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Why a job failed. Executor and runtime causes are carried typed, not
+/// rendered to strings, so callers can match on the root failure.
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobError {
     /// Admission rejected the schedule (validation or lint errors) or the
     /// spec itself (e.g. `verify` without [`Fill::Transpose`]).
@@ -104,18 +122,50 @@ pub enum JobError {
     /// The job's fault plan declares a dead rank: the collective cannot
     /// complete (mirrors `RuntimeError::DeadRank`).
     DeadRank { rank: Rank },
-    /// The executor failed (rendered `a2a_sched::ExecError`).
-    Exec(String),
-    /// The parallel runtime failed (rendered `a2a_runtime::RuntimeError`).
-    Runtime(String),
+    /// The sequential executor failed.
+    Exec(ExecError),
+    /// The parallel runtime failed.
+    Runtime(RuntimeError),
     /// Post-run verification found a wrong byte.
     Verification(String),
-    /// A previous job of the same tenant already failed; `first` is the
-    /// latched root cause.
+    /// The tenant's circuit breaker is open; `first` is the latched error
+    /// that opened it.
     TenantAborted {
         tenant: TenantId,
         first: Box<JobError>,
     },
+    /// The admission queue was full and the overload policy refused (or
+    /// shed) this job.
+    ServiceOverloaded { depth: usize, capacity: usize },
+    /// The tenant already has its quota of unresolved jobs in flight.
+    QuotaExceeded {
+        tenant: TenantId,
+        inflight: u64,
+        quota: u64,
+    },
+    /// The job did not complete within its [`JobSpec::deadline`].
+    DeadlineExceeded { after: Duration },
+    /// `reset_tenant` drained this queued-but-unstarted job.
+    TenantReset { tenant: TenantId },
+}
+
+impl JobError {
+    /// Project onto the runtime's transient/permanent retry split:
+    /// transient failures (lost/corrupt traffic beyond the retransmit
+    /// budget, watchdog timeouts, fault-injected executor failures) may
+    /// succeed on an identical retry; everything else is a property of
+    /// the job or the service's own policy and is final.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            JobError::Runtime(e) => e.class(),
+            JobError::Exec(ExecError::FaultInjected { .. }) => ErrorClass::Transient,
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl std::fmt::Display for JobError {
@@ -127,7 +177,24 @@ impl std::fmt::Display for JobError {
             JobError::Runtime(e) => write!(f, "runtime failed: {e}"),
             JobError::Verification(e) => write!(f, "verification failed: {e}"),
             JobError::TenantAborted { tenant, first } => {
-                write!(f, "tenant {tenant} aborted by earlier failure: {first}")
+                write!(f, "tenant {tenant} breaker open; root cause: {first}")
+            }
+            JobError::ServiceOverloaded { depth, capacity } => {
+                write!(f, "service overloaded: queue {depth}/{capacity}")
+            }
+            JobError::QuotaExceeded {
+                tenant,
+                inflight,
+                quota,
+            } => write!(
+                f,
+                "tenant {tenant} quota exceeded: {inflight}/{quota} jobs in flight"
+            ),
+            JobError::DeadlineExceeded { after } => {
+                write!(f, "deadline exceeded after {after:?}")
+            }
+            JobError::TenantReset { tenant } => {
+                write!(f, "drained from the queue by reset_tenant({tenant})")
             }
         }
     }
@@ -183,49 +250,6 @@ pub(crate) fn seeded_fill(seed: u64, rank: Rank, buf: &mut [u8]) {
     for chunk in buf.chunks_mut(8) {
         let w = next().to_le_bytes();
         chunk.copy_from_slice(&w[..chunk.len()]);
-    }
-}
-
-/// First-error-wins failure latch for one tenant, mirroring the fabric's
-/// abort latch: the fast path is a single relaxed atomic load.
-#[derive(Default)]
-pub struct TenantGate {
-    failed: AtomicBool,
-    first: Mutex<Option<JobError>>,
-}
-
-impl TenantGate {
-    /// Latch `err` if the gate is still open; returns the error that won
-    /// (the latched first error, which may not be `err`).
-    pub fn latch(&self, err: JobError) -> JobError {
-        let mut slot = self
-            .first
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
-        let winner = slot.get_or_insert(err).clone();
-        self.failed.store(true, Ordering::Release);
-        winner
-    }
-
-    /// The latched first error, if any.
-    pub fn error(&self) -> Option<JobError> {
-        if !self.failed.load(Ordering::Acquire) {
-            return None;
-        }
-        self.first
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner())
-            .clone()
-    }
-
-    /// Reopen the gate (`Service::reset_tenant`).
-    pub fn reset(&self) {
-        let mut slot = self
-            .first
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
-        *slot = None;
-        self.failed.store(false, Ordering::Release);
     }
 }
 
@@ -288,15 +312,43 @@ impl JobHandle {
 }
 
 impl JobShared {
-    pub(crate) fn complete(&self, res: Result<JobOutput, JobError>) {
+    /// Install `res` if the job is still unresolved, returning whether
+    /// this writer won — the deadline wheel, `reset_tenant`, shedding,
+    /// and the executor all race exactly here, and first write wins.
+    ///
+    /// `finish` runs under the result lock *before* waiters wake, so any
+    /// accounting done inside it (breaker records, service counters) is
+    /// observable by the time [`JobHandle::wait`] returns.
+    pub(crate) fn try_complete_with(
+        &self,
+        res: Result<JobOutput, JobError>,
+        finish: impl FnOnce(&Result<JobOutput, JobError>),
+    ) -> bool {
         let mut slot = self
             .result
             .lock()
             .unwrap_or_else(|poison| poison.into_inner());
-        debug_assert!(slot.is_none(), "job completed twice");
-        *slot = Some(res);
+        if slot.is_some() {
+            return false;
+        }
+        let installed = slot.insert(res);
+        finish(installed);
         drop(slot);
         self.done.notify_all();
+        true
+    }
+
+    /// Whether the job has already been resolved (non-blocking).
+    pub(crate) fn is_done(&self) -> bool {
+        self.result
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .is_some()
+    }
+
+    pub(crate) fn complete(&self, res: Result<JobOutput, JobError>) {
+        let won = self.try_complete_with(res, |_| {});
+        debug_assert!(won, "job completed twice");
     }
 }
 
@@ -305,16 +357,61 @@ mod tests {
     use super::*;
 
     #[test]
-    fn gate_latches_first_error_only() {
-        let gate = TenantGate::default();
-        assert_eq!(gate.error(), None);
-        let first = gate.latch(JobError::DeadRank { rank: 3 });
-        assert_eq!(first, JobError::DeadRank { rank: 3 });
-        let second = gate.latch(JobError::Exec("later".into()));
-        assert_eq!(second, JobError::DeadRank { rank: 3 }, "first error wins");
-        assert_eq!(gate.error(), Some(JobError::DeadRank { rank: 3 }));
-        gate.reset();
-        assert_eq!(gate.error(), None);
+    fn error_classes_follow_the_runtime_taxonomy() {
+        let transient = JobError::Runtime(RuntimeError::RetriesExhausted {
+            from: 0,
+            to: 1,
+            tag: 0,
+            seq: 0,
+            attempts: 8,
+        });
+        assert!(transient.is_transient());
+        let injected = JobError::Exec(ExecError::FaultInjected {
+            dropped: 1,
+            duplicated: 0,
+            corrupted: 0,
+            cause: Box::new(ExecError::Deadlock { blocked: vec![] }),
+        });
+        assert!(
+            injected.is_transient(),
+            "fault-injected exec failures retry"
+        );
+        for permanent in [
+            JobError::DeadRank { rank: 1 },
+            JobError::Runtime(RuntimeError::Cancelled),
+            JobError::Exec(ExecError::Deadlock { blocked: vec![] }),
+            JobError::Verification("bad byte".into()),
+            JobError::DeadlineExceeded {
+                after: Duration::from_millis(1),
+            },
+            JobError::TenantReset { tenant: 3 },
+        ] {
+            assert_eq!(
+                permanent.class(),
+                ErrorClass::Permanent,
+                "{permanent} must not be retried"
+            );
+        }
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let h = JobHandle::new();
+        let mut first_ran = false;
+        assert!(h
+            .shared
+            .try_complete_with(Err(JobError::DeadRank { rank: 0 }), |_| first_ran = true));
+        assert!(first_ran);
+        assert!(h.shared.is_done());
+        let mut second_ran = false;
+        assert!(
+            !h.shared
+                .try_complete_with(Err(JobError::TenantReset { tenant: 1 }), |_| second_ran =
+                    true),
+            "loser must not install"
+        );
+        assert!(!second_ran, "loser's accounting must not run");
+        assert_eq!(h.wait(), Err(JobError::DeadRank { rank: 0 }));
     }
 
     #[test]

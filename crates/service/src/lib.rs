@@ -16,34 +16,76 @@
 //! * **Batching** — a worker draining the queue fuses up to
 //!   [`ServiceConfig::max_batch`] compatible jobs (same cache key, both on
 //!   the sequential engine) and runs them back-to-back on one pooled
-//!   [`ExecScratch`]. Jobs in a batch still execute one at a time with
-//!   their own fill and fault plan, and scratch reuse is exactly the
-//!   documented `run_prepared` semantics, so batched execution is
-//!   byte-identical to per-job execution — only setup cost is shared.
-//! * **Tenant isolation** ([`TenantGate`]) — the first failure in a
-//!   tenant's traffic latches that tenant's gate (first-error-wins, like
-//!   the fabric's abort latch); its queued and future jobs fail fast with
-//!   the root cause while every other tenant's jobs are untouched.
+//!   [`ExecScratch`]. Batched execution is byte-identical to per-job
+//!   execution — only setup cost is shared.
+//!
+//! # Robustness layer
+//!
+//! On top of that steady-state fast path sits an overload-and-failure
+//! regime (see `DESIGN.md` §12):
+//!
+//! * **Bounded admission** ([`BoundedQueue`](queue), [`OverloadPolicy`]) —
+//!   the queue of unstarted jobs is capped; overflow blocks the submitter,
+//!   rejects the newcomer, or sheds the oldest queued job, per policy.
+//!   Per-tenant in-flight quotas ([`ServiceConfig::tenant_quota`]) stop a
+//!   single tenant from monopolizing the queue.
+//! * **Deadlines and retries** — each job may carry a
+//!   [`JobSpec::deadline`], enforced by a service-level timer wheel that
+//!   cancels overdue jobs through the runtime's abort-latch machinery
+//!   ([`a2a_runtime::CancelToken`]). Transient failures (exhausted
+//!   retransmits, watchdog timeouts, fault-injected executor errors) are
+//!   retried under [`RetryPolicy`] — bounded attempts, exponential
+//!   backoff with seeded decorrelated jitter, fault plans rerolled per
+//!   attempt. Permanent failures (dead rank, validation, verification)
+//!   fail immediately.
+//! * **Circuit breakers** ([`BreakerConfig`]) — each tenant's failures
+//!   feed a closed → open → half-open breaker that replaces the old
+//!   one-way `TenantGate` latch: a poisoned tenant is isolated fast (its
+//!   submissions fail with the latched root cause) and recovers
+//!   automatically once a cooldown-gated probe succeeds.
+//! * **Graceful degradation** — under queue pressure the service first
+//!   sheds opportunistic batching, then demotes parallel-engine jobs to
+//!   the sequential engine, before any work is refused; the
+//!   [`Service::health`] snapshot reports queue depth, pressure, breaker
+//!   states, and every robustness counter.
+//!
+//! The invariant all of this preserves: **no admitted job is silently
+//! lost** — every [`JobHandle`] resolves, with a typed [`JobError`]
+//! naming exactly why if not with output.
 
+mod breaker;
 mod cache;
+mod health;
 mod job;
+mod queue;
+mod retry;
+mod wheel;
 
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState};
 pub use cache::{
     compile_alltoall, CacheKey, CacheStats, CachedSchedule, CompileError, ScheduleCache,
 };
-pub use job::{Engine, Fill, JobError, JobHandle, JobOutput, JobSpec, TenantGate, TenantId};
+pub use health::{Health, RobustnessCounters, TenantHealth};
+pub use job::{Engine, Fill, JobError, JobHandle, JobOutput, JobSpec, TenantId};
+pub use queue::{OverloadPolicy, Pressure};
+pub use retry::RetryPolicy;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use a2a_core::AlltoallAlgorithm;
 use a2a_lint::LintConfig;
-use a2a_runtime::{ParallelExecutor, PoolStats, RuntimeError, WorkerPool, WorldOptions};
+use a2a_runtime::{
+    CancelToken, ParallelExecutor, PoolStats, RuntimeError, WorkerPool, WorldOptions,
+};
 use a2a_sched::{check_alltoall_rbuf, fill_alltoall_sbuf, DataExecutor, ExecScratch};
 use a2a_topo::{ProcGrid, Rank};
 
+use breaker::{Admission, Breaker};
 use job::{digest_rbufs, seeded_fill, JobShared};
+use queue::{Admitted, BoundedQueue};
+use wheel::{TimerWheel, WheelHandle};
 
 /// Service tuning knobs.
 #[derive(Clone)]
@@ -61,6 +103,16 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Idle scratches kept per cache key.
     pub scratch_cap: usize,
+    /// Maximum queued-but-unstarted jobs (clamped to at least 1).
+    pub queue_capacity: usize,
+    /// What happens to submissions when the queue is full.
+    pub overload: OverloadPolicy,
+    /// Per-tenant cap on admitted-but-unresolved jobs; 0 = unlimited.
+    pub tenant_quota: u64,
+    /// Retry policy for transiently-failed jobs.
+    pub retry: RetryPolicy,
+    /// Per-tenant circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +123,11 @@ impl Default for ServiceConfig {
             lint: LintConfig::default(),
             max_batch: 32,
             scratch_cap: 4,
+            queue_capacity: 1024,
+            overload: OverloadPolicy::Block,
+            tenant_quota: 0,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -89,26 +146,99 @@ pub struct ServiceStats {
     /// Fresh [`ExecScratch`] constructions (cache-key scratch pool
     /// misses); flat at steady state.
     pub scratch_builds: u64,
+    /// Robustness-layer counters (also in [`Service::health`]).
+    pub robustness: RobustnessCounters,
+}
+
+/// Per-tenant service state: the circuit breaker and the in-flight count
+/// the quota consults.
+struct TenantState {
+    id: TenantId,
+    breaker: Breaker,
+    /// Admitted-but-unresolved jobs of this tenant.
+    inflight: AtomicU64,
 }
 
 struct Queued {
     sched: Arc<CachedSchedule>,
     spec: JobSpec,
-    gate: Arc<TenantGate>,
+    tenant: Arc<TenantState>,
     shared: Arc<JobShared>,
+    /// Fired by the deadline wheel; a running parallel world polls it
+    /// through the fabric's abort latch.
+    token: CancelToken,
+    /// Execution attempt (0 = first); fault plans reroll per attempt.
+    attempt: u32,
+    /// Admitted as a half-open breaker probe.
+    probe: bool,
+    /// Service-wide admission sequence number (retry-jitter coordinate).
+    seq: u64,
+}
+
+/// Monotonic robustness counters (atomic mirror of
+/// [`RobustnessCounters`]).
+#[derive(Default)]
+struct Counters {
+    rejected_overload: AtomicU64,
+    shed: AtomicU64,
+    quota_denied: AtomicU64,
+    breaker_denied: AtomicU64,
+    deadline_expired: AtomicU64,
+    retries: AtomicU64,
+    demoted: AtomicU64,
+    batch_sheds: AtomicU64,
+    tenant_reset_jobs: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> RobustnessCounters {
+        RobustnessCounters {
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            quota_denied: self.quota_denied.load(Ordering::Relaxed),
+            breaker_denied: self.breaker_denied.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            demoted: self.demoted.load(Ordering::Relaxed),
+            batch_sheds: self.batch_sheds.load(Ordering::Relaxed),
+            tenant_reset_jobs: self.tenant_reset_jobs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How a job's resolution should feed the tenant's breaker.
+#[derive(Clone, Copy, PartialEq)]
+enum Resolution {
+    /// A final executor outcome: recorded as breaker success/failure.
+    Executed,
+    /// A policy outcome (deadline, shed, reject, reset): says nothing
+    /// about the tenant's health, so it only releases a pending probe.
+    Administrative,
 }
 
 struct State {
-    queue: Mutex<VecDeque<Queued>>,
-    tenants: Mutex<HashMap<TenantId, Arc<TenantGate>>>,
+    queue: BoundedQueue<Queued>,
+    tenants: Mutex<HashMap<TenantId, Arc<TenantState>>>,
     scratches: Mutex<HashMap<CacheKey, Vec<ExecScratch>>>,
     scratch_builds: AtomicU64,
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
     batches: AtomicU64,
     batched_jobs: AtomicU64,
+    counters: Counters,
+    /// Admitted-but-unresolved jobs (queued + executing + parked for
+    /// retry); [`Service::join`] waits for zero.
+    inflight: Mutex<u64>,
+    quiesced: Condvar,
+    next_seq: AtomicU64,
+    retry: RetryPolicy,
+    breaker_cfg: BreakerConfig,
+    tenant_quota: u64,
     max_batch: usize,
     scratch_cap: usize,
+    wheel: WheelHandle,
+    /// Shared with [`Service`] so wheel closures can respawn drainers.
+    pool: Arc<WorkerPool>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -120,7 +250,13 @@ pub struct Service {
     lint: LintConfig,
     cache: ScheduleCache,
     state: Arc<State>,
-    pool: WorkerPool,
+    /// Owns the timer thread (held for RAII only; scheduling goes
+    /// through `state.wheel`). Declared before `pool`: dropped first, so
+    /// no wheel closure can observe a shut-down pool (and `Drop` for the
+    /// service quiesces before either goes away).
+    #[allow(dead_code)]
+    wheel: TimerWheel,
+    pool: Arc<WorkerPool>,
 }
 
 impl Service {
@@ -130,11 +266,13 @@ impl Service {
         } else {
             cfg.scratch_cap
         };
+        let pool = Arc::new(WorkerPool::new(cfg.workers));
+        let wheel = TimerWheel::new();
         Service {
             lint: cfg.lint,
             cache: ScheduleCache::new(cfg.cache_capacity),
             state: Arc::new(State {
-                queue: Mutex::new(VecDeque::new()),
+                queue: BoundedQueue::new(cfg.queue_capacity, cfg.overload),
                 tenants: Mutex::new(HashMap::new()),
                 scratches: Mutex::new(HashMap::new()),
                 scratch_builds: AtomicU64::new(0),
@@ -142,16 +280,28 @@ impl Service {
                 jobs_failed: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 batched_jobs: AtomicU64::new(0),
+                counters: Counters::default(),
+                inflight: Mutex::new(0),
+                quiesced: Condvar::new(),
+                next_seq: AtomicU64::new(0),
+                retry: cfg.retry,
+                breaker_cfg: cfg.breaker,
+                tenant_quota: cfg.tenant_quota,
                 max_batch: cfg.max_batch.max(1),
                 scratch_cap,
+                wheel: wheel.handle(),
+                pool: Arc::clone(&pool),
             }),
-            pool: WorkerPool::new(cfg.workers),
+            wheel,
+            pool,
         }
     }
 
-    /// Submit one collective job. Admission happens inline — tenant gate
-    /// check, cache lookup, cold-miss compile+validate+lint — and the
-    /// execution is queued onto the pool. Never blocks on execution.
+    /// Submit one collective job through the admission pipeline: spec
+    /// check → breaker → quota → cache compile → bounded enqueue →
+    /// deadline registration. Rejections resolve the returned handle
+    /// immediately with a typed [`JobError`]; under
+    /// [`OverloadPolicy::Block`] a full queue parks the caller instead.
     pub fn submit(
         &self,
         algo: &dyn AlltoallAlgorithm,
@@ -162,13 +312,36 @@ impl Service {
             self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
             return JobHandle::failed(JobError::Rejected("verify requires Fill::Transpose".into()));
         }
-        let gate = self.state.gate(spec.tenant);
-        if let Some(first) = gate.error() {
-            self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            return JobHandle::failed(JobError::TenantAborted {
-                tenant: spec.tenant,
-                first: Box::new(first),
-            });
+        let tenant = self.state.tenant(spec.tenant);
+        let probe = match tenant.breaker.admit() {
+            Admission::Allowed => false,
+            Admission::Probe => true,
+            Admission::Denied(err) => {
+                self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                self.state
+                    .counters
+                    .breaker_denied
+                    .fetch_add(1, Ordering::Relaxed);
+                return JobHandle::failed(err);
+            }
+        };
+        if self.state.tenant_quota > 0 {
+            let inflight = tenant.inflight.load(Ordering::Relaxed);
+            if inflight >= self.state.tenant_quota {
+                if probe {
+                    tenant.breaker.release_probe();
+                }
+                self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                self.state
+                    .counters
+                    .quota_denied
+                    .fetch_add(1, Ordering::Relaxed);
+                return JobHandle::failed(JobError::QuotaExceeded {
+                    tenant: spec.tenant,
+                    inflight,
+                    quota: self.state.tenant_quota,
+                });
+            }
         }
         let key = CacheKey::alltoall(algo, grid, spec.block_bytes, self.lint.send_window);
         let sched = match self.cache.get_or_compile(&key, || {
@@ -176,30 +349,150 @@ impl Service {
         }) {
             Ok(s) => s,
             Err(e) => {
+                if probe {
+                    tenant.breaker.release_probe();
+                }
                 self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 return JobHandle::failed(JobError::Rejected(e.to_string()));
             }
         };
+        // Graceful degradation, stage 2: under saturation a parallel job
+        // is demoted to the (byte-identical) sequential engine rather
+        // than spinning up a world per job.
+        let mut spec = spec;
+        if matches!(spec.engine, Engine::Parallel { .. })
+            && self.state.queue.pressure() == Pressure::Saturated
+        {
+            spec.engine = Engine::Data;
+            self.state.counters.demoted.fetch_add(1, Ordering::Relaxed);
+        }
+
         let handle = JobHandle::new();
-        lock(&self.state.queue).push_back(Queued {
+        let deadline = spec.deadline;
+        let queued = Queued {
             sched,
             spec,
-            gate,
+            tenant: Arc::clone(&tenant),
             shared: Arc::clone(&handle.shared),
-        });
-        let state = Arc::clone(&self.state);
-        self.pool.spawn(move || State::drain_one(&state));
+            token: CancelToken::new(),
+            attempt: 0,
+            probe,
+            seq: self.state.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        let token = queued.token.clone();
+        let shared = Arc::clone(&handle.shared);
+        self.state.begin_job(&tenant);
+        match self.state.queue.push(queued) {
+            Admitted::Queued => {}
+            Admitted::Rejected(q) => {
+                let depth = self.state.queue.depth();
+                let capacity = self.state.queue.capacity();
+                if self.state.resolve(
+                    &q.tenant,
+                    &q.shared,
+                    Err(JobError::ServiceOverloaded { depth, capacity }),
+                    q.probe,
+                    Resolution::Administrative,
+                ) {
+                    self.state
+                        .counters
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return handle;
+            }
+            Admitted::Shed(old) => {
+                let capacity = self.state.queue.capacity();
+                for q in old {
+                    q.token.cancel();
+                    if self.state.resolve(
+                        &q.tenant,
+                        &q.shared,
+                        Err(JobError::ServiceOverloaded {
+                            depth: capacity,
+                            capacity,
+                        }),
+                        q.probe,
+                        Resolution::Administrative,
+                    ) {
+                        self.state.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if let Some(d) = deadline {
+            let st = Arc::clone(&self.state);
+            let tenant = Arc::clone(&tenant);
+            let probe_flag = probe;
+            self.state.wheel.schedule(d, move || {
+                // Tear down a running world first, then race to resolve;
+                // if the executor already won, both are no-ops.
+                token.cancel();
+                if st.resolve(
+                    &tenant,
+                    &shared,
+                    Err(JobError::DeadlineExceeded { after: d }),
+                    probe_flag,
+                    Resolution::Administrative,
+                ) {
+                    st.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let st = Arc::clone(&self.state);
+        self.pool.spawn(move || State::drain_one(&st));
         handle
     }
 
-    /// Block until every job submitted so far has completed.
+    /// Block until every job admitted so far has resolved (including jobs
+    /// parked in the retry wheel) and the pool is idle.
     pub fn join(&self) {
+        let mut g = lock(&self.state.inflight);
+        while *g > 0 {
+            g = self
+                .state
+                .quiesced
+                .wait(g)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+        drop(g);
         self.pool.drain();
     }
 
-    /// Reopen a latched tenant gate so the tenant can submit again.
+    /// Force-close a tenant's breaker after draining its
+    /// queued-but-unstarted jobs: each drained job resolves with
+    /// [`JobError::TenantReset`] (never silently lost, never executed
+    /// under the pre-reset regime), then the breaker closes.
     pub fn reset_tenant(&self, tenant: TenantId) {
-        self.state.gate(tenant).reset();
+        let t = self.state.tenant(tenant);
+        let drained: Vec<Queued> = self.state.queue.with(|q| {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < q.len() {
+                if q[i].spec.tenant == tenant {
+                    out.push(q.remove(i).expect("index checked"));
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        });
+        for q in drained {
+            q.token.cancel();
+            if self.state.resolve(
+                &q.tenant,
+                &q.shared,
+                Err(JobError::TenantReset { tenant }),
+                q.probe,
+                Resolution::Administrative,
+            ) {
+                self.state
+                    .counters
+                    .tenant_reset_jobs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        t.breaker.reset();
     }
 
     pub fn workers(&self) -> usize {
@@ -219,36 +512,157 @@ impl Service {
             batches: self.state.batches.load(Ordering::Relaxed),
             batched_jobs: self.state.batched_jobs.load(Ordering::Relaxed),
             scratch_builds: self.state.scratch_builds.load(Ordering::Relaxed),
+            robustness: self.state.counters.snapshot(),
+        }
+    }
+
+    /// Point-in-time health: queue depth and pressure, per-tenant breaker
+    /// states, in-flight count, and every robustness counter.
+    pub fn health(&self) -> Health {
+        let tenants = {
+            let map = lock(&self.state.tenants);
+            let mut v: Vec<TenantHealth> = map
+                .values()
+                .map(|t| TenantHealth {
+                    tenant: t.id,
+                    breaker: t.breaker.snapshot(),
+                    inflight: t.inflight.load(Ordering::Relaxed),
+                })
+                .collect();
+            v.sort_by_key(|t| t.tenant);
+            v
+        };
+        Health {
+            queue_depth: self.state.queue.depth(),
+            queue_capacity: self.state.queue.capacity(),
+            pressure: self.state.queue.pressure(),
+            inflight: *lock(&self.state.inflight),
+            timers_pending: self.state.wheel.pending(),
+            tenants,
+            counters: self.state.counters.snapshot(),
         }
     }
 }
 
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Quiesce before the wheel and pool tear down: every admitted job
+        // resolves (the no-lost-jobs invariant), and any wheel entry left
+        // afterwards is a deadline watcher for an already-resolved job —
+        // a no-op the wheel may safely discard.
+        self.join();
+    }
+}
+
 impl State {
-    fn gate(&self, tenant: TenantId) -> Arc<TenantGate> {
-        Arc::clone(lock(&self.tenants).entry(tenant).or_default())
+    fn tenant(&self, id: TenantId) -> Arc<TenantState> {
+        let mut map = lock(&self.tenants);
+        Arc::clone(map.entry(id).or_insert_with(|| {
+            Arc::new(TenantState {
+                id,
+                breaker: Breaker::new(id, self.breaker_cfg),
+                inflight: AtomicU64::new(0),
+            })
+        }))
+    }
+
+    /// Count one admitted job (global + per-tenant).
+    fn begin_job(&self, tenant: &TenantState) {
+        *lock(&self.inflight) += 1;
+        tenant.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolve one admitted job, first-write-wins. On the winning path
+    /// the outcome counters and the tenant's breaker are updated *before*
+    /// any `wait()`er wakes, then the in-flight counts drop (waking
+    /// [`Service::join`] at zero). Returns whether this caller won.
+    fn resolve(
+        &self,
+        tenant: &TenantState,
+        shared: &JobShared,
+        res: Result<JobOutput, JobError>,
+        probe: bool,
+        how: Resolution,
+    ) -> bool {
+        let won = shared.try_complete_with(res, |res| match res {
+            Ok(_) => {
+                self.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                match how {
+                    Resolution::Executed => tenant.breaker.record_success(probe),
+                    Resolution::Administrative => {
+                        if probe {
+                            tenant.breaker.release_probe();
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                match how {
+                    Resolution::Executed => tenant.breaker.record_failure(e, probe),
+                    Resolution::Administrative => {
+                        if probe {
+                            tenant.breaker.release_probe();
+                        }
+                    }
+                }
+            }
+        });
+        if won {
+            tenant.inflight.fetch_sub(1, Ordering::Relaxed);
+            let mut g = lock(&self.inflight);
+            *g -= 1;
+            if *g == 0 {
+                drop(g);
+                self.quiesced.notify_all();
+            }
+        }
+        won
     }
 
     /// Pop the queue head and fuse compatible followers: same cache key,
     /// both on the sequential engine. Tenant and fill may differ — each
     /// job still executes by itself on the shared scratch, so fusing only
     /// shares setup, never results.
+    ///
+    /// Entries already resolved while queued (deadline expiry, shed,
+    /// tenant reset) are discarded here — their drainer tasks become
+    /// cheap no-ops. Graceful degradation, stage 1: under queue pressure
+    /// the opportunistic fusing is shed (batch of 1) so jobs start in
+    /// strict admission order with minimal per-job latency.
     fn take_batch(&self) -> Option<Vec<Queued>> {
-        let mut q = lock(&self.queue);
-        let head = q.pop_front()?;
-        let fuse = matches!(head.spec.engine, Engine::Data);
-        let key = head.sched.key.clone();
-        let mut batch = vec![head];
-        if fuse {
-            let mut i = 0;
-            while batch.len() < self.max_batch && i < q.len() {
-                if matches!(q[i].spec.engine, Engine::Data) && q[i].sched.key == key {
-                    batch.push(q.remove(i).expect("index checked"));
-                } else {
-                    i += 1;
+        let max_batch = self.max_batch;
+        let capacity = self.queue.capacity();
+        let (batch, fuse_shed) = self.queue.with(|q| {
+            let head = loop {
+                match q.pop_front() {
+                    None => return (None, false),
+                    Some(h) if h.shared.is_done() => continue,
+                    Some(h) => break h,
+                }
+            };
+            let want_fuse = matches!(head.spec.engine, Engine::Data) && max_batch > 1;
+            let fuse = want_fuse && Pressure::from_depth(q.len(), capacity) == Pressure::Nominal;
+            let key = head.sched.key.clone();
+            let mut batch = vec![head];
+            if fuse {
+                let mut i = 0;
+                while batch.len() < max_batch && i < q.len() {
+                    if q[i].shared.is_done() {
+                        q.remove(i).expect("index checked");
+                    } else if matches!(q[i].spec.engine, Engine::Data) && q[i].sched.key == key {
+                        batch.push(q.remove(i).expect("index checked"));
+                    } else {
+                        i += 1;
+                    }
                 }
             }
+            (Some(batch), want_fuse && !fuse)
+        });
+        if fuse_shed {
+            self.counters.batch_sheds.fetch_add(1, Ordering::Relaxed);
         }
-        Some(batch)
+        batch
     }
 
     fn take_scratch(&self, sched: &CachedSchedule) -> ExecScratch {
@@ -292,41 +706,66 @@ impl State {
         };
         let key = batch[0].sched.key.clone();
         for q in batch {
-            let res = execute(&q, scratch.as_mut(), nbatch);
-            match &res {
-                Ok(_) => {
-                    state.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            if q.shared.is_done() {
+                continue; // resolved (deadline) after take_batch popped it
+            }
+            match execute(&q, scratch.as_mut(), nbatch) {
+                Ok(out) => {
+                    state.resolve(&q.tenant, &q.shared, Ok(out), q.probe, Resolution::Executed);
                 }
                 Err(e) => {
-                    state.jobs_failed.fetch_add(1, Ordering::Relaxed);
-                    if !matches!(e, JobError::TenantAborted { .. }) {
-                        q.gate.latch(e.clone());
+                    let next = q.attempt + 1;
+                    if e.is_transient()
+                        && next < state.retry.max_attempts.max(1)
+                        && !q.shared.is_done()
+                    {
+                        state.schedule_retry(state, q, next);
+                    } else {
+                        state.resolve(&q.tenant, &q.shared, Err(e), q.probe, Resolution::Executed);
                     }
                 }
             }
-            q.shared.complete(res);
         }
         if let Some(s) = scratch {
             state.put_scratch(&key, s);
         }
     }
+
+    /// Park a transiently-failed job in the wheel for its jittered
+    /// backoff, then re-queue it (bypassing admission — it already holds
+    /// an admitted slot) and respawn a drainer.
+    fn schedule_retry(&self, state: &Arc<State>, mut q: Queued, attempt: u32) {
+        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+        q.attempt = attempt;
+        let delay = self.retry.backoff(q.spec.tenant, q.seq, attempt);
+        let st = Arc::clone(state);
+        self.wheel.schedule(delay, move || {
+            if q.shared.is_done() {
+                return; // deadline fired while parked; already resolved
+            }
+            st.queue.with(|queue| queue.push_back(q));
+            let pool = Arc::clone(&st.pool);
+            let st2 = Arc::clone(&st);
+            pool.spawn(move || State::drain_one(&st2));
+        });
+    }
 }
 
-/// Run one job. The tenant gate is re-checked here (it may have latched
-/// between admission and execution), then the job's own fill and fault
-/// plan apply — a batch changes nothing about this function.
+/// Run one job. The job's own fill and (per-attempt rerolled) fault plan
+/// apply — a batch changes nothing about this function.
 fn execute(
     q: &Queued,
     scratch: Option<&mut ExecScratch>,
     batched: usize,
 ) -> Result<JobOutput, JobError> {
-    if let Some(first) = q.gate.error() {
-        return Err(JobError::TenantAborted {
-            tenant: q.spec.tenant,
-            first: Box::new(first),
-        });
-    }
-    if let Some(plan) = &q.spec.faults {
+    let plan = q.spec.faults.as_ref().map(|p| {
+        if q.attempt == 0 {
+            Arc::clone(p)
+        } else {
+            Arc::new(p.reroll(q.attempt))
+        }
+    });
+    if let Some(plan) = &plan {
         if let Some(&rank) = plan.dead_ranks().first() {
             return Err(JobError::DeadRank { rank });
         }
@@ -342,14 +781,14 @@ fn execute(
     match q.spec.engine {
         Engine::Data => {
             let scratch = scratch.expect("data-engine batch carries a scratch");
-            let stats = match &q.spec.faults {
+            let stats = match &plan {
                 Some(plan) => {
                     DataExecutor::run_prepared_with_faults(prep, scratch, fill, plan.as_ref())
                         .map(|(stats, _)| stats)
                 }
                 None => DataExecutor::run_prepared(prep, scratch, fill),
             }
-            .map_err(|e| JobError::Exec(e.to_string()))?;
+            .map_err(JobError::Exec)?;
             if q.spec.verify {
                 for r in 0..n as Rank {
                     check_alltoall_rbuf(r, n, bytes, scratch.rbuf(r))
@@ -370,14 +809,14 @@ fn execute(
             })
         }
         Engine::Parallel { threads } => {
-            let mut opts = WorldOptions::default();
-            if let Some(plan) = &q.spec.faults {
+            let mut opts = WorldOptions::default().with_cancel(q.token.clone());
+            if let Some(plan) = &plan {
                 opts = opts.with_faults(Arc::clone(plan));
             }
             let out =
                 ParallelExecutor::run_with(prep, opts, threads, fill).map_err(|e| match e {
                     RuntimeError::DeadRank { rank } => JobError::DeadRank { rank },
-                    other => JobError::Runtime(other.to_string()),
+                    other => JobError::Runtime(other),
                 })?;
             if q.spec.verify {
                 for (r, rbuf) in out.rbufs.iter().enumerate() {
@@ -407,9 +846,19 @@ mod tests {
     };
     use a2a_faults::{FaultPlan, FaultSpec};
     use a2a_topo::Machine;
+    use std::time::Duration;
 
     fn grid() -> ProcGrid {
         ProcGrid::new(Machine::custom("bench", 2, 2, 1, 2))
+    }
+
+    /// A breaker that cannot cool down within a test, so denial
+    /// assertions are timing-independent.
+    fn slow_cooldown() -> BreakerConfig {
+        BreakerConfig {
+            cooldown: Duration::from_secs(600),
+            ..BreakerConfig::default()
+        }
     }
 
     /// The BENCH_4 roster, rebuilt locally (the bench crate depends on
@@ -508,11 +957,19 @@ mod tests {
             let handles: Vec<JobHandle> = (0..6)
                 .map(|i| {
                     let handle = JobHandle::new();
-                    lock(&svc.state.queue).push_back(Queued {
-                        sched: Arc::clone(&sched),
-                        spec: JobSpec::new(i % 3, bytes).with_return_data(true),
-                        gate: svc.state.gate(i % 3),
-                        shared: Arc::clone(&handle.shared),
+                    let tenant = svc.state.tenant(i % 3);
+                    svc.state.begin_job(&tenant);
+                    svc.state.queue.with(|q| {
+                        q.push_back(Queued {
+                            sched: Arc::clone(&sched),
+                            spec: JobSpec::new(i % 3, bytes).with_return_data(true),
+                            tenant,
+                            shared: Arc::clone(&handle.shared),
+                            token: CancelToken::new(),
+                            attempt: 0,
+                            probe: false,
+                            seq: i as u64,
+                        })
                     });
                     handle
                 })
@@ -536,9 +993,15 @@ mod tests {
     }
 
     #[test]
-    fn tenant_failure_latches_gate_but_spares_others() {
+    fn permanent_failure_opens_breaker_and_probe_recovers_it() {
         let g = grid();
-        let svc = Service::new(ServiceConfig::default());
+        let svc = Service::new(ServiceConfig {
+            breaker: BreakerConfig {
+                cooldown: Duration::from_millis(20),
+                ..BreakerConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
         let dead = Arc::new(FaultPlan::new(
             1,
             g.world_size(),
@@ -546,7 +1009,7 @@ mod tests {
         ));
         let bad = svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64).with_faults(dead));
         assert!(matches!(bad.wait(), Err(JobError::DeadRank { .. })));
-        // Tenant 7 is now latched: clean jobs fail fast with the cause.
+        // Tenant 7's breaker is open: submissions fail fast with the cause.
         let after = svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64));
         match after.wait() {
             Err(JobError::TenantAborted { tenant: 7, first }) => {
@@ -558,11 +1021,251 @@ mod tests {
         svc.submit(&PairwiseAlltoall, &g, JobSpec::new(8, 64))
             .wait()
             .unwrap();
-        // And the gate can be reopened.
+        // After the cooldown a clean probe closes the breaker — recovery
+        // without any reset call.
+        std::thread::sleep(Duration::from_millis(40));
+        svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64))
+            .wait()
+            .unwrap();
+        let health = svc.health();
+        let t7 = health.tenants.iter().find(|t| t.tenant == 7).unwrap();
+        assert_eq!(t7.breaker.state, BreakerState::Closed);
+        assert_eq!(t7.breaker.first_error, None);
+        assert!(health.counters.breaker_denied >= 1);
+    }
+
+    #[test]
+    fn reset_tenant_reopens_a_latched_tenant() {
+        let g = grid();
+        let svc = Service::new(ServiceConfig {
+            breaker: slow_cooldown(),
+            ..ServiceConfig::default()
+        });
+        let dead = Arc::new(FaultPlan::new(
+            1,
+            g.world_size(),
+            FaultSpec::none().with_dead(1.0, 1),
+        ));
+        let bad = svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64).with_faults(dead));
+        assert!(matches!(bad.wait(), Err(JobError::DeadRank { .. })));
+        assert!(matches!(
+            svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64))
+                .wait(),
+            Err(JobError::TenantAborted { .. })
+        ));
         svc.reset_tenant(7);
         svc.submit(&PairwiseAlltoall, &g, JobSpec::new(7, 64))
             .wait()
             .unwrap();
+    }
+
+    #[test]
+    fn transient_failures_are_retried_with_rerolled_faults() {
+        // Against the sequential engine (no retransmit layer) a light
+        // drop rate fails a given attempt with Exec(FaultInjected) —
+        // transient — but a reroll usually comes back clean. Give the
+        // service enough attempts and the job must eventually succeed,
+        // with the retry counter showing the path taken.
+        let g = grid();
+        let svc = Service::new(ServiceConfig {
+            retry: RetryPolicy {
+                max_attempts: 12,
+                base: Duration::from_micros(100),
+                cap: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let mut retried = false;
+        for i in 0..40 {
+            // Per-job plan seeds: fault fates are deterministic per
+            // (seed, attempt), so a shared plan would give every job the
+            // same attempt-0 outcome.
+            let flaky = Arc::new(FaultPlan::new(i, g.world_size(), FaultSpec::drops(0.01)));
+            let out = svc
+                .submit(
+                    &PairwiseAlltoall,
+                    &g,
+                    JobSpec::new(0, 64).with_faults(flaky),
+                )
+                .wait();
+            match out {
+                Ok(_) => {}
+                Err(e) => panic!("job {i} must succeed after retries, got {e}"),
+            }
+            if svc.stats().robustness.retries > 0 {
+                retried = true;
+            }
+        }
+        assert!(retried, "at least one attempt must have drawn a drop");
+        let stats = svc.stats();
+        assert_eq!(stats.jobs_ok, 40, "every job eventually succeeded");
+        assert_eq!(stats.jobs_failed, 0);
+    }
+
+    #[test]
+    fn deadline_cancels_a_queued_job() {
+        // One worker wedged behind a slow parallel job; a second job with
+        // a tiny deadline must resolve DeadlineExceeded without running.
+        let g = grid();
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            breaker: slow_cooldown(),
+            ..ServiceConfig::default()
+        });
+        // Wedge: a straggler-slowed parallel job holds the only worker.
+        let slow = Arc::new(FaultPlan::new(
+            5,
+            g.world_size(),
+            FaultSpec::none().with_stragglers(1.0, 50.0),
+        ));
+        let first = svc.submit(
+            &PairwiseAlltoall,
+            &g,
+            JobSpec::new(0, 4096)
+                .with_engine(Engine::Parallel { threads: 2 })
+                .with_faults(slow),
+        );
+        let doomed = svc.submit(
+            &PairwiseAlltoall,
+            &g,
+            JobSpec::new(1, 64).with_deadline(Duration::from_millis(1)),
+        );
+        match doomed.wait() {
+            Err(JobError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        first.wait().unwrap();
+        svc.join();
+        let stats = svc.stats();
+        assert_eq!(stats.robustness.deadline_expired, 1);
+        // The deadline is an administrative outcome: tenant 1's breaker
+        // saw nothing and stays closed.
+        let health = svc.health();
+        let t1 = health.tenants.iter().find(|t| t.tenant == 1).unwrap();
+        assert_eq!(t1.breaker.state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn quota_bounds_a_tenants_inflight_jobs() {
+        let g = grid();
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            tenant_quota: 4,
+            ..ServiceConfig::default()
+        });
+        // Saturate tenant 0 far past its quota in one burst.
+        let handles: Vec<_> = (0..32)
+            .map(|_| svc.submit(&PairwiseAlltoall, &g, JobSpec::new(0, 64)))
+            .collect();
+        // Another tenant is not affected by tenant 0's quota.
+        svc.submit(&PairwiseAlltoall, &g, JobSpec::new(1, 64))
+            .wait()
+            .unwrap();
+        let mut denied = 0;
+        for h in handles {
+            match h.wait() {
+                Ok(_) => {}
+                Err(JobError::QuotaExceeded { tenant: 0, .. }) => denied += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(denied > 0, "burst must overrun the quota");
+        assert_eq!(svc.stats().robustness.quota_denied, denied);
+    }
+
+    #[test]
+    fn reject_policy_fails_fast_when_the_queue_is_full() {
+        let g = grid();
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            overload: OverloadPolicy::Reject,
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<_> = (0..64)
+            .map(|i| svc.submit(&PairwiseAlltoall, &g, JobSpec::new(i % 3, 64)))
+            .collect();
+        let (mut ok, mut overloaded) = (0u64, 0u64);
+        for h in handles {
+            match h.wait() {
+                Ok(_) => ok += 1,
+                Err(JobError::ServiceOverloaded { capacity: 2, .. }) => overloaded += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(ok + overloaded, 64, "every handle resolved");
+        assert!(overloaded > 0, "burst must overflow capacity 2");
+        let stats = svc.stats();
+        assert_eq!(stats.robustness.rejected_overload, overloaded);
+        assert_eq!(stats.jobs_ok, ok);
+        assert_eq!(stats.jobs_failed, overloaded);
+    }
+
+    #[test]
+    fn shed_policy_evicts_oldest_and_block_policy_loses_nothing() {
+        let g = grid();
+        for (policy, may_fail) in [
+            (OverloadPolicy::ShedOldest, true),
+            (OverloadPolicy::Block, false),
+        ] {
+            let svc = Service::new(ServiceConfig {
+                workers: 2,
+                queue_capacity: 4,
+                overload: policy,
+                ..ServiceConfig::default()
+            });
+            let handles: Vec<_> = (0..64)
+                .map(|i| svc.submit(&PairwiseAlltoall, &g, JobSpec::new(i % 3, 64)))
+                .collect();
+            let (mut ok, mut shed) = (0u64, 0u64);
+            for h in handles {
+                match h.wait() {
+                    Ok(_) => ok += 1,
+                    Err(JobError::ServiceOverloaded { .. }) if may_fail => shed += 1,
+                    Err(other) => panic!("{policy:?}: unexpected error: {other}"),
+                }
+            }
+            assert_eq!(ok + shed, 64, "{policy:?}: every handle resolved");
+            if policy == OverloadPolicy::Block {
+                assert_eq!(ok, 64, "blocking backpressure loses nothing");
+            }
+            assert_eq!(svc.stats().robustness.shed, shed);
+        }
+    }
+
+    #[test]
+    fn saturation_sheds_batching_and_demotes_parallel_jobs() {
+        let g = grid();
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            overload: OverloadPolicy::Block,
+            ..ServiceConfig::default()
+        });
+        // Keep the single worker busy while the tiny queue saturates.
+        let handles: Vec<_> = (0..32)
+            .map(|i| {
+                let spec = if i % 4 == 3 {
+                    JobSpec::new(0, 64).with_engine(Engine::Parallel { threads: 2 })
+                } else {
+                    JobSpec::new(0, 64)
+                };
+                svc.submit(&PairwiseAlltoall, &g, spec)
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let r = svc.stats().robustness;
+        assert!(
+            r.batch_sheds > 0,
+            "a saturated 4-deep queue must shed batching at least once"
+        );
+        assert!(
+            r.demoted > 0,
+            "parallel submissions under saturation must demote to sequential"
+        );
     }
 
     #[test]
@@ -620,5 +1323,40 @@ mod tests {
         )
         .wait()
         .unwrap();
+    }
+
+    #[test]
+    fn runtime_errors_arrive_typed() {
+        // Satellite: the root cause reaches the JobHandle as a typed
+        // RuntimeError, not a rendered string.
+        let g = grid();
+        let svc = Service::new(ServiceConfig {
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            breaker: slow_cooldown(),
+            ..ServiceConfig::default()
+        });
+        let lossy = Arc::new(FaultPlan::new(11, g.world_size(), FaultSpec::drops(1.0)));
+        let res = svc
+            .submit(
+                &PairwiseAlltoall,
+                &g,
+                JobSpec::new(0, 64)
+                    .with_engine(Engine::Parallel { threads: 2 })
+                    .with_faults(lossy),
+            )
+            .wait();
+        match res {
+            Err(JobError::Runtime(e)) => {
+                assert!(e.is_transient(), "drop exhaustion is transient: {e}");
+                assert!(
+                    matches!(e, RuntimeError::RetriesExhausted { .. }),
+                    "typed root cause, got {e:?}"
+                );
+            }
+            other => panic!("expected typed Runtime error, got {other:?}"),
+        }
     }
 }

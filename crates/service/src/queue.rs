@@ -1,0 +1,232 @@
+//! Bounded admission queue with selectable backpressure.
+//!
+//! The old service queue was an unbounded `VecDeque`: a submission burst
+//! 100x over capacity would be absorbed silently and served minutes
+//! later. [`BoundedQueue`] caps the number of queued-but-unstarted jobs
+//! and makes the overflow behavior an explicit [`OverloadPolicy`]:
+//!
+//! * [`OverloadPolicy::Block`] — lossless backpressure: `push` parks the
+//!   submitting thread until a drainer frees a slot (the default — a
+//!   caller that can tolerate latency never loses work);
+//! * [`OverloadPolicy::Reject`] — fail fast: the *new* job resolves with
+//!   `JobError::ServiceOverloaded`;
+//! * [`OverloadPolicy::ShedOldest`] — favor fresh work: the *oldest*
+//!   queued jobs are evicted (and resolved as overloaded) to make room.
+//!
+//! Queue depth also drives the [`Pressure`] level the service uses for
+//! graceful degradation (shedding opportunistic batching, demoting
+//! parallel jobs) before any work is refused outright.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// What the service does with a new job when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Park the submitter until a slot frees (lossless backpressure).
+    #[default]
+    Block,
+    /// Resolve the new job immediately with `ServiceOverloaded`.
+    Reject,
+    /// Evict the oldest queued job(s) to admit the new one; evicted jobs
+    /// resolve with `ServiceOverloaded`.
+    ShedOldest,
+}
+
+/// Coarse queue-pressure level, derived from depth vs. capacity.
+///
+/// `Nominal` below half, `Elevated` from half, `Saturated` from
+/// three-quarters. Ordered so callers can write `pressure >= Elevated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    Nominal,
+    Elevated,
+    Saturated,
+}
+
+impl Pressure {
+    pub fn from_depth(depth: usize, capacity: usize) -> Pressure {
+        if 4 * depth >= 3 * capacity {
+            Pressure::Saturated
+        } else if 2 * depth >= capacity {
+            Pressure::Elevated
+        } else {
+            Pressure::Nominal
+        }
+    }
+}
+
+impl std::fmt::Display for Pressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pressure::Nominal => write!(f, "nominal"),
+            Pressure::Elevated => write!(f, "elevated"),
+            Pressure::Saturated => write!(f, "saturated"),
+        }
+    }
+}
+
+/// Outcome of [`BoundedQueue::push`].
+pub(crate) enum Admitted<T> {
+    /// The item is queued.
+    Queued,
+    /// The item is queued; these older entries were evicted to make room
+    /// and must be resolved by the caller.
+    Shed(Vec<T>),
+    /// The queue was full under [`OverloadPolicy::Reject`]; the item is
+    /// returned to the caller to fail.
+    Rejected(T),
+}
+
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    /// Signaled whenever entries are removed: wakes blocked pushers.
+    space: Condvar,
+    capacity: usize,
+    policy: OverloadPolicy,
+}
+
+fn lock<'a, T>(m: &'a Mutex<VecDeque<T>>) -> MutexGuard<'a, VecDeque<T>> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize, policy: OverloadPolicy) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn depth(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    pub fn pressure(&self) -> Pressure {
+        Pressure::from_depth(self.depth(), self.capacity)
+    }
+
+    /// Admit one item under the configured policy. Only
+    /// [`OverloadPolicy::Block`] can make this call wait.
+    pub fn push(&self, item: T) -> Admitted<T> {
+        let mut q = lock(&self.inner);
+        match self.policy {
+            OverloadPolicy::Block => {
+                while q.len() >= self.capacity {
+                    q = self
+                        .space
+                        .wait(q)
+                        .unwrap_or_else(|poison| poison.into_inner());
+                }
+                q.push_back(item);
+                Admitted::Queued
+            }
+            OverloadPolicy::Reject => {
+                if q.len() >= self.capacity {
+                    return Admitted::Rejected(item);
+                }
+                q.push_back(item);
+                Admitted::Queued
+            }
+            OverloadPolicy::ShedOldest => {
+                let mut shed = Vec::new();
+                while q.len() >= self.capacity {
+                    match q.pop_front() {
+                        Some(old) => shed.push(old),
+                        None => break,
+                    }
+                }
+                q.push_back(item);
+                if shed.is_empty() {
+                    Admitted::Queued
+                } else {
+                    Admitted::Shed(shed)
+                }
+            }
+        }
+    }
+
+    /// Run `f` with the locked deque (drainers scanning for batches,
+    /// tenant resets removing entries, tests staging exact queue states).
+    /// Blocked pushers are woken afterwards in case `f` freed slots.
+    pub fn with<R>(&self, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
+        let mut q = lock(&self.inner);
+        let out = f(&mut q);
+        drop(q);
+        self.space.notify_all();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn pressure_thresholds() {
+        assert_eq!(Pressure::from_depth(0, 8), Pressure::Nominal);
+        assert_eq!(Pressure::from_depth(3, 8), Pressure::Nominal);
+        assert_eq!(Pressure::from_depth(4, 8), Pressure::Elevated);
+        assert_eq!(Pressure::from_depth(5, 8), Pressure::Elevated);
+        assert_eq!(Pressure::from_depth(6, 8), Pressure::Saturated);
+        assert_eq!(Pressure::from_depth(8, 8), Pressure::Saturated);
+        assert!(Pressure::Saturated > Pressure::Elevated);
+        assert!(Pressure::Elevated > Pressure::Nominal);
+    }
+
+    #[test]
+    fn reject_policy_returns_the_new_item() {
+        let q = BoundedQueue::new(2, OverloadPolicy::Reject);
+        assert!(matches!(q.push(1), Admitted::Queued));
+        assert!(matches!(q.push(2), Admitted::Queued));
+        match q.push(3) {
+            Admitted::Rejected(3) => {}
+            _ => panic!("full queue must reject the newcomer"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shed_policy_evicts_the_oldest() {
+        let q = BoundedQueue::new(2, OverloadPolicy::ShedOldest);
+        q.push(1);
+        q.push(2);
+        match q.push(3) {
+            Admitted::Shed(old) => assert_eq!(old, vec![1]),
+            _ => panic!("expected shed"),
+        }
+        let contents: Vec<i32> = q.with(|d| d.iter().copied().collect());
+        assert_eq!(contents, vec![2, 3], "newest survives, oldest shed");
+    }
+
+    #[test]
+    fn block_policy_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1, OverloadPolicy::Block));
+        q.push(1);
+        let pushed = Arc::new(AtomicBool::new(false));
+        let t = {
+            let q = Arc::clone(&q);
+            let pushed = Arc::clone(&pushed);
+            std::thread::spawn(move || {
+                q.push(2);
+                pushed.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!pushed.load(Ordering::SeqCst), "pusher parked while full");
+        let popped = q.with(|d| d.pop_front());
+        assert_eq!(popped, Some(1));
+        t.join().unwrap();
+        assert!(pushed.load(Ordering::SeqCst));
+        assert_eq!(q.depth(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Seeded retry backoff: bounded attempts, exponential growth,
+//! decorrelated jitter.
+//!
+//! The runtime already retransmits individual lost packets; this policy
+//! is one level up — a whole collective that failed *transiently*
+//! (retransmit budget exhausted, straggler tripping the watchdog) is
+//! re-executed after a backoff, with its fault plan rerolled via
+//! [`a2a_faults::FaultPlan::reroll`] so the retry draws fresh fates.
+//!
+//! The delay is a pure hash of `(seed, tenant, job, attempt)`: jittered
+//! like the classic decorrelated-jitter scheme (uniform over
+//! `[base, min(cap, base·3^(attempt-1))]`) so synchronized failures fan
+//! out instead of retrying in lockstep, yet fully deterministic for a
+//! given seed — the storm harness replays byte-identical schedules.
+
+use std::time::Duration;
+
+/// Service-wide retry policy for transiently-failed jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total execution attempts per job (1 = never retry).
+    pub max_attempts: u32,
+    /// Lower bound of every backoff delay.
+    pub base: Duration,
+    /// Upper bound the exponential growth saturates at.
+    pub cap: Duration,
+    /// Jitter seed; the delay is a pure function of
+    /// `(seed, tenant, job, attempt)`.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(20),
+            seed: 0xB0FF_5EED,
+        }
+    }
+}
+
+/// SplitMix64 finalizer (same construction the fault plans use).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The backoff before execution attempt `attempt` (1 = first retry)
+    /// of job `job` from `tenant`. Deterministic; in
+    /// `[base, min(cap, base·3^(attempt-1))]`.
+    pub fn backoff(&self, tenant: u32, job: u64, attempt: u32) -> Duration {
+        let attempt = attempt.max(1);
+        let cap = self.cap.max(self.base);
+        let mut upper = self.base;
+        for _ in 1..attempt {
+            upper = upper.saturating_mul(3).min(cap);
+            if upper == cap {
+                break;
+            }
+        }
+        let span = upper.saturating_sub(self.base).as_nanos() as u64;
+        if span == 0 {
+            return self.base;
+        }
+        let h = mix(mix(self.seed ^ (((tenant as u64) << 32) | attempt as u64)) ^ job);
+        self.base + Duration::from_nanos(h % (span + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..6 {
+            for job in 0..50u64 {
+                let a = p.backoff(3, job, attempt);
+                let b = p.backoff(3, job, attempt);
+                assert_eq!(a, b, "same coordinates, same delay");
+                assert!(a >= p.base, "attempt {attempt} job {job}: {a:?}");
+                assert!(a <= p.cap, "attempt {attempt} job {job}: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_jobs() {
+        let p = RetryPolicy::default();
+        let delays: Vec<Duration> = (0..16).map(|job| p.backoff(0, job, 2)).collect();
+        let mut uniq = delays.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 8, "jobs spread out: {delays:?}");
+    }
+
+    #[test]
+    fn exponential_ceiling_grows_then_saturates() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(9),
+            seed: 7,
+        };
+        // Attempt 1 is always exactly base (span 0).
+        assert_eq!(p.backoff(0, 0, 1), p.base);
+        // Later attempts can exceed the earlier ceiling but never the cap.
+        let worst = |attempt| (0..200u64).map(|j| p.backoff(0, j, attempt)).max().unwrap();
+        assert!(worst(2) <= Duration::from_millis(3));
+        assert!(worst(3) <= Duration::from_millis(9));
+        assert!(worst(6) <= Duration::from_millis(9), "saturates at cap");
+    }
+}

@@ -1,0 +1,260 @@
+//! A service-level timer wheel: one thread, a min-heap of deadlines.
+//!
+//! Two robustness features need "run this closure at time T":
+//!
+//! * **job deadlines** — at admission the service schedules a watcher
+//!   that, if the job is still unresolved at its deadline, fires its
+//!   [`a2a_runtime::CancelToken`] (tearing down a running parallel world
+//!   through the fabric's abort latch) and resolves the handle with
+//!   `JobError::DeadlineExceeded`;
+//! * **retry backoff** — a transiently-failed job parks here for its
+//!   jittered backoff delay before re-entering the execution queue.
+//!
+//! One dedicated `svc-timer` thread owns a [`std::collections::BinaryHeap`]
+//! keyed by `(Instant, seq)` (seq breaks ties FIFO) and sleeps exactly
+//! until the earliest entry is due. Closures run on the timer thread, so
+//! they must stay short — the service's closures only flip latches, move
+//! queue entries, and spawn pool tasks.
+//!
+//! Dropping the wheel joins the thread; entries still pending are
+//! discarded unfired. The service guarantees that is safe by quiescing
+//! (every job resolved) before the wheel is dropped, at which point the
+//! only pending entries are deadline watchers for already-resolved jobs —
+//! no-ops by construction.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+type Action = Box<dyn FnOnce() + Send + 'static>;
+
+struct Entry {
+    at: Instant,
+    seq: u64,
+    action: Action,
+}
+
+// Min-heap on (at, seq): BinaryHeap is a max-heap, so compare reversed.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct WheelState {
+    entries: BinaryHeap<Entry>,
+    next_seq: u64,
+    fired: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<WheelState>,
+    changed: Condvar,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, WheelState> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Cloneable scheduling handle; see [`TimerWheel`].
+#[derive(Clone)]
+pub(crate) struct WheelHandle {
+    shared: Arc<Shared>,
+}
+
+impl WheelHandle {
+    /// Run `action` on the timer thread after `delay`.
+    pub fn schedule(&self, delay: Duration, action: impl FnOnce() + Send + 'static) {
+        let mut s = lock(&self.shared);
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.entries.push(Entry {
+            at: Instant::now() + delay,
+            seq,
+            action: Box::new(action),
+        });
+        drop(s);
+        self.shared.changed.notify_all();
+    }
+
+    /// Entries scheduled but not yet fired.
+    pub fn pending(&self) -> usize {
+        lock(&self.shared).entries.len()
+    }
+
+    /// Entries fired so far.
+    #[cfg(test)]
+    pub fn fired(&self) -> u64 {
+        lock(&self.shared).fired
+    }
+}
+
+/// Owns the timer thread; dropped last by the service (after quiescing).
+pub(crate) struct TimerWheel {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TimerWheel {
+    pub fn new() -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(WheelState::default()),
+            changed: Condvar::new(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("svc-timer".into())
+                .spawn(move || timer_loop(&shared))
+                .expect("spawn timer thread")
+        };
+        TimerWheel {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    pub fn handle(&self) -> WheelHandle {
+        WheelHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for TimerWheel {
+    fn drop(&mut self) {
+        lock(&self.shared).shutdown = true;
+        self.shared.changed.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn timer_loop(shared: &Shared) {
+    loop {
+        let action = {
+            let mut s = lock(shared);
+            loop {
+                if s.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                match s.entries.peek() {
+                    None => {
+                        s = shared
+                            .changed
+                            .wait(s)
+                            .unwrap_or_else(|poison| poison.into_inner());
+                    }
+                    Some(e) if e.at <= now => {
+                        let e = s.entries.pop().expect("peeked entry");
+                        s.fired += 1;
+                        break e.action;
+                    }
+                    Some(e) => {
+                        let wait = e.at - now;
+                        s = shared
+                            .changed
+                            .wait_timeout(s, wait)
+                            .unwrap_or_else(|poison| poison.into_inner())
+                            .0;
+                    }
+                }
+            }
+        };
+        // Run outside the lock: actions may schedule further entries.
+        action();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let wheel = TimerWheel::new();
+        let h = wheel.handle();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (delay_ms, tag) in [(30u64, 3), (10, 1), (20, 2)] {
+            let log = Arc::clone(&log);
+            h.schedule(Duration::from_millis(delay_ms), move || {
+                log.lock().unwrap().push(tag);
+            });
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
+        assert_eq!(h.pending(), 0);
+        assert_eq!(h.fired(), 3);
+    }
+
+    #[test]
+    fn equal_deadlines_fire_fifo() {
+        let wheel = TimerWheel::new();
+        let h = wheel.handle();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let at = Duration::from_millis(10);
+        for tag in 0..8 {
+            let log = Arc::clone(&log);
+            h.schedule(at, move || log.lock().unwrap().push(tag));
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(*log.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn actions_can_rearm() {
+        let wheel = TimerWheel::new();
+        let h = wheel.handle();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let h2 = h.clone();
+        h.schedule(Duration::from_millis(5), move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            let c2 = Arc::clone(&c);
+            h2.schedule(Duration::from_millis(5), move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drop_discards_unfired_entries() {
+        let fired = Arc::new(AtomicU64::new(0));
+        {
+            let wheel = TimerWheel::new();
+            let f = Arc::clone(&fired);
+            wheel.handle().schedule(Duration::from_secs(60), move || {
+                f.fetch_add(1, Ordering::SeqCst);
+            });
+            // Drop immediately: the far-future entry must not block the
+            // join or fire.
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+    }
+}

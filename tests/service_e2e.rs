@@ -11,7 +11,7 @@ use alltoall_suite::algos::{
 };
 use alltoall_suite::faults::{FaultPlan, FaultSpec};
 use alltoall_suite::sched::{fill_alltoall_sbuf, DataExecutor};
-use alltoall_suite::service::{JobError, JobSpec, Service, ServiceConfig};
+use alltoall_suite::service::{BreakerConfig, JobError, JobSpec, Service, ServiceConfig};
 use alltoall_suite::topo::{Machine, ProcGrid};
 
 fn grid() -> ProcGrid {
@@ -32,13 +32,23 @@ fn roster() -> Vec<Box<dyn AlltoallAlgorithm>> {
 }
 
 /// One chaos drill: tenant A's fault fails only A's jobs; tenant B's
-/// concurrent jobs all complete; A recovers after an explicit reset.
+/// concurrent jobs all complete. A *permanent* fault (dead rank) opens
+/// A's circuit breaker — follow-ups fail fast with the root cause until
+/// an explicit reset. A *transient* fault (message drops) is retried to
+/// exhaustion and, as a lone failure below the breaker's sample floor,
+/// leaves A open for business.
 fn tenant_isolation_drill(workers: usize, spec: FaultSpec, expect_dead: bool) {
     const A: u32 = 1;
     const B: u32 = 2;
     let g = grid();
     let svc = Service::new(ServiceConfig {
         workers,
+        // A cooldown no test can outlive: breaker denials below must not
+        // turn into half-open probes on a slow CI machine.
+        breaker: BreakerConfig {
+            cooldown: std::time::Duration::from_secs(600),
+            ..BreakerConfig::default()
+        },
         ..Default::default()
     });
     let plan = Arc::new(FaultPlan::new(7, g.world_size(), spec));
@@ -78,37 +88,70 @@ fn tenant_isolation_drill(workers: usize, spec: FaultSpec, expect_dead: bool) {
             .unwrap_or_else(|e| panic!("workers={workers}: tenant B job failed: {e}"));
     }
 
-    // A is latched: later jobs fail fast carrying the root cause.
-    for _ in 0..3 {
-        match svc
-            .submit(&PairwiseAlltoall, &g, JobSpec::new(A, 64))
-            .wait()
-        {
-            Err(JobError::TenantAborted { tenant, first }) => {
-                assert_eq!(tenant, A);
-                assert_eq!(
-                    matches!(*first, JobError::DeadRank { .. }),
-                    expect_dead,
-                    "workers={workers}: latched cause {first:?}"
-                );
+    if expect_dead {
+        // Permanent failure: A's breaker is open — later jobs fail fast
+        // carrying the root cause.
+        for _ in 0..3 {
+            match svc
+                .submit(&PairwiseAlltoall, &g, JobSpec::new(A, 64))
+                .wait()
+            {
+                Err(JobError::TenantAborted { tenant, first }) => {
+                    assert_eq!(tenant, A);
+                    assert!(
+                        matches!(*first, JobError::DeadRank { .. }),
+                        "workers={workers}: latched cause {first:?}"
+                    );
+                }
+                other => panic!("workers={workers}: expected TenantAborted, got {other:?}"),
             }
-            other => panic!("workers={workers}: expected TenantAborted, got {other:?}"),
         }
+        // B keeps working, and A recovers once its breaker is reset.
+        svc.submit(&PairwiseAlltoall, &g, JobSpec::new(B, 64))
+            .wait()
+            .unwrap();
+        svc.reset_tenant(A);
+        svc.submit(&PairwiseAlltoall, &g, JobSpec::new(A, 64))
+            .wait()
+            .unwrap();
+        let stats = svc.stats();
+        assert_eq!(
+            stats.jobs_failed, 4,
+            "workers={workers}: 1 faulted + 3 breaker-denied"
+        );
+        assert_eq!(stats.jobs_ok, 22, "workers={workers}");
+        assert_eq!(stats.robustness.breaker_denied, 3, "workers={workers}");
+        assert_eq!(
+            stats.robustness.retries, 0,
+            "workers={workers}: permanent, never retried"
+        );
+    } else {
+        // Transient failure: the poisoned job was retried to exhaustion
+        // (each reroll of a p=1.0 drop plan fails again), and its single
+        // final failure sits below the breaker's sample floor — A stays
+        // open for business with no reset.
+        for _ in 0..3 {
+            svc.submit(&PairwiseAlltoall, &g, JobSpec::new(A, 64))
+                .wait()
+                .unwrap_or_else(|e| {
+                    panic!("workers={workers}: transient fault must not latch A: {e}")
+                });
+        }
+        svc.submit(&PairwiseAlltoall, &g, JobSpec::new(B, 64))
+            .wait()
+            .unwrap();
+        let stats = svc.stats();
+        assert_eq!(
+            stats.jobs_failed, 1,
+            "workers={workers}: only the faulted job"
+        );
+        assert_eq!(stats.jobs_ok, 24, "workers={workers}");
+        assert_eq!(
+            stats.robustness.retries, 2,
+            "workers={workers}: 3 attempts = 2 scheduled retries"
+        );
+        assert_eq!(stats.robustness.breaker_denied, 0, "workers={workers}");
     }
-    // B keeps working, and A recovers once its gate is reset.
-    svc.submit(&PairwiseAlltoall, &g, JobSpec::new(B, 64))
-        .wait()
-        .unwrap();
-    svc.reset_tenant(A);
-    svc.submit(&PairwiseAlltoall, &g, JobSpec::new(A, 64))
-        .wait()
-        .unwrap();
-    let stats = svc.stats();
-    assert_eq!(
-        stats.jobs_failed, 4,
-        "workers={workers}: 1 faulted + 3 latched"
-    );
-    assert_eq!(stats.jobs_ok, 22, "workers={workers}");
 }
 
 #[test]
