@@ -40,7 +40,7 @@ fn bench_fig10_kernel(c: &mut Criterion) {
     for (name, algo) in &algos {
         for s in [4u64, 4096] {
             g.bench_with_input(BenchmarkId::new(*name, s), &s, |b, &s| {
-                b.iter(|| black_box(run_min(algo.as_ref(), &grid, &model, s, 1, 1).total_us));
+                b.iter(|| black_box(run_min(algo.as_ref(), &grid, &model, s, 1, 1, 1).total_us));
             });
         }
     }

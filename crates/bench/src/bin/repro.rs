@@ -9,6 +9,8 @@
 //!
 //! repro lint --all              # static analysis over the whole roster
 //! repro lint --all --deny warnings   # CI gate: any finding fails
+//! repro verify --all --deny warnings # lint + semantics prover + static
+//!                                    # LogGP bound vs DES cross-check
 //!
 //! repro serve --jobs 2000       # long-running collective service demo
 //! repro bench7 --workers 4      # sustained service throughput, warm vs cold
@@ -110,10 +112,11 @@ fn main() -> ExitCode {
             "--window" => lint_window = value("--window").parse().expect("--window: integer"),
             "--jobs" => serve_jobs = value("--jobs").parse().expect("--jobs: integer"),
             "--tenants" => tenants = value("--tenants").parse().expect("--tenants: integer"),
-            // `lint` sweeps every preset already; `--all` is accepted for
-            // symmetry with `repro all` and in CI invocations.
+            // `lint`/`verify` sweep every preset already; `--all` is
+            // accepted for symmetry with `repro all` and in CI invocations.
             "--all" => {}
             "lint" => figures.push("lint".into()),
+            "verify" => figures.push("verify".into()),
             "all" => figures.extend(known_figures().iter().map(|s| s.to_string())),
             "table1" => want_table1 = true,
             "tune" => figures.push("tune".into()),
@@ -126,7 +129,7 @@ fn main() -> ExitCode {
             "serve" => figures.push("serve".into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|tune|chaos|bench4|bench6|bench7|bench8|storm|serve|lint|fig7..fig18|headline|ablation-*]... [options]"
+                    "usage: repro [all|table1|tune|chaos|bench4|bench6|bench7|bench8|storm|serve|lint|verify|fig7..fig18|headline|ablation-*]... [options]"
                 );
                 println!("figures: {:?}", known_figures());
                 println!(
@@ -179,6 +182,54 @@ fn main() -> ExitCode {
             .expect("write lint.json");
             println!("  [lint done in {:.1?}]", start.elapsed());
             if sweep.errors() > 0 || (deny_warnings && sweep.warnings() > 0) {
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
+        if name == "verify" {
+            // Like `lint`, the sweep builds (and here also simulates)
+            // every cell, so it defaults to a small grid.
+            let nodes = if nodes_set { cfg.nodes } else { 2 };
+            let lcfg = a2a_lint::LintConfig {
+                send_window: lint_window,
+                ..Default::default()
+            };
+            let report = a2a_bench::verify_roster(nodes, cfg.seed, &lcfg);
+            println!("\n{}", report.table());
+            for finding in &report.findings {
+                eprint!("{finding}");
+            }
+            for c in report.bound_violations() {
+                eprintln!(
+                    "BOUND VIOLATION: {} {} block={}: static {:.3} us > DES {:.3} us",
+                    c.machine, c.algo, c.bytes, c.static_us, c.des_us
+                );
+            }
+            for c in report.loose_cells() {
+                eprintln!(
+                    "LOOSE BOUND: {} {} block={}: DES/static {:.2}x exceeds factor {}",
+                    c.machine, c.algo, c.bytes, c.ratio, report.bound_factor
+                );
+            }
+            for m in report.mutation_failures() {
+                eprintln!(
+                    "MUTATION MISS: {} on {} (seed {}): expected {}, safety_clean={}, got {:?}",
+                    m.mutation, m.base, m.seed, m.expected, m.safety_clean, m.codes
+                );
+            }
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            std::fs::write(
+                out_dir.join("verify.json"),
+                serde_json::to_string_pretty(&report).expect("serialize"),
+            )
+            .expect("write verify.json");
+            println!("  [verify done in {:.1?}]", start.elapsed());
+            if report.errors() > 0
+                || (deny_warnings && report.warnings() > 0)
+                || !report.bound_violations().is_empty()
+                || !report.loose_cells().is_empty()
+                || !report.mutation_failures().is_empty()
+            {
                 return ExitCode::FAILURE;
             }
             continue;

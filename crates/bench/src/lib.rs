@@ -24,6 +24,7 @@ pub mod simrate;
 pub mod storm;
 pub mod throughput;
 pub mod tune;
+pub mod verify_sweep;
 
 pub use chaos::{chaos, ChaosPoint, ChaosResult};
 pub use figures::{figure_by_name, known_figures};
@@ -42,3 +43,6 @@ pub use storm::{
 };
 pub use throughput::{bench4, Bench4Cell, Bench4Report, REGRESSION_FLOOR};
 pub use tune::{tune, TuneResult};
+pub use verify_sweep::{
+    verify_roster, MutationCheck, VerifyCell, VerifyReport, STATIC_BOUND_FACTOR,
+};

@@ -132,8 +132,9 @@ fn lint_grids(nodes: usize) -> Vec<(String, ProcGrid)> {
     grids
 }
 
-/// The v-variant roster: every alltoallv algorithm.
-fn v_roster() -> Vec<Box<dyn AlltoallvAlgorithm>> {
+/// The v-variant roster: every alltoallv algorithm (shared with the
+/// `repro verify` sweep).
+pub(crate) fn v_roster() -> Vec<Box<dyn AlltoallvAlgorithm>> {
     vec![
         Box::new(PairwiseAlltoallv),
         Box::new(NonblockingAlltoallv),

@@ -28,10 +28,22 @@ pub enum Code {
     /// A send or copy reads from the destination region of a pending
     /// receive: the bytes read depend on message arrival timing.
     UnstableRead,
+    /// A destination interval is written, but with bytes from the wrong
+    /// source rank or offset: the schedule computes the wrong collective.
+    WrongSource,
+    /// A destination interval the collective's semantics require is never
+    /// written (or holds symbolically undefined bytes at the end).
+    MissingByte,
+    /// Correct destination bytes are overwritten with different provenance
+    /// before the schedule ends.
+    ClobberedByte,
+    /// A message or copy moves bytes that no declared output transitively
+    /// depends on: wasted bandwidth.
+    RedundantTransfer,
 }
 
 impl Code {
-    pub const ALL: [Code; 7] = [
+    pub const ALL: [Code; 11] = [
         Code::Malformed,
         Code::Deadlock,
         Code::UnstableSend,
@@ -39,6 +51,10 @@ impl Code {
         Code::ChannelOrder,
         Code::SendWindow,
         Code::UnstableRead,
+        Code::WrongSource,
+        Code::MissingByte,
+        Code::ClobberedByte,
+        Code::RedundantTransfer,
     ];
 
     /// The stable code string, e.g. `"A2A001"`.
@@ -51,6 +67,10 @@ impl Code {
             Code::ChannelOrder => "A2A004",
             Code::SendWindow => "A2A005",
             Code::UnstableRead => "A2A006",
+            Code::WrongSource => "A2A007",
+            Code::MissingByte => "A2A008",
+            Code::ClobberedByte => "A2A009",
+            Code::RedundantTransfer => "A2A010",
         }
     }
 
@@ -64,6 +84,10 @@ impl Code {
             Code::ChannelOrder => "concurrent messages on one channel (FIFO-order dependent)",
             Code::SendWindow => "pending sends to one destination exceed the window",
             Code::UnstableRead => "read overlaps a pending receive destination",
+            Code::WrongSource => "destination bytes come from the wrong source",
+            Code::MissingByte => "required destination bytes are never written",
+            Code::ClobberedByte => "correct destination bytes are overwritten",
+            Code::RedundantTransfer => "transfer moves bytes no output depends on",
         }
     }
 
@@ -73,8 +97,11 @@ impl Code {
             | Code::Deadlock
             | Code::UnstableSend
             | Code::RecvRace
-            | Code::UnstableRead => Severity::Error,
-            Code::ChannelOrder | Code::SendWindow => Severity::Warning,
+            | Code::UnstableRead
+            | Code::WrongSource
+            | Code::MissingByte
+            | Code::ClobberedByte => Severity::Error,
+            Code::ChannelOrder | Code::SendWindow | Code::RedundantTransfer => Severity::Warning,
         }
     }
 }
@@ -184,6 +211,24 @@ impl LintReport {
     /// Whether any finding carries `code`.
     pub fn has(&self, code: Code) -> bool {
         self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Canonicalize the finding stream: sort by `(code, rank, op, message)`
+    /// — rank/op-less findings first within a code — and drop exact
+    /// duplicates. Passes that overlap (e.g. the safety lints and the
+    /// semantics prover both flagging one op) then produce one byte-stable
+    /// stream regardless of the order they ran in, so `--deny warnings`
+    /// verdicts and JSON output are deterministic.
+    pub fn sort_dedup(&mut self) {
+        self.diags.sort_by(|a, b| {
+            a.code
+                .cmp(&b.code)
+                .then(a.rank.cmp(&b.rank))
+                .then(a.op.cmp(&b.op))
+                .then(a.message.cmp(&b.message))
+                .then(a.notes.cmp(&b.notes))
+        });
+        self.diags.dedup();
     }
 
     /// Keep at most `max` findings per code (a repetitive pattern fires the
@@ -326,8 +371,40 @@ mod tests {
         let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(
             strs,
-            ["A2A000", "A2A001", "A2A002", "A2A003", "A2A004", "A2A005", "A2A006"]
+            [
+                "A2A000", "A2A001", "A2A002", "A2A003", "A2A004", "A2A005", "A2A006", "A2A007",
+                "A2A008", "A2A009", "A2A010"
+            ]
         );
+    }
+
+    #[test]
+    fn sort_dedup_is_canonical_and_order_independent() {
+        let mk = |order: &[usize]| {
+            let mut r = LintReport::new("t");
+            let all = [
+                Diagnostic::new(Code::WrongSource, "b".into()).at(1, 3),
+                Diagnostic::new(Code::WrongSource, "a".into()).at(1, 3),
+                Diagnostic::new(Code::Deadlock, "cycle".into()),
+                Diagnostic::new(Code::WrongSource, "b".into()).at(1, 3), // dup
+                Diagnostic::new(Code::RedundantTransfer, "w".into()).at(0, 1),
+            ];
+            for &i in order {
+                r.push(all[i].clone());
+            }
+            r.sort_dedup();
+            r
+        };
+        let a = mk(&[0, 1, 2, 3, 4]);
+        let b = mk(&[4, 3, 2, 1, 0]);
+        assert_eq!(a.diags, b.diags);
+        assert_eq!(a.diags.len(), 4); // dup dropped
+        assert_eq!(a.render_json(), b.render_json());
+        // Sorted by code first, then location, then message.
+        assert_eq!(a.diags[0].code, Code::Deadlock);
+        assert_eq!(a.diags[1].message, "a");
+        assert_eq!(a.diags[2].message, "b");
+        assert_eq!(a.diags[3].code, Code::RedundantTransfer);
     }
 
     #[test]

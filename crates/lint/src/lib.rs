@@ -12,6 +12,16 @@
 //! | A2A004 | concurrent same-channel messages (FIFO-order)    | warning  |
 //! | A2A005 | per-destination send window exceeded             | warning  |
 //! | A2A006 | read overlaps a pending receive destination      | error    |
+//! | A2A007 | destination bytes come from the wrong source     | error    |
+//! | A2A008 | required destination bytes are never written     | error    |
+//! | A2A009 | correct destination bytes are overwritten        | error    |
+//! | A2A010 | transfer moves bytes no output depends on        | warning  |
+//!
+//! A2A007–A2A010 come from the *semantics prover* ([`prove_pass`]): where
+//! the safety passes prove a schedule cannot deadlock or race, the prover
+//! symbolically executes it and checks that the bytes that arrive are the
+//! bytes the collective's contract demands. [`analyze_schedule`] runs both
+//! and merges the findings into one deterministically ordered stream.
 //!
 //! A2A002 is the invariant the zero-copy executor's deferred-delivery fast
 //! path depends on: a posted send's source bytes must stay untouched until
@@ -47,6 +57,8 @@
 
 pub mod diag;
 pub mod passes;
+pub mod prove;
 
 pub use diag::{Code, Diagnostic, LintReport, Severity};
 pub use passes::{lint_schedule, LintConfig};
+pub use prove::{analyze_schedule, issue_code, prove_pass};

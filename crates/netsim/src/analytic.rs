@@ -8,10 +8,34 @@
 //! must always report at least this value (a property test enforces it),
 //! and for bandwidth-bound direct exchanges it lands within a small factor.
 
+use a2a_sched::analysis::critpath::CritParams;
 use a2a_sched::ScheduleStats;
 use a2a_topo::{Level, ProcGrid};
 
 use crate::model::CostModel;
+
+/// Critical-path cost parameters derived from a full cost model: exactly
+/// the charges the simulator always pays (posting overheads, copy cost,
+/// per-level wire time) and none of its additive extras (matching, queue
+/// search, NIC/memory-bus serialization, rendezvous handshakes). At zero
+/// jitter, `a2a_sched::analysis::critical_path` run with these parameters
+/// is therefore a guaranteed lower bound on [`crate::simulate`]'s
+/// makespan — the invariant `repro verify` cross-checks on every roster
+/// cell.
+pub fn crit_params(model: &CostModel) -> CritParams {
+    CritParams {
+        o_send: model.o_send,
+        o_recv: model.o_recv,
+        copy_base: model.copy_base,
+        copy_per_byte: model.copy_per_byte,
+        levels: [
+            (model.levels[0].alpha, model.levels[0].beta),
+            (model.levels[1].alpha, model.levels[1].beta),
+            (model.levels[2].alpha, model.levels[2].beta),
+            (model.levels[3].alpha, model.levels[3].beta),
+        ],
+    }
+}
 
 /// Machine-model lower bound on a schedule's completion time (µs).
 pub fn lower_bound_from_stats(stats: &ScheduleStats, grid: &ProcGrid, model: &CostModel) -> f64 {
@@ -243,6 +267,30 @@ mod tests {
                 (0.1..10.0).contains(&ratio),
                 "ppl={ppl}: sim {sim} vs pred {pred}"
             );
+        }
+    }
+
+    #[test]
+    fn static_critical_path_lower_bounds_the_simulator() {
+        use a2a_sched::analysis::critical_path;
+        let grid = grid();
+        let model = models::dane();
+        let params = crit_params(&model);
+        for s in [16u64, 1024, 65536] {
+            let algo = a2a_core::PairwiseAlltoall;
+            let sched = AlgoSchedule::new(&algo, A2AContext::new(grid.clone(), s));
+            let stat = critical_path(&sched, &grid, &params, 1);
+            let sim = simulate(&sched, &grid, &model, &SimOptions::default())
+                .unwrap()
+                .total_us;
+            assert!(
+                stat.bound_us <= sim + 1e-9,
+                "s={s}: static {} exceeds DES {sim}",
+                stat.bound_us
+            );
+            assert!(stat.bound_us > 0.0);
+            let attr = stat.attribution;
+            assert!((attr.total_us() - stat.bound_us).abs() < 1e-6 * stat.bound_us.max(1.0));
         }
     }
 

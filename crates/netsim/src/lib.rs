@@ -49,6 +49,7 @@ pub mod models;
 pub mod report;
 mod shard;
 
+pub use analytic::crit_params;
 pub use engine::{
     simulate, simulate_perturbed, simulate_sharded, simulate_sharded_perturbed,
     simulate_sharded_stats, Perturb, ShardOptions, ShardStats, SimError, SimOptions,

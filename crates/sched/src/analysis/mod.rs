@@ -8,14 +8,27 @@
 //!   of the stable-send (zero-copy) and receive-race analyses;
 //! * [`waitgraph`] — the cross-rank wait-for graph over `WaitAll` ops,
 //!   whose acyclicity proves deadlock-freedom under eager or rendezvous
-//!   send semantics.
+//!   send semantics;
+//! * [`provenance`] — the semantic dataflow prover: symbolic byte-interval
+//!   provenance propagated through every op and checked against a
+//!   collective's declared semantics ([`provenance::SemanticsSpec`]);
+//! * [`critpath`] — the static LogGP critical-path analyzer: a longest-path
+//!   lower bound on makespan with intra-/inter-node/software attribution.
 //!
 //! The `a2a-lint` crate drives these into a diagnostics report with stable
 //! lint codes; they live here so the IR crate owns every schedule-shaped
 //! data structure.
 
+pub mod critpath;
 pub mod intervals;
+pub mod provenance;
 pub mod waitgraph;
 
+pub use critpath::{
+    critical_path, CritAttribution, CritChain, CritHop, CritParams, CritReport, CHAIN_DISPLAY_HOPS,
+};
 pub use intervals::{overlaps, InFlight, PendingOp};
+pub use provenance::{
+    prove_schedule, ExpectSeg, ProveFinding, ProveIssue, ProveReport, SemanticsSpec,
+};
 pub use waitgraph::{build_wait_graph, find_cycle, Blocker, SendMode, WaitForGraph, WaitNode};

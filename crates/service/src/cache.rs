@@ -11,9 +11,11 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use a2a_core::{A2AContext, AlgoSchedule, AlltoallAlgorithm};
-use a2a_lint::{lint_schedule, LintConfig};
+use a2a_lint::{lint_schedule, prove_pass, LintConfig};
+use a2a_sched::analysis::provenance::SemanticsSpec;
 use a2a_sched::{validate, PreparedSchedule, ScheduleStats};
 use a2a_topo::ProcGrid;
 
@@ -73,6 +75,9 @@ pub enum CompileError {
     /// The static analyzer found errors (warnings are recorded on the
     /// cached entry, not rejected).
     Lint { errors: usize, rendered: String },
+    /// The semantics prover found errors (`A2A007`–`A2A009`): the schedule
+    /// is safe to run but computes the wrong collective. Never cached.
+    Prove { errors: usize, rendered: String },
 }
 
 impl std::fmt::Display for CompileError {
@@ -81,6 +86,9 @@ impl std::fmt::Display for CompileError {
             CompileError::Validation(e) => write!(f, "validation failed: {e}"),
             CompileError::Lint { errors, rendered } => {
                 write!(f, "lint found {errors} error(s):\n{rendered}")
+            }
+            CompileError::Prove { errors, rendered } => {
+                write!(f, "semantics prover found {errors} error(s):\n{rendered}")
             }
         }
     }
@@ -96,10 +104,17 @@ pub struct CachedSchedule {
     pub stats: ScheduleStats,
     /// Lint warnings found at admission (errors reject the schedule).
     pub lint_warnings: usize,
+    /// Semantics-prover warnings (`A2A010`) found at admission.
+    pub prove_warnings: usize,
+    /// Wall time the semantics prover spent on this schedule (ns).
+    pub prove_ns: u64,
 }
 
-/// Compile + validate + lint one uniform all-to-all — the full cold-miss
-/// admission pipeline, run exactly once per cache key.
+/// Compile + validate + lint + prove one uniform all-to-all — the full
+/// cold-miss admission pipeline, run exactly once per cache key. A
+/// schedule the prover rejects (wrong-source, missing, or clobbered bytes)
+/// returns `Err` and is therefore never cached: a poisoned entry cannot be
+/// served to later submissions.
 pub fn compile_alltoall(
     algo: &dyn AlltoallAlgorithm,
     grid: &ProcGrid,
@@ -117,6 +132,17 @@ pub fn compile_alltoall(
         });
     }
     let lint_warnings = report.warnings();
+    let spec = SemanticsSpec::alltoall(grid.world_size(), block_bytes);
+    let t0 = Instant::now();
+    let proof = prove_pass(key.to_string(), &sched, &spec);
+    let prove_ns = t0.elapsed().as_nanos() as u64;
+    if proof.errors() > 0 {
+        return Err(CompileError::Prove {
+            errors: proof.errors(),
+            rendered: proof.render_text(),
+        });
+    }
+    let prove_warnings = proof.warnings();
     // Programs were generator-built (owned Cows), so this moves them:
     // the prepare path performs no clone.
     let prep = PreparedSchedule::new_owned(&sched);
@@ -125,6 +151,8 @@ pub fn compile_alltoall(
         prep,
         stats,
         lint_warnings,
+        prove_warnings,
+        prove_ns,
     })
 }
 
@@ -137,6 +165,8 @@ pub struct CacheStats {
     /// Cold-miss compiles actually performed (equals `misses` except when
     /// concurrent misses race on one key, or capacity is 0).
     pub compiled: u64,
+    /// Total wall time the semantics prover spent across all compiles (ns).
+    pub prove_ns: u64,
 }
 
 struct Entry {
@@ -214,6 +244,7 @@ impl ScheduleCache {
         let compiled = Arc::new(compile()?);
         let mut inner = self.lock();
         inner.stats.compiled += 1;
+        inner.stats.prove_ns += compiled.prove_ns;
         if self.capacity == 0 {
             return Ok(compiled);
         }
@@ -356,6 +387,71 @@ mod tests {
         );
         assert!(stats.evictions > 0, "capacity 1 over 3 keys must evict");
         assert_eq!(cache.len(), 1);
+    }
+
+    /// Pairwise's schedule with rank 0's send offsets zeroed: every peer
+    /// receives rank 0's block 0 instead of its own block. Passes
+    /// validation and every safety lint — only the prover can reject it.
+    struct PoisonedPairwise;
+
+    impl AlltoallAlgorithm for PoisonedPairwise {
+        fn name(&self) -> String {
+            "poisoned-pairwise".into()
+        }
+        fn phase_names(&self) -> Vec<&'static str> {
+            PairwiseAlltoall.phase_names()
+        }
+        fn buffers(&self, ctx: &A2AContext, rank: u32) -> Vec<u64> {
+            PairwiseAlltoall.buffers(ctx, rank)
+        }
+        fn build_rank(&self, ctx: &A2AContext, rank: u32) -> a2a_sched::RankProgram {
+            let mut p = PairwiseAlltoall.build_rank(ctx, rank);
+            if rank == 0 {
+                for t in &mut p.ops {
+                    if let a2a_sched::Op::Isend { block, .. } = &mut t.op {
+                        block.off = 0;
+                    }
+                }
+            }
+            p
+        }
+    }
+
+    #[test]
+    fn poisoned_schedule_is_rejected_and_never_cached() {
+        let cache = ScheduleCache::new(4);
+        let key = CacheKey::alltoall(&PoisonedPairwise, &grid(), 64, 32);
+        for _ in 0..2 {
+            let res = cache.get_or_compile(&key, || {
+                compile_alltoall(&PoisonedPairwise, &grid(), 64, &LintConfig::default())
+            });
+            match res {
+                Err(CompileError::Prove { errors, rendered }) => {
+                    assert!(errors > 0);
+                    assert!(rendered.contains("A2A007"), "{rendered}");
+                }
+                Err(other) => panic!("expected prover rejection, got {other}"),
+                Ok(_) => panic!("poisoned schedule was admitted"),
+            }
+        }
+        assert!(cache.is_empty(), "poisoned entries are never cached");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "every retry re-misses: nothing admitted");
+        assert_eq!(stats.compiled, 0);
+        assert_eq!(stats.prove_ns, 0);
+    }
+
+    #[test]
+    fn prove_time_is_accounted_in_stats() {
+        let cache = ScheduleCache::new(4);
+        let key = CacheKey::alltoall(&PairwiseAlltoall, &grid(), 64, 32);
+        let s = cache.get_or_compile(&key, || Ok(compile(64))).unwrap();
+        assert!(s.prove_ns > 0, "prover wall time recorded on the entry");
+        assert_eq!(s.prove_warnings, 0);
+        assert_eq!(cache.stats().prove_ns, s.prove_ns);
+        // A hit serves the cached proof: no new prove time accrues.
+        cache.get_or_compile(&key, || Ok(compile(64))).unwrap();
+        assert_eq!(cache.stats().prove_ns, s.prove_ns);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!
 //! [`expected_code`]: Mutation::expected_code
 
-use a2a_sched::{Block, Bytes, Op, RankProgram, TimedOp, RBUF, SBUF};
+use a2a_sched::{Block, Bytes, Op, Phase, RankProgram, TimedOp, RBUF, SBUF};
 use a2a_topo::Rank;
 
 use crate::fixture::FixedSchedule;
@@ -48,10 +48,23 @@ pub enum Mutation {
     SplitMessageSameTag,
     /// Insert a `Copy` that reads from a pending receive's destination.
     ReadPendingRecv,
+    /// Swap the source blocks of two same-length sends: every byte still
+    /// arrives somewhere, but from the wrong offset. Invisible to every
+    /// safety pass; only the semantics prover (A2A007) sees it.
+    SwapSendSource,
+    /// Delete a `Copy`: the destination interval it fed is never written
+    /// (or forwards undefined bytes). Valid and safety-clean (A2A008).
+    DropBlock,
+    /// Append a second, misdirected delivery into an interval that already
+    /// holds its correct final bytes, overwriting them (A2A009).
+    DoubleDeliveryClobber,
+    /// Append a matched send/receive pair into a fresh scratch buffer that
+    /// nothing ever reads: pure wasted bandwidth (A2A010).
+    DeadCodeTransfer,
 }
 
 impl Mutation {
-    pub const ALL: [Mutation; 10] = [
+    pub const ALL: [Mutation; 14] = [
         Mutation::DropRecv,
         Mutation::RetagSend,
         Mutation::ShrinkWaitAll,
@@ -62,6 +75,34 @@ impl Mutation {
         Mutation::OverlapPendingRecvs,
         Mutation::SplitMessageSameTag,
         Mutation::ReadPendingRecv,
+        Mutation::SwapSendSource,
+        Mutation::DropBlock,
+        Mutation::DoubleDeliveryClobber,
+        Mutation::DeadCodeTransfer,
+    ];
+
+    /// The structural/safety mutants (caught by A2A000–A2A006).
+    pub const SAFETY: [Mutation; 10] = [
+        Mutation::DropRecv,
+        Mutation::RetagSend,
+        Mutation::ShrinkWaitAll,
+        Mutation::OversizeBlock,
+        Mutation::OverlapCopy,
+        Mutation::SequentializeSendrecv,
+        Mutation::AliasCopyIntoPendingSend,
+        Mutation::OverlapPendingRecvs,
+        Mutation::SplitMessageSameTag,
+        Mutation::ReadPendingRecv,
+    ];
+
+    /// The semantic mutants: valid, safety-clean schedules that compute
+    /// the wrong collective — only the dataflow prover (A2A007–A2A010)
+    /// can catch them.
+    pub const SEMANTIC: [Mutation; 4] = [
+        Mutation::SwapSendSource,
+        Mutation::DropBlock,
+        Mutation::DoubleDeliveryClobber,
+        Mutation::DeadCodeTransfer,
     ];
 
     /// Lint code the analyzer must report for this mutation.
@@ -77,6 +118,10 @@ impl Mutation {
             Mutation::OverlapPendingRecvs => "A2A003",
             Mutation::SplitMessageSameTag => "A2A004",
             Mutation::ReadPendingRecv => "A2A006",
+            Mutation::SwapSendSource => "A2A007",
+            Mutation::DropBlock => "A2A008",
+            Mutation::DoubleDeliveryClobber => "A2A009",
+            Mutation::DeadCodeTransfer => "A2A010",
         }
     }
 
@@ -96,6 +141,10 @@ impl Mutation {
             Mutation::OverlapPendingRecvs => overlap_pending_recvs(&mut s, rng),
             Mutation::SplitMessageSameTag => split_message_same_tag(&mut s, rng),
             Mutation::ReadPendingRecv => read_pending_recv(&mut s, rng),
+            Mutation::SwapSendSource => swap_send_source(&mut s, rng),
+            Mutation::DropBlock => drop_block(&mut s, rng),
+            Mutation::DoubleDeliveryClobber => double_delivery_clobber(&mut s, rng),
+            Mutation::DeadCodeTransfer => dead_code_transfer(&mut s, rng),
         };
         applied.then_some(s)
     }
@@ -114,6 +163,10 @@ impl std::fmt::Display for Mutation {
             Mutation::OverlapPendingRecvs => "overlap-pending-recvs",
             Mutation::SplitMessageSameTag => "split-message-same-tag",
             Mutation::ReadPendingRecv => "read-pending-recv",
+            Mutation::SwapSendSource => "swap-send-source",
+            Mutation::DropBlock => "drop-block",
+            Mutation::DoubleDeliveryClobber => "double-delivery-clobber",
+            Mutation::DeadCodeTransfer => "dead-code-transfer",
         };
         f.write_str(name)
     }
@@ -479,6 +532,261 @@ fn read_pending_recv(s: &mut FixedSchedule, rng: &mut Rng) -> bool {
     true
 }
 
+/// Swap the source blocks of two same-length, different-offset sends from
+/// the user send buffer on one rank. Both destinations still receive
+/// plausible bytes — just each other's — so the schedule stays valid and
+/// safety-clean while computing the wrong collective (A2A007).
+fn swap_send_source(s: &mut FixedSchedule, rng: &mut Rng) -> bool {
+    let mut cand: Vec<(usize, usize, usize)> = Vec::new();
+    for (r, prog) in s.progs.iter().enumerate() {
+        let sends: Vec<(usize, Block)> = prog
+            .ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.op {
+                Op::Isend { block, .. } if block.buf == SBUF => Some((i, block)),
+                _ => None,
+            })
+            .collect();
+        for a in 0..sends.len() {
+            for b in a + 1..sends.len() {
+                let (ba, bb) = (sends[a].1, sends[b].1);
+                if ba.len == bb.len && ba.off != bb.off {
+                    cand.push((r, sends[a].0, sends[b].0));
+                }
+            }
+        }
+    }
+    if cand.is_empty() {
+        return false;
+    }
+    let &(r, i, j) = rng.pick(&cand);
+    let block_i = match s.progs[r].ops[i].op {
+        Op::Isend { block, .. } => block,
+        _ => unreachable!(),
+    };
+    let block_j = match s.progs[r].ops[j].op {
+        Op::Isend { block, .. } => block,
+        _ => unreachable!(),
+    };
+    if let Op::Isend { block, .. } = &mut s.progs[r].ops[i].op {
+        *block = block_j;
+    }
+    if let Op::Isend { block, .. } = &mut s.progs[r].ops[j].op {
+        *block = block_i;
+    }
+    true
+}
+
+/// Delete a `Copy`: no request accounting changes, so the mutant stays
+/// valid and safety-clean, but the interval the copy fed ends the schedule
+/// unwritten (A2A008). Only copies that are the *sole* writer of their
+/// destination interval qualify — if another copy or receive also writes
+/// into it, or the destination is the provenance-carrying send buffer,
+/// dropping the copy leaves stale-but-defined bytes (A2A007 territory, a
+/// different mutation's job).
+fn drop_block(s: &mut FixedSchedule, rng: &mut Rng) -> bool {
+    let overlaps = |a: &Block, b: &Block| a.buf == b.buf && a.off < b.end() && b.off < a.end();
+    let mut cand = Vec::new();
+    for (r, prog) in s.progs.iter().enumerate() {
+        for (i, t) in prog.ops.iter().enumerate() {
+            let Op::Copy { dst, .. } = &t.op else {
+                continue;
+            };
+            if dst.buf == SBUF {
+                continue;
+            }
+            let sole_writer = prog.ops.iter().enumerate().all(|(j, u)| {
+                j == i
+                    || match &u.op {
+                        Op::Copy { dst: d, .. } => !overlaps(d, dst),
+                        Op::Irecv { block, .. } => !overlaps(block, dst),
+                        _ => true,
+                    }
+            });
+            if sole_writer {
+                cand.push((r, i));
+            }
+        }
+    }
+    if cand.is_empty() {
+        return false;
+    }
+    let &(r, i) = rng.pick(&cand);
+    s.progs[r].ops.remove(i);
+    true
+}
+
+/// The FIFO partner of the receive at `(rank, i)`: the op index on the
+/// sending rank of the k-th send on the receive's channel, where the
+/// receive is the k-th receive on that channel.
+fn fifo_partner_send(s: &FixedSchedule, rank: usize, i: usize) -> Option<(usize, usize)> {
+    let (from, tag) = match s.progs[rank].ops[i].op {
+        Op::Irecv { from, tag, .. } => (from, tag),
+        _ => return None,
+    };
+    let k = s.progs[rank].ops[..i]
+        .iter()
+        .filter(|t| matches!(t.op, Op::Irecv { from: f, tag: g, .. } if f == from && g == tag))
+        .count();
+    s.progs[from as usize]
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            matches!(t.op, Op::Isend { to, tag: g, .. } if to as usize == rank && g == tag)
+        })
+        .nth(k)
+        .map(|(j, _)| (from as usize, j))
+}
+
+/// Append a second delivery into a receive destination in the user receive
+/// buffer, after the whole schedule has run: the sender re-sends a
+/// *different* send-buffer block over bytes that were already correct.
+/// Valid and safety-clean — every request is posted, waited, and matched,
+/// and nothing races — but the prover sees correct bytes overwritten with
+/// wrong provenance (A2A009).
+fn double_delivery_clobber(s: &mut FixedSchedule, rng: &mut Rng) -> bool {
+    // Receives into RBUF whose FIFO-paired send reads SBUF (so the clobber
+    // payload's provenance is statically forced to differ).
+    let mut cand: Vec<(usize, usize, usize, Block, Bytes)> = Vec::new();
+    for (r, i) in sites(s, |op| matches!(op, Op::Irecv { .. })) {
+        let block = match s.progs[r].ops[i].op {
+            Op::Irecv { block, .. } => block,
+            _ => unreachable!(),
+        };
+        if block.buf != RBUF || block.len == 0 {
+            continue;
+        }
+        let Some((sender, j)) = fifo_partner_send(s, r, i) else {
+            continue;
+        };
+        let sblock = match s.progs[sender].ops[j].op {
+            Op::Isend { block, .. } => block,
+            _ => continue,
+        };
+        if sblock.buf != SBUF {
+            continue;
+        }
+        // A different same-length SBUF offset on the sender.
+        let sbuf = s.buffers[sender][SBUF.0 as usize];
+        let alt = if sblock.off != 0 {
+            0
+        } else if sbuf >= 2 * block.len {
+            block.len
+        } else {
+            continue;
+        };
+        cand.push((r, i, sender, block, alt));
+    }
+    if cand.is_empty() {
+        return false;
+    }
+    let &(r, i, sender, block, alt) = rng.pick(&cand);
+    let _ = i;
+    let phase = s.progs[r].ops.last().map(|t| t.phase).unwrap_or(Phase(0));
+    let sreq = s.progs[sender].n_reqs;
+    s.progs[sender].n_reqs += 1;
+    s.progs[sender].ops.push(TimedOp {
+        op: Op::Isend {
+            to: r as Rank,
+            block: Block::new(SBUF, alt, block.len),
+            tag: UNUSED_TAG,
+            req: sreq,
+        },
+        phase,
+    });
+    s.progs[sender].ops.push(TimedOp {
+        op: Op::WaitAll {
+            first_req: sreq,
+            count: 1,
+        },
+        phase,
+    });
+    let rreq = s.progs[r].n_reqs;
+    s.progs[r].n_reqs += 1;
+    s.progs[r].ops.push(TimedOp {
+        op: Op::Irecv {
+            from: sender as Rank,
+            block,
+            tag: UNUSED_TAG,
+            req: rreq,
+        },
+        phase,
+    });
+    s.progs[r].ops.push(TimedOp {
+        op: Op::WaitAll {
+            first_req: rreq,
+            count: 1,
+        },
+        phase,
+    });
+    true
+}
+
+/// Append a matched send/receive pair into a freshly declared scratch
+/// buffer on the receiver. Everything is posted, waited, and matched —
+/// valid and safety-clean — but the moved bytes feed no declared output
+/// (A2A010).
+fn dead_code_transfer(s: &mut FixedSchedule, rng: &mut Rng) -> bool {
+    let n = s.progs.len();
+    if n < 2 {
+        return false;
+    }
+    let ranks: Vec<usize> = (0..n).collect();
+    let &recv = rng.pick(&ranks);
+    let sender = (recv + 1) % n;
+    let len = s.buffers[sender][SBUF.0 as usize].min(8);
+    if len == 0 {
+        return false;
+    }
+    // Declare the scratch destination as a brand-new temporary buffer.
+    let scratch = Block::new(a2a_sched::BufId(s.buffers[recv].len() as u8), 0, len);
+    s.buffers[recv].push(len);
+    let phase = s.progs[recv]
+        .ops
+        .last()
+        .map(|t| t.phase)
+        .unwrap_or(Phase(0));
+    let sreq = s.progs[sender].n_reqs;
+    s.progs[sender].n_reqs += 1;
+    s.progs[sender].ops.push(TimedOp {
+        op: Op::Isend {
+            to: recv as Rank,
+            block: Block::new(SBUF, 0, len),
+            tag: UNUSED_TAG + 1,
+            req: sreq,
+        },
+        phase,
+    });
+    s.progs[sender].ops.push(TimedOp {
+        op: Op::WaitAll {
+            first_req: sreq,
+            count: 1,
+        },
+        phase,
+    });
+    let rreq = s.progs[recv].n_reqs;
+    s.progs[recv].n_reqs += 1;
+    s.progs[recv].ops.push(TimedOp {
+        op: Op::Irecv {
+            from: sender as Rank,
+            block: scratch,
+            tag: UNUSED_TAG + 1,
+            req: rreq,
+        },
+        phase,
+    });
+    s.progs[recv].ops.push(TimedOp {
+        op: Op::WaitAll {
+            first_req: rreq,
+            count: 1,
+        },
+        phase,
+    });
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,13 +820,63 @@ mod tests {
     #[test]
     fn every_mutation_applies_to_a_rich_base_or_declines() {
         // The sendrecv base supports all mutations except the pending-recv
-        // overlap (it never has two receives in flight).
+        // overlap (it never has two receives in flight) and the send-source
+        // swap (each rank posts only one send, so there is no pair).
         let mut rng = Rng::new(7);
         for m in Mutation::ALL {
             let got = m.apply(&base(), &mut rng);
             match m {
-                Mutation::OverlapPendingRecvs => assert!(got.is_none(), "{m}"),
+                Mutation::OverlapPendingRecvs | Mutation::SwapSendSource => {
+                    assert!(got.is_none(), "{m}")
+                }
                 _ => assert!(got.is_some(), "{m} should apply"),
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all_mutations() {
+        let mut both: Vec<Mutation> = Mutation::SAFETY
+            .into_iter()
+            .chain(Mutation::SEMANTIC)
+            .collect();
+        assert_eq!(both.len(), Mutation::ALL.len());
+        both.dedup();
+        assert_eq!(both, Mutation::ALL.to_vec());
+        for m in Mutation::SEMANTIC {
+            assert!(
+                m.expected_code() >= "A2A007",
+                "{m} must map to a prover code"
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_mutants_keep_request_accounting_valid() {
+        // The appended exchanges must leave a well-formed program: dense
+        // request ids, every request waited exactly once.
+        let mut rng = Rng::new(21);
+        for m in [Mutation::DoubleDeliveryClobber, Mutation::DeadCodeTransfer] {
+            let s = m.apply(&base(), &mut rng).expect("applies to base");
+            for prog in &s.progs {
+                let posted: Vec<u32> = prog
+                    .ops
+                    .iter()
+                    .filter_map(|t| match t.op {
+                        Op::Isend { req, .. } | Op::Irecv { req, .. } => Some(req),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(posted.len(), prog.n_reqs as usize, "{m}: dense ids");
+                let waited: u32 = prog
+                    .ops
+                    .iter()
+                    .map(|t| match t.op {
+                        Op::WaitAll { count, .. } => count,
+                        _ => 0,
+                    })
+                    .sum();
+                assert_eq!(waited, prog.n_reqs, "{m}: every request waited");
             }
         }
     }

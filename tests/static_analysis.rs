@@ -1,15 +1,24 @@
 //! The static analyzer, end to end: the algorithm roster must come back
-//! completely clean on every topology preset, every lint code must be
-//! demonstrable on a hand-built bad schedule, and seeded mutations of
-//! known-good schedules must always be flagged with the expected code.
+//! completely clean — safety passes *and* semantics prover — on every
+//! topology preset, every diagnostic code must be demonstrable on a
+//! hand-built bad schedule, and seeded mutations of known-good schedules
+//! must always be flagged with the expected code. The semantic mutations
+//! additionally prove the separation claim: they are invisible to the
+//! safety passes alone and only the dataflow prover catches them.
 
 use a2a_testutil::{FixedSchedule, Mutation, Rng};
+use alltoall_suite::algos::alltoallv::{
+    AlltoallvAlgorithm, CountsFn, NodeAwareAlltoallv, NonblockingAlltoallv, PairwiseAlltoallv,
+    VContext, VSchedule,
+};
 use alltoall_suite::algos::*;
-use alltoall_suite::lint::{lint_schedule, Code, LintConfig, LintReport};
+use alltoall_suite::lint::{analyze_schedule, lint_schedule, Code, LintConfig, LintReport};
+use alltoall_suite::sched::analysis::SemanticsSpec;
 use alltoall_suite::sched::{
     Block, Bytes, Phase, ProgBuilder, RankProgram, ScheduleSource, RBUF, SBUF,
 };
 use alltoall_suite::topo::{Machine, ProcGrid};
+use std::sync::Arc;
 
 /// The paper's eight-algorithm roster (group sizes divide every preset's
 /// ppn below).
@@ -54,16 +63,21 @@ fn fixed(progs: Vec<RankProgram>, bufsize: Bytes) -> FixedSchedule {
 
 #[test]
 fn roster_is_clean_on_every_preset() {
+    // Full analysis: safety passes plus the dataflow prover against the
+    // declared alltoall semantics. Clean means every output byte proved
+    // present, correctly sourced, unclobbered, and no transfer was dead.
     let cfg = LintConfig::default();
     for grid in presets() {
         for algo in roster() {
             for bytes in [4u64, 256, 4096] {
                 let sched = AlgoSchedule::new(algo.as_ref(), A2AContext::new(grid.clone(), bytes));
-                let report = lint_schedule(
+                let spec = SemanticsSpec::alltoall(grid.world_size(), bytes);
+                let report = analyze_schedule(
                     format!("{} block={bytes}", algo.name()),
                     &sched,
                     &grid,
                     &cfg,
+                    Some(&spec),
                 );
                 assert!(
                     report.is_clean(),
@@ -73,6 +87,64 @@ fn roster_is_clean_on_every_preset() {
                     report.render_text()
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn v_roster_proves_clean_on_lumpy_profiles() {
+    // The prover against the MPI_Alltoallv contract: lumpy asymmetric
+    // counts, a banded profile, and a profile with entire zero rows (rank
+    // 0 sends nothing anywhere, rank 1 receives nothing from anyone).
+    let grid = ProcGrid::new(Machine::custom("v", 2, 2, 1, 2)); // 8 ranks
+    let n = grid.world_size();
+    let profiles: Vec<(&str, CountsFn)> = vec![
+        (
+            "lumpy",
+            Arc::new(|s: u32, d: u32| (s as u64 * 31 + d as u64 * 17) % 13),
+        ),
+        (
+            "banded",
+            Arc::new(move |s: u32, d: u32| {
+                if (s as i64 - d as i64).abs() <= 1 {
+                    64
+                } else {
+                    0
+                }
+            }),
+        ),
+        (
+            "zero-rows",
+            Arc::new(|s: u32, d: u32| {
+                if s == 0 || d == 1 {
+                    0
+                } else {
+                    8 * (1 + (s + d) as u64 % 3)
+                }
+            }),
+        ),
+    ];
+    for (name, counts) in profiles {
+        for algo in [
+            Box::new(PairwiseAlltoallv) as Box<dyn AlltoallvAlgorithm>,
+            Box::new(NonblockingAlltoallv),
+            Box::new(NodeAwareAlltoallv),
+        ] {
+            let sched = VSchedule::new(algo.as_ref(), VContext::new(grid.clone(), counts.clone()));
+            let spec = SemanticsSpec::alltoallv(n, &|s, d| counts(s, d));
+            let report = analyze_schedule(
+                format!("{}[{name}]", algo.name()),
+                &sched,
+                &grid,
+                &LintConfig::default(),
+                Some(&spec),
+            );
+            assert!(
+                report.is_clean(),
+                "{}[{name}]:\n{}",
+                algo.name(),
+                report.render_text()
+            );
         }
     }
 }
@@ -199,6 +271,149 @@ fn a2a006_flags_read_of_pending_receive_destination() {
     assert!(r.has(Code::UnstableRead), "{}", r.render_text());
 }
 
+/// Run the full analysis of a 2-rank fixed schedule against the alltoall
+/// semantics (block = 8, so each rank's receive buffer expects its own
+/// block at 0 and the peer's at 8).
+fn analyze_fixed(f: &FixedSchedule, block: Bytes) -> LintReport {
+    let grid = ProcGrid::new(Machine::custom("t", 1, 1, 1, f.nranks()));
+    let spec = SemanticsSpec::alltoall(f.nranks(), block);
+    analyze_schedule("fixed", f, &grid, &LintConfig::default(), Some(&spec))
+}
+
+#[test]
+fn a2a007_flags_wrong_source_byte() {
+    // Both ranks send the block addressed to *themselves* instead of the
+    // peer's block: every exchanged byte lands with wrong provenance.
+    let progs = (0..2u32)
+        .map(|me| {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.copy(
+                Block::new(SBUF, me as Bytes * 8, 8),
+                Block::new(RBUF, me as Bytes * 8, 8),
+            );
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, me as Bytes * 8, 8), // should be peer's block
+                0,
+                peer,
+                Block::new(RBUF, peer as Bytes * 8, 8),
+                0,
+            );
+            b.finish()
+        })
+        .collect();
+    let r = analyze_fixed(&fixed(progs, 16), 8);
+    assert!(r.has(Code::WrongSource), "{}", r.render_text());
+    assert!(r.errors() > 0);
+    // The correctly-routed version of the same shape proves clean.
+    let r = analyze_fixed(&fixed(two_rank_exchange_correct(), 16), 8);
+    assert!(r.is_clean(), "{}", r.render_text());
+}
+
+/// A correct 2-rank alltoall: self copy plus one exchanged message.
+fn two_rank_exchange_correct() -> Vec<RankProgram> {
+    (0..2u32)
+        .map(|me| {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.copy(
+                Block::new(SBUF, me as Bytes * 8, 8),
+                Block::new(RBUF, me as Bytes * 8, 8),
+            );
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, peer as Bytes * 8, 8),
+                0,
+                peer,
+                Block::new(RBUF, peer as Bytes * 8, 8),
+                0,
+            );
+            b.finish()
+        })
+        .collect()
+}
+
+#[test]
+fn a2a008_flags_missing_byte() {
+    // The self block is never copied into the receive buffer: those bytes
+    // end the schedule unwritten.
+    let progs = (0..2u32)
+        .map(|me| {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, peer as Bytes * 8, 8),
+                0,
+                peer,
+                Block::new(RBUF, peer as Bytes * 8, 8),
+                0,
+            );
+            b.finish()
+        })
+        .collect();
+    let r = analyze_fixed(&fixed(progs, 16), 8);
+    assert!(r.has(Code::MissingByte), "{}", r.render_text());
+    assert!(r.errors() > 0);
+}
+
+#[test]
+fn a2a009_flags_clobbered_byte() {
+    // After the correct exchange, rank 0 overwrites the peer block in its
+    // receive buffer with its own (differently-sourced) bytes.
+    let mut progs = two_rank_exchange_correct();
+    let mut b = ProgBuilder::new(Phase(0));
+    b.copy(Block::new(SBUF, 0, 8), Block::new(RBUF, 8, 8));
+    let extra = b.finish();
+    progs[0].ops.extend(extra.ops);
+    let r = analyze_fixed(&fixed(progs, 16), 8);
+    assert!(r.has(Code::ClobberedByte), "{}", r.render_text());
+    assert!(r.errors() > 0);
+}
+
+#[test]
+fn a2a010_flags_redundant_transfer() {
+    // A second, never-read message rides alongside the correct exchange:
+    // delivered into scratch, contributing to no output byte.
+    let progs = (0..2u32)
+        .map(|me| {
+            let peer = 1 - me;
+            let mut b = ProgBuilder::new(Phase(0));
+            b.copy(
+                Block::new(SBUF, me as Bytes * 8, 8),
+                Block::new(RBUF, me as Bytes * 8, 8),
+            );
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, peer as Bytes * 8, 8),
+                0,
+                peer,
+                Block::new(RBUF, peer as Bytes * 8, 8),
+                0,
+            );
+            b.sendrecv(
+                peer,
+                Block::new(SBUF, 0, 8),
+                1,
+                peer,
+                Block::new(alltoall_suite::sched::TMP0, 0, 8),
+                1,
+            );
+            b.finish()
+        })
+        .collect();
+    let n = 2;
+    let f = FixedSchedule {
+        progs,
+        buffers: vec![vec![16, 16, 8]; n],
+        phase_names: vec!["all"],
+    };
+    let r = analyze_fixed(&f, 8);
+    assert!(r.has(Code::RedundantTransfer), "{}", r.render_text());
+    assert_eq!(r.errors(), 0, "a dead transfer is a warning, not an error");
+}
+
 // ------------------------------------------------------------ mutation suite
 
 /// Bases rich enough that every mutation finds a site in at least one:
@@ -222,20 +437,28 @@ fn mutation_bases() -> Vec<(String, FixedSchedule, ProcGrid)> {
 
 #[test]
 fn every_mutation_is_caught_with_its_expected_code() {
+    // The *full* analysis — safety passes plus prover — catches all 14
+    // mutation classes with their expected code.
     let bases = mutation_bases();
     let cfg = LintConfig::default();
     for m in Mutation::ALL {
         let expected = m.expected_code();
         let mut applied = 0usize;
         for (name, base, grid) in &bases {
+            let spec = SemanticsSpec::alltoall(grid.world_size(), 8);
             for seed in 0..5u64 {
                 let mut rng = Rng::new(0xA2A0 + seed);
                 let Some(mutant) = m.apply(base, &mut rng) else {
                     continue;
                 };
                 applied += 1;
-                let report =
-                    lint_schedule(format!("{m} on {name} seed {seed}"), &mutant, grid, &cfg);
+                let report = analyze_schedule(
+                    format!("{m} on {name} seed {seed}"),
+                    &mutant,
+                    grid,
+                    &cfg,
+                    Some(&spec),
+                );
                 assert!(
                     report.diags.iter().any(|d| d.code.as_str() == expected),
                     "{m} on {name} (seed {seed}) must be flagged {expected}, got:\n{}",
@@ -248,6 +471,59 @@ fn every_mutation_is_caught_with_its_expected_code() {
             "{m} never found an applicable site — silent pass"
         );
     }
+}
+
+#[test]
+fn semantic_mutants_are_invisible_to_safety_passes_alone() {
+    // The separation claim behind A2A007–A2A010: every semantic mutant is
+    // a *valid, safety-clean* schedule — only the dataflow prover sees
+    // that the bytes are wrong.
+    let bases = mutation_bases();
+    let cfg = LintConfig::default();
+    for m in Mutation::SEMANTIC {
+        let mut applied = 0usize;
+        for (name, base, grid) in &bases {
+            for seed in 0..5u64 {
+                let mut rng = Rng::new(0xA2A0 + seed);
+                let Some(mutant) = m.apply(base, &mut rng) else {
+                    continue;
+                };
+                applied += 1;
+                let report =
+                    lint_schedule(format!("{m} on {name} seed {seed}"), &mutant, grid, &cfg);
+                assert!(
+                    report.is_clean(),
+                    "{m} on {name} (seed {seed}) tripped a safety pass:\n{}",
+                    report.render_text()
+                );
+            }
+        }
+        assert!(
+            applied > 0,
+            "{m} never found an applicable site — silent pass"
+        );
+    }
+}
+
+#[test]
+fn merged_report_orders_deterministically() {
+    // Build a mutant carrying both safety and semantic findings, analyze
+    // twice, and require byte-identical, (code, rank, op)-sorted JSON.
+    let bases = mutation_bases();
+    let (name, base, grid) = &bases[0];
+    let spec = SemanticsSpec::alltoall(grid.world_size(), 8);
+    let cfg = LintConfig::default();
+    let mut rng = Rng::new(3);
+    let mutant = Mutation::SwapSendSource
+        .apply(base, &mut rng)
+        .expect("pairwise has swappable sends");
+    let a = analyze_schedule(name.clone(), &mutant, grid, &cfg, Some(&spec));
+    let b = analyze_schedule(name.clone(), &mutant, grid, &cfg, Some(&spec));
+    assert_eq!(a.render_json(), b.render_json());
+    let keys: Vec<_> = a.diags.iter().map(|d| (d.code, d.rank, d.op)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostic stream is not canonically sorted");
 }
 
 #[test]
